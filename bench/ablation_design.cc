@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out. Not a paper
+ * figure: these isolate the mechanisms behind the headline results.
+ *
+ *  1. Drain width     -- concurrent drains hide late-tuple latency; with
+ *                        width 1 the lazy schemes back up.
+ *  2. Walker merging  -- merging same-leaf BMT updates into in-flight
+ *                        walks is what keeps COBCM's drain path (and
+ *                        write-heavy CM) off the walker bottleneck.
+ *  3. Watermarks      -- the high watermark must leave headroom: draining
+ *                        too late stalls accepts, too early wastes
+ *                        coalescing.
+ *  4. Store buffer    -- depth absorbs NoGap's per-store MAC latency
+ *                        bursts.
+ */
+
+#include "bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+namespace
+{
+
+double
+slowdown(const BenchmarkProfile &p, std::uint64_t instr,
+         const SystemConfig &cfg, const SystemConfig &base_cfg)
+{
+    SecPbSystem base(base_cfg);
+    SyntheticGenerator bg(p, instr, benchSeed());
+    const double base_ticks =
+        static_cast<double>(base.run(bg).execTicks);
+    SecPbSystem sys(cfg);
+    SyntheticGenerator g(p, instr, benchSeed());
+    return sys.run(g).execTicks / base_ticks;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    const std::uint64_t instr = benchInstructions();
+    const BenchmarkProfile &gamess = profileByName("gamess");
+    const BenchmarkProfile &gcc = profileByName("gcc");
+
+    std::printf("Design ablations (%llu instructions/run)\n",
+                static_cast<unsigned long long>(instr));
+
+    // --- 1. Drain width --------------------------------------------------
+    std::printf("\n[1] COBCM slowdown vs BBB on gamess, by drain width\n");
+    for (unsigned width : {1u, 2u, 4u, 8u, 16u}) {
+        SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, gamess);
+        cfg.secpb.drainWidth = width;
+        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
+        base.secpb.drainWidth = width;
+        std::printf("    width %2u: %.3fx\n", width,
+                    slowdown(gamess, instr, cfg, base));
+    }
+
+    // --- 2. Walker merging -----------------------------------------------
+    std::printf("\n[2] BMT-update merging on gamess (merge on vs off)\n");
+    for (Scheme s : {Scheme::Cobcm, Scheme::Cm}) {
+        for (bool merge : {true, false}) {
+            SystemConfig cfg = SecPbSystem::configFor(s, gamess);
+            cfg.walker.enableMerging = merge;
+            SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
+            std::printf("    %-6s merging %-3s: %.3fx\n", schemeName(s),
+                        merge ? "on" : "off",
+                        slowdown(gamess, instr, cfg, base));
+        }
+    }
+
+    // --- 3. Watermarks ---------------------------------------------------
+    std::printf("\n[3] COBCM slowdown on gamess, by high watermark "
+                "(low = high - 0.25)\n");
+    for (double high : {0.50, 0.625, 0.75, 0.875, 0.96875}) {
+        SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, gamess);
+        cfg.secpb.highWatermark = high;
+        cfg.secpb.lowWatermark = high - 0.25;
+        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
+        base.secpb.highWatermark = high;
+        base.secpb.lowWatermark = high - 0.25;
+        std::printf("    high %.3f: %.3fx\n", high,
+                    slowdown(gamess, instr, cfg, base));
+    }
+
+    // --- 4. Store buffer depth --------------------------------------------
+    std::printf("\n[4] NoGap slowdown on gcc, by store buffer entries\n");
+    for (unsigned sb : {8u, 16u, 32u, 56u, 112u}) {
+        SystemConfig cfg = SecPbSystem::configFor(Scheme::NoGap, gcc);
+        cfg.storeBufferEntries = sb;
+        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gcc);
+        base.storeBufferEntries = sb;
+        std::printf("    entries %3u: %.3fx\n", sb,
+                    slowdown(gcc, instr, cfg, base));
+    }
+
+    return 0;
+}

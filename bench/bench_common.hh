@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared harness code for the table/figure reproduction benches.
+ *
+ * Every evaluation binary runs (scheme x benchmark) points through a fresh
+ * SecPbSystem and prints paper-style rows. Trace length is controlled by
+ * SECPB_BENCH_INSTR (default 300k instructions -- the paper simulates 250M
+ * on gem5; the synthetic workloads reach steady state within tens of
+ * thousands), and the seed by SECPB_BENCH_SEED.
+ */
+
+#ifndef SECPB_BENCH_BENCH_COMMON_HH
+#define SECPB_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "workload/synthetic.hh"
+
+namespace secpb::bench
+{
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline std::uint64_t
+benchInstructions()
+{
+    return envU64("SECPB_BENCH_INSTR", 300'000);
+}
+
+inline std::uint64_t
+benchSeed()
+{
+    return envU64("SECPB_BENCH_SEED", 7);
+}
+
+/** Run one (scheme, profile) point on a fresh system. */
+inline SimulationResult
+runOne(Scheme scheme, const BenchmarkProfile &profile,
+       std::uint64_t instructions, unsigned secpb_entries = 32,
+       BmfMode bmf = BmfMode::None, std::uint64_t seed = benchSeed())
+{
+    SystemConfig cfg = SecPbSystem::configFor(scheme, profile);
+    cfg.secpb.numEntries = secpb_entries;
+    cfg.walker.bmfMode = bmf;
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profile, instructions, seed);
+    return sys.run(gen);
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+} // namespace secpb::bench
+
+#endif // SECPB_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Figure 6: per-benchmark execution time of every SecPB scheme
+ * with a 32-entry SecPB, normalized to the insecure BBB baseline.
+ *
+ * Also prints the PPTI / NWPE characterization of Section VI-B (including
+ * the gamess IPC sanity estimate the paper derives) so the workload
+ * calibration is visible next to the results.
+ */
+
+#include "bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    const std::uint64_t instr = benchInstructions();
+
+    const Scheme schemes[] = {Scheme::Bbb,   Scheme::Cobcm, Scheme::Obcm,
+                              Scheme::Bcm,   Scheme::Cm,    Scheme::M,
+                              Scheme::NoGap};
+
+    std::printf("Figure 6: execution time of 32-entry SecPB normalized "
+                "to BBB (%llu instructions/run)\n\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("%-12s %6s %6s |", "benchmark", "PPTI", "NWPE");
+    for (Scheme s : schemes)
+        if (s != Scheme::Bbb)
+            std::printf(" %7s", schemeName(s));
+    std::printf("\n");
+
+    std::vector<std::vector<double>> ratios(std::size(schemes));
+
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        SimulationResult base = runOne(Scheme::Bbb, p, instr);
+        std::printf("%-12s %6.1f %6.2f |", p.name.c_str(), base.ppti,
+                    base.nwpe);
+        unsigned si = 0;
+        for (Scheme s : schemes) {
+            if (s == Scheme::Bbb) {
+                ++si;
+                continue;
+            }
+            SimulationResult r = runOne(s, p, instr);
+            const double ratio =
+                static_cast<double>(r.execTicks) / base.execTicks;
+            ratios[si].push_back(ratio);
+            std::printf(" %7.3f", ratio);
+            ++si;
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%-26s |", "geomean");
+    for (unsigned si = 0; si < std::size(schemes); ++si)
+        if (schemes[si] != Scheme::Bbb)
+            std::printf(" %7.3f", geomean(ratios[si]));
+    std::printf("\n%-26s |", "arithmetic mean");
+    for (unsigned si = 0; si < std::size(schemes); ++si)
+        if (schemes[si] != Scheme::Bbb)
+            std::printf(" %7.3f", mean(ratios[si]));
+    std::printf("\n");
+
+    // Section VI-B sanity check: the paper estimates gamess IPC under
+    // NoGap as 1000 / (320*(PPTI/NWPE) + 40*PPTI) ~= 0.11 (actual 0.13).
+    const BenchmarkProfile &gamess = profileByName("gamess");
+    SimulationResult g = runOne(Scheme::NoGap, gamess, instr);
+    const double est =
+        1000.0 / (320.0 * (g.ppti / g.nwpe) + 40.0 * g.ppti);
+    std::printf("\ngamess NoGap IPC: measured %.3f, paper-style estimate "
+                "%.3f (paper: actual 0.13, estimate 0.11)\n",
+                g.ipc, est);
+    return 0;
+}

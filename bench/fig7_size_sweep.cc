@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 7: execution time of the CM model for SecPB sizes
+ * 8..512 entries, normalized to the BBB baseline at the same size.
+ *
+ * Expected shape (paper Section VI-D): overhead falls as the SecPB grows
+ * (more coalescing of BMT root updates), with diminishing returns at
+ * 32-64 entries; streaming workloads like bwaves are insensitive because
+ * their NWPE does not change with capacity, while gobmk keeps improving
+ * because its reuse distances straddle the buffer capacity.
+ */
+
+#include "bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    const std::uint64_t instr = benchInstructions();
+    const unsigned sizes[] = {8, 16, 32, 64, 128, 512};
+
+    std::printf("Figure 7: CM execution time vs SecPB size, normalized "
+                "to same-size BBB (%llu instructions/run)\n\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("%-12s |", "benchmark");
+    for (unsigned s : sizes)
+        std::printf(" %7u", s);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> ratios(std::size(sizes));
+    std::vector<std::vector<double>> nwpes(std::size(sizes));
+
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        std::printf("%-12s |", p.name.c_str());
+        unsigned si = 0;
+        for (unsigned s : sizes) {
+            SimulationResult base = runOne(Scheme::Bbb, p, instr, s);
+            SimulationResult r = runOne(Scheme::Cm, p, instr, s);
+            const double ratio =
+                static_cast<double>(r.execTicks) / base.execTicks;
+            ratios[si].push_back(ratio);
+            nwpes[si].push_back(r.nwpe);
+            std::printf(" %7.3f", ratio);
+            ++si;
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%-12s |", "geomean");
+    for (unsigned si = 0; si < std::size(sizes); ++si)
+        std::printf(" %7.3f", geomean(ratios[si]));
+    std::printf("\n%-12s |", "mean NWPE");
+    for (unsigned si = 0; si < std::size(sizes); ++si)
+        std::printf(" %7.2f", mean(nwpes[si]));
+    std::printf("\n\npaper: 8-entry overhead 112.3%%, 512-entry 24%%; "
+                "diminishing returns at 32-64 entries\n");
+    return 0;
+}

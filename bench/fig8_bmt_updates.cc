@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 8: total BMT root updates performed by each SecPB
+ * scheme, normalized to sec_wt (write-through security, which performs
+ * one leaf-to-root update per store). Also prints the SecPB-size sweep of
+ * root updates for the CM model referenced in Section VI-D ("a 8-entry
+ * SecPB reduces BMT updates to 12.7% ... 512-entry to 1.8%").
+ */
+
+#include "bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    const std::uint64_t instr = benchInstructions();
+
+    const Scheme schemes[] = {Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
+                              Scheme::Cm, Scheme::M, Scheme::NoGap};
+
+    std::printf("Figure 8: BMT root updates normalized to sec_wt "
+                "(%llu instructions/run)\n\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("%-12s |", "benchmark");
+    for (Scheme s : schemes)
+        std::printf(" %7s", schemeName(s));
+    std::printf("\n");
+
+    std::vector<std::vector<double>> fracs(std::size(schemes));
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        const SimulationResult wt = runOne(Scheme::SecWt, p, instr);
+        const double wt_updates =
+            std::max<std::uint64_t>(1, wt.bmtRootUpdates);
+        std::printf("%-12s |", p.name.c_str());
+        unsigned si = 0;
+        for (Scheme s : schemes) {
+            SimulationResult r = runOne(s, p, instr);
+            const double frac = r.bmtRootUpdates / wt_updates;
+            fracs[si].push_back(frac);
+            std::printf(" %6.1f%%", frac * 100.0);
+            ++si;
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("\n%-12s |", "mean");
+    for (unsigned si = 0; si < std::size(schemes); ++si)
+        std::printf(" %6.1f%%", mean(fracs[si]) * 100.0);
+    std::printf("\n");
+
+    // Size sweep (CM), Section VI-D.
+    std::printf("\nCM BMT root updates vs SecPB size "
+                "(normalized to sec_wt; paper: 8 -> 12.7%%, "
+                "512 -> 1.8%%)\n\n%-12s |", "size");
+    const unsigned sizes[] = {8, 16, 32, 64, 128, 512};
+    for (unsigned s : sizes)
+        std::printf(" %7u", s);
+    std::printf("\n%-12s |", "mean frac");
+    for (unsigned s : sizes) {
+        std::vector<double> f;
+        for (const BenchmarkProfile &p : spec2006Profiles()) {
+            const SimulationResult wt = runOne(Scheme::SecWt, p, instr, s);
+            const SimulationResult r = runOne(Scheme::Cm, p, instr, s);
+            f.push_back(r.bmtRootUpdates /
+                        std::max<double>(1.0, wt.bmtRootUpdates));
+        }
+        std::printf(" %6.1f%%", mean(f) * 100.0);
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+    return 0;
+}

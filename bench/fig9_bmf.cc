@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 9: combining SecPB's CM scheme with Bonsai Merkle
+ * Forest height reduction (DBMF: 2 levels, SBMF: 5 levels), compared with
+ * applying DBMF/SBMF to the strict-persistency (SP) baseline with a 4 KB
+ * root cache. All normalized to insecure BBB.
+ *
+ * Expected shape (paper Section VI-E): cm_dbmf < sp_dbmf, cm_sbmf <
+ * sp_sbmf, and cm_sbmf even beats sp_dbmf -- coalescing in the SecPB
+ * compounds with height reduction. Paper numbers: sp_dbmf 88.9%,
+ * cm_dbmf 33.3%, sp_sbmf 3.43x, cm_sbmf 56.6%.
+ */
+
+#include "bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+int
+main()
+{
+    setQuietLogging(true);
+    const std::uint64_t instr = benchInstructions();
+
+    struct Variant
+    {
+        const char *name;
+        Scheme scheme;
+        BmfMode bmf;
+    };
+    const Variant variants[] = {
+        {"cm", Scheme::Cm, BmfMode::None},
+        {"sp_dbmf", Scheme::Sp, BmfMode::Dbmf},
+        {"cm_dbmf", Scheme::Cm, BmfMode::Dbmf},
+        {"sp_sbmf", Scheme::Sp, BmfMode::Sbmf},
+        {"cm_sbmf", Scheme::Cm, BmfMode::Sbmf},
+    };
+
+    std::printf("Figure 9: CM with BMT height reduction (DBMF/SBMF) vs "
+                "SP with the same, normalized to BBB "
+                "(%llu instructions/run)\n\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("%-12s |", "benchmark");
+    for (const Variant &v : variants)
+        std::printf(" %8s", v.name);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> ratios(std::size(variants));
+    for (const BenchmarkProfile &p : spec2006Profiles()) {
+        const double base = static_cast<double>(
+            runOne(Scheme::Bbb, p, instr).execTicks);
+        std::printf("%-12s |", p.name.c_str());
+        unsigned vi = 0;
+        for (const Variant &v : variants) {
+            SimulationResult r = runOne(v.scheme, p, instr, 32, v.bmf);
+            const double ratio = r.execTicks / base;
+            ratios[vi].push_back(ratio);
+            std::printf(" %8.3f", ratio);
+            ++vi;
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%-12s |", "geomean");
+    for (unsigned vi = 0; vi < std::size(variants); ++vi)
+        std::printf(" %8.3f", geomean(ratios[vi]));
+    std::printf("\n\npaper: sp_dbmf 1.889, cm_dbmf 1.333, sp_sbmf 3.43x "
+                "total, cm_sbmf 1.566\n");
+    return 0;
+}

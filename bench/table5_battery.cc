@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table V: the size of the energy source (supercapacitor or
+ * Li-thin-film battery) required to support each SecPB scheme with a
+ * 32-entry SecPB, compared with BBB, eADR, and secure eADR, and the
+ * footprint ratio of that energy source to a 5.37 mm^2 client-class core.
+ */
+
+#include <cstdio>
+
+#include "energy/energy_model.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+void
+printRow(const char *name, const EnergyModel &em, double energy_j,
+         double paper_sc, double paper_li)
+{
+    const BatteryEstimate sc = em.size(energy_j, superCapTech());
+    const BatteryEstimate li = em.size(energy_j, liThinTech());
+    std::printf("%-8s %12.3f %12.4f %10.1f%% %9.2f%% | paper: %9.2f %9.3f\n",
+                name, sc.volumeMm3, li.volumeMm3,
+                sc.areaRatioToCore * 100.0, li.areaRatioToCore * 100.0,
+                paper_sc, paper_li);
+}
+
+} // namespace
+
+int
+main()
+{
+    const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
+    constexpr unsigned entries = 32;
+
+    std::printf("Table V: energy-source size for a %u-entry SecPB "
+                "(volume mm^3 and footprint ratio to a 5.37 mm^2 core)\n\n",
+                entries);
+    std::printf("%-8s %12s %12s %11s %10s | %s\n", "System",
+                "SuperCap mm3", "Li-Thin mm3", "SC/core", "Li/core",
+                "paper volumes (SC, Li)");
+
+    struct Row
+    {
+        const char *name;
+        Scheme scheme;
+        double paperSc;
+        double paperLi;
+    };
+    const Row rows[] = {
+        {"COBCM", Scheme::Cobcm, 4.89, 0.049},
+        {"OBCM", Scheme::Obcm, 4.82, 0.048},
+        {"BCM", Scheme::Bcm, 4.72, 0.047},
+        {"CM", Scheme::Cm, 0.73, 0.007},
+        {"M", Scheme::M, 0.67, 0.006},
+        {"NoGap", Scheme::NoGap, 0.28, 0.003},
+    };
+    for (const Row &r : rows)
+        printRow(r.name, em, em.secPbBatteryEnergy(r.scheme, entries),
+                 r.paperSc, r.paperLi);
+
+    printRow("s_eADR", em, em.sEadrBatteryEnergy(), 3706.00, 37.060);
+    printRow("BBB", em, em.bbbBatteryEnergy(entries), 0.07, 0.001);
+    printRow("eADR", em, em.eadrBatteryEnergy(), 149.32, 1.490);
+
+    const double ratio = em.sEadrBatteryEnergy() /
+                         em.secPbBatteryEnergy(Scheme::Cobcm, entries);
+    std::printf("\ns_eADR / COBCM battery ratio: %.0fx "
+                "(paper reports 753x)\n", ratio);
+    const double eadr_bbb =
+        em.eadrBatteryEnergy() / em.bbbBatteryEnergy(entries);
+    std::printf("eADR / BBB battery ratio:     %.0fx "
+                "(paper reports ~2500x)\n", eadr_bbb);
+    return 0;
+}

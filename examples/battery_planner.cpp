@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Battery planner: pick the best secure-persistency scheme for a given
+ * supercapacitor/battery budget.
+ *
+ * The paper's conclusion (Section VI-C) frames SecPB as a trade-off
+ * spectrum: lazier schemes are faster but need bigger batteries. This
+ * tool makes that actionable: given a budget in mm^3 and a target
+ * workload, it sweeps the spectrum, sizes each scheme's battery, measures
+ * its slowdown on the workload, and recommends the fastest scheme that
+ * fits -- optionally pairing eager schemes with BMF height reduction, the
+ * paper's suggestion for budget-constrained designs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "energy/energy_model.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+struct Candidate
+{
+    const char *name;
+    Scheme scheme;
+    BmfMode bmf;
+};
+
+double
+slowdownOn(const BenchmarkProfile &profile, Scheme scheme, BmfMode bmf,
+           std::uint64_t instr)
+{
+    SystemConfig base_cfg = SecPbSystem::configFor(Scheme::Bbb, profile);
+    SecPbSystem base(base_cfg);
+    SyntheticGenerator base_gen(profile, instr, 11);
+    const double base_ticks =
+        static_cast<double>(base.run(base_gen).execTicks);
+
+    SystemConfig cfg = SecPbSystem::configFor(scheme, profile);
+    cfg.walker.bmfMode = bmf;
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profile, instr, 11);
+    return sys.run(gen).execTicks / base_ticks;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    double budget_mm3 = 2.0;      // default supercap budget
+    std::string bench = "gcc";
+    std::uint64_t instr = 60'000;
+    for (int i = 1; i + 1 < argc + 0; i += 2) {
+        if (!std::strcmp(argv[i], "--budget"))
+            budget_mm3 = std::atof(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--bench"))
+            bench = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--instr"))
+            instr = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+
+    const EnergyModel em(EnergyCosts{}, 8);
+    const BenchmarkProfile &profile = profileByName(bench);
+
+    const Candidate candidates[] = {
+        {"COBCM", Scheme::Cobcm, BmfMode::None},
+        {"OBCM", Scheme::Obcm, BmfMode::None},
+        {"BCM", Scheme::Bcm, BmfMode::None},
+        {"CM", Scheme::Cm, BmfMode::None},
+        {"CM+DBMF", Scheme::Cm, BmfMode::Dbmf},
+        {"CM+SBMF", Scheme::Cm, BmfMode::Sbmf},
+        {"M", Scheme::M, BmfMode::None},
+        {"NoGap", Scheme::NoGap, BmfMode::None},
+    };
+
+    std::printf("Battery planner: workload '%s', SuperCap budget "
+                "%.2f mm^3, 32-entry SecPB\n\n",
+                bench.c_str(), budget_mm3);
+    std::printf("%-10s %14s %10s %10s %8s\n", "scheme", "battery mm^3",
+                "fits?", "slowdown", "pick");
+
+    const Candidate *best = nullptr;
+    double best_slowdown = 1e99;
+    std::vector<double> slowdowns;
+    for (const Candidate &c : candidates) {
+        const double volume =
+            em.size(em.secPbBatteryEnergy(c.scheme, 32), superCapTech())
+                .volumeMm3;
+        const bool fits = volume <= budget_mm3;
+        const double slow = slowdownOn(profile, c.scheme, c.bmf, instr);
+        slowdowns.push_back(slow);
+        if (fits && slow < best_slowdown) {
+            best = &c;
+            best_slowdown = slow;
+        }
+        std::printf("%-10s %14.3f %10s %9.3fx\n", c.name, volume,
+                    fits ? "yes" : "no", slow);
+    }
+
+    if (best) {
+        std::printf("\nrecommendation: %s (%.1f%% overhead) -- fastest "
+                    "scheme within the %.2f mm^3 budget\n",
+                    best->name, (best_slowdown - 1.0) * 100.0, budget_mm3);
+    } else {
+        std::printf("\nno SecPB scheme fits %.2f mm^3; NoGap needs the "
+                    "least battery\n", budget_mm3);
+    }
+    return 0;
+}

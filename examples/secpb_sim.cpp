@@ -1,0 +1,161 @@
+/**
+ * @file
+ * secpb_sim -- the command-line simulator driver.
+ *
+ * Runs one (scheme, benchmark) point and prints the result summary, the
+ * full statistics tree, or CSV. This is the tool for exploring the
+ * design space beyond the canned table/figure harnesses.
+ *
+ * Usage:
+ *   secpb_sim [--scheme COBCM] [--bench gamess|all] [--instr N]
+ *             [--entries N] [--bmf none|dbmf|sbmf] [--seed N]
+ *             [--stats] [--csv] [--crash TICK] [--list]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/system.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+struct Options
+{
+    std::string scheme = "COBCM";
+    std::string bench = "gamess";
+    std::uint64_t instr = 300'000;
+    unsigned entries = 32;
+    std::string bmf = "none";
+    std::uint64_t seed = 7;
+    bool dumpStats = false;
+    bool csv = false;
+    Tick crashAt = 0;
+    bool list = false;
+};
+
+BmfMode
+parseBmf(const std::string &s)
+{
+    if (s == "none")
+        return BmfMode::None;
+    if (s == "dbmf")
+        return BmfMode::Dbmf;
+    if (s == "sbmf")
+        return BmfMode::Sbmf;
+    fatal("unknown BMF mode '%s' (none|dbmf|sbmf)", s.c_str());
+}
+
+void
+printResult(const Options &opt, const std::string &bench,
+            const SimulationResult &r)
+{
+    if (opt.csv) {
+        std::printf("%s,%s,%" PRIu64 ",%" PRIu64 ",%.4f,%.2f,%.2f,"
+                    "%" PRIu64 ",%" PRIu64 "\n",
+                    opt.scheme.c_str(), bench.c_str(), r.instructions,
+                    r.execTicks, r.ipc, r.ppti, r.nwpe, r.bmtRootUpdates,
+                    r.pcmWrites);
+        return;
+    }
+    std::printf("%-12s %-8s: %10" PRIu64 " cycles  IPC %.3f  PPTI %.1f  "
+                "NWPE %.2f  BMT updates %" PRIu64 "\n",
+                bench.c_str(), opt.scheme.c_str(), r.execTicks, r.ipc,
+                r.ppti, r.nwpe, r.bmtRootUpdates);
+}
+
+int
+runOne(const Options &opt, const std::string &bench)
+{
+    const BenchmarkProfile &profile = profileByName(bench);
+    SystemConfig cfg =
+        SecPbSystem::configFor(parseScheme(opt.scheme), profile);
+    cfg.secpb.numEntries = opt.entries;
+    cfg.walker.bmfMode = parseBmf(opt.bmf);
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profile, opt.instr, opt.seed);
+
+    if (opt.crashAt > 0) {
+        sys.start(gen);
+        sys.runUntil(opt.crashAt);
+        CrashReport cr = sys.crashNow();
+        std::printf("crash @ %" PRIu64 ": drained %" PRIu64 " entries, "
+                    "%.2f uJ used / %.2f uJ provisioned, recovery %s\n",
+                    static_cast<std::uint64_t>(opt.crashAt),
+                    cr.work.entriesDrained, cr.actualEnergyJ * 1e6,
+                    cr.provisionedEnergyJ * 1e6,
+                    cr.recovered ? "OK" : "FAILED");
+        return cr.recovered ? 0 : 1;
+    }
+
+    SimulationResult r = sys.run(gen);
+    printResult(opt, bench, r);
+    if (opt.dumpStats)
+        sys.dumpStats(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scheme"))
+            opt.scheme = need("--scheme");
+        else if (!std::strcmp(argv[i], "--bench"))
+            opt.bench = need("--bench");
+        else if (!std::strcmp(argv[i], "--instr"))
+            opt.instr = std::strtoull(need("--instr"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--entries"))
+            opt.entries = static_cast<unsigned>(
+                std::strtoul(need("--entries"), nullptr, 10));
+        else if (!std::strcmp(argv[i], "--bmf"))
+            opt.bmf = need("--bmf");
+        else if (!std::strcmp(argv[i], "--seed"))
+            opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--stats"))
+            opt.dumpStats = true;
+        else if (!std::strcmp(argv[i], "--csv"))
+            opt.csv = true;
+        else if (!std::strcmp(argv[i], "--crash"))
+            opt.crashAt = std::strtoull(need("--crash"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--list"))
+            opt.list = true;
+        else
+            fatal("unknown flag '%s'", argv[i]);
+    }
+
+    if (opt.list) {
+        std::printf("benchmarks:");
+        for (const auto &p : spec2006Profiles())
+            std::printf(" %s", p.name.c_str());
+        std::printf("\nschemes: bbb sp sec_wt COBCM OBCM BCM CM M NoGap\n");
+        return 0;
+    }
+
+    if (opt.csv)
+        std::printf("scheme,bench,instructions,cycles,ipc,ppti,nwpe,"
+                    "bmt_updates,pcm_writes\n");
+
+    if (opt.bench == "all") {
+        int rc = 0;
+        for (const auto &p : spec2006Profiles())
+            rc |= runOne(opt, p.name);
+        return rc;
+    }
+    return runOne(opt, opt.bench);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Top-level system configuration (defaults reproduce paper Table I).
+ */
+
+#ifndef SECPB_CORE_CONFIG_HH
+#define SECPB_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "cpu/trace_cpu.hh"
+#include "crypto/cipher.hh"
+#include "crypto/engine.hh"
+#include "mem/data_hierarchy.hh"
+#include "mem/pcm.hh"
+#include "mem/set_assoc.hh"
+#include "metadata/walker.hh"
+#include "secpb/scheme.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/** Everything needed to build a SecPbSystem. */
+struct SystemConfig
+{
+    /** Which secure-persistency scheme to run (Table II). */
+    Scheme scheme = Scheme::Cobcm;
+
+    SecPbConfig secpb;
+    PcmConfig pcm;
+    DataHierarchyConfig dataCache;
+    CryptoLatencies crypto;
+    WalkerConfig walker;
+
+    /** Metadata caches: 128 KB, 8-way, 2-cycle (Table I). */
+    CacheGeometry ctrCacheGeom{128 * 1024, 8, 64};
+    CacheGeometry bmtCacheGeom{128 * 1024, 8, 64};
+    CacheGeometry macCacheGeom{128 * 1024, 8, 64};
+    Cycles metadataCacheHitLatency = 2;
+
+    unsigned wpqEntries = 32;
+
+    /** Protected PM capacity (8 GB). */
+    std::uint64_t pmDataBytes = 8ULL << 30;
+
+    SecurityKeys keys;
+
+    CpuConfig cpu;
+    unsigned storeBufferEntries = 56;
+
+    /**
+     * Battery-back the core store buffer (paper Section IV-C(b)): stores
+     * that retired but have not reached the SecPB are absorbed by the
+     * battery on a crash. Needed when strict persistency is layered on a
+     * relaxed consistency model; off by default (TSO-style operation).
+     */
+    bool batteryBackedStoreBuffer = false;
+
+    /**
+     * Speculative integrity verification (PoisonIvy-style), assumed by
+     * the paper for all models (Section V-A): data returned from PM is
+     * used while its MAC/BMT checks complete in the background. Turning
+     * it off adds the verification latency to every PM load -- an
+     * ablation of how load-bearing that assumption is.
+     */
+    bool speculativeVerification = true;
+
+    ClockInfo clock;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CORE_CONFIG_HH

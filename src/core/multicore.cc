@@ -1,0 +1,193 @@
+#include "core/multicore.hh"
+
+namespace secpb
+{
+
+MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
+    : _cfg(cfg),
+      _rootStats("mc_system"),
+      _layout(cfg.base.pmDataBytes),
+      _counters(_layout),
+      _energy(EnergyCosts{}, 8)
+{
+    fatal_if(cfg.numCores == 0, "need at least one core");
+
+    const SystemConfig &base = cfg.base;
+    _pcm = std::make_unique<PcmModel>(_eq, base.pcm, _rootStats);
+    _wpq = std::make_unique<WritePendingQueue>(_eq, *_pcm,
+                                               base.wpqEntries, _rootStats);
+    _ctrCache = std::make_unique<MetadataCache>(
+        "ctr_cache", base.ctrCacheGeom, base.metadataCacheHitLatency,
+        *_pcm, _rootStats);
+    _bmtCache = std::make_unique<MetadataCache>(
+        "bmt_cache", base.bmtCacheGeom, base.metadataCacheHitLatency,
+        *_pcm, _rootStats, /*writeback_dirty=*/false);
+    _macCache = std::make_unique<MetadataCache>(
+        "mac_cache", base.macCacheGeom, base.metadataCacheHitLatency,
+        *_pcm, _rootStats);
+    _crypto = std::make_unique<CryptoEngine>(_eq, base.crypto, _rootStats);
+    _tree = std::make_unique<BonsaiMerkleTree>(_layout.numPages(),
+                                               base.keys.macKey ^ 0xb037);
+    _walker = std::make_unique<BmtWalker>(_eq, base.walker, _layout,
+                                          *_tree, *_bmtCache, *_pcm,
+                                          base.crypto, _rootStats);
+    _dir = std::make_unique<SecPbDirectory>(cfg.numCores, _rootStats);
+
+    _energy = EnergyModel(EnergyCosts{}, _tree->numLevels() + 1);
+
+    _cores.resize(cfg.numCores);
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        Core &core = _cores[i];
+        core.stats = std::make_unique<StatGroup>(
+            "core" + std::to_string(i), &_rootStats);
+        core.pb = std::make_unique<SecPb>(
+            _eq, base.scheme, base.secpb, _layout, base.keys, _counters,
+            _oracle, _pm, *_crypto, *_walker, *_ctrCache, *_macCache,
+            *_wpq, *core.stats);
+        core.pb->attachCoherence(
+            _dir.get(), i,
+            [this](CoreId id) { return _cores.at(id).pb.get(); },
+            cfg.migrationLatency);
+        core.sb = std::make_unique<StoreBuffer>(
+            _eq, *core.pb, base.storeBufferEntries, *core.stats);
+        core.cpu = std::make_unique<TraceCpu>(_eq, *core.sb, base.cpu,
+                                              *core.stats);
+    }
+}
+
+void
+MultiCoreSystem::start(const std::vector<WorkloadGenerator *> &gens)
+{
+    panic_if(_started, "MultiCoreSystem::start called twice");
+    fatal_if(gens.size() != _cores.size(),
+             "need exactly one workload per core (%zu != %zu)",
+             gens.size(), _cores.size());
+    _started = true;
+    for (unsigned i = 0; i < _cores.size(); ++i) {
+        Core *core = &_cores[i];
+        core->cpu->run(*gens[i], [this, core] {
+            core->done = true;
+            core->sb->notifyWhenEmpty([this, core] {
+                core->sbEmpty = true;
+                if (finished())
+                    _endTick = _eq.curTick();
+            });
+        });
+    }
+}
+
+bool
+MultiCoreSystem::finished() const
+{
+    for (const Core &core : _cores)
+        if (!core.done || !core.sbEmpty)
+            return false;
+    return true;
+}
+
+void
+MultiCoreSystem::runUntil(Tick limit)
+{
+    _eq.run(limit);
+}
+
+MultiCoreResult
+MultiCoreSystem::run(const std::vector<WorkloadGenerator *> &gens)
+{
+    start(gens);
+    while (!finished()) {
+        if (_eq.empty()) {
+            panic("multi-core deadlock: no events pending but %u cores "
+                  "have not finished", numCores());
+        }
+        _eq.step();
+    }
+
+    MultiCoreResult result;
+    result.execTicks = _endTick;
+    for (const Core &core : _cores) {
+        result.perCore.push_back(coreResult(core));
+        result.totalInstructions += result.perCore.back().instructions;
+    }
+    result.migrations =
+        static_cast<std::uint64_t>(_dir->statMigrations.value());
+    result.remoteReadFlushes =
+        static_cast<std::uint64_t>(_dir->statRemoteReadFlushes.value());
+    return result;
+}
+
+SimulationResult
+MultiCoreSystem::coreResult(const Core &core) const
+{
+    SimulationResult r;
+    r.execTicks = _endTick ? _endTick : _eq.curTick();
+    r.instructions = core.cpu->instructions();
+    r.ipc = r.execTicks
+        ? static_cast<double>(r.instructions) / r.execTicks : 0.0;
+    r.persists =
+        static_cast<std::uint64_t>(core.pb->statPersists.value());
+    r.allocations =
+        static_cast<std::uint64_t>(core.pb->statAllocs.value());
+    r.nwpe = core.pb->statNwpe.count() ? core.pb->statNwpe.mean() : 0.0;
+    r.drainedEntries =
+        static_cast<std::uint64_t>(core.pb->statDrainedEntries.value());
+    return r;
+}
+
+bool
+MultiCoreSystem::coreRead(CoreId core, Addr addr)
+{
+    const CoreId owner_before = _dir->owner(addr);
+    const bool flushed = _dir->read(core, addr);
+    if (flushed)
+        _cores.at(owner_before).pb->flushForRemoteRead(addr);
+    return flushed;
+}
+
+CrashReport
+MultiCoreSystem::crashNow()
+{
+    CrashReport cr;
+    for (Core &core : _cores) {
+        const CrashWork w = core.pb->crashDrainAll(
+            _cfg.base.batteryBackedStoreBuffer
+                ? core.sb->pendingStores()
+                : std::vector<std::pair<Addr, std::uint64_t>>{});
+        cr.work.entriesDrained += w.entriesDrained;
+        cr.work.countersIncremented += w.countersIncremented;
+        cr.work.counterFetches += w.counterFetches;
+        cr.work.otpsGenerated += w.otpsGenerated;
+        cr.work.bmtRootUpdates += w.bmtRootUpdates;
+        cr.work.bmtLevelsWalked += w.bmtLevelsWalked;
+        cr.work.macsComputed += w.macsComputed;
+        cr.work.ciphertexts += w.ciphertexts;
+        cr.work.pmBlockWrites += w.pmBlockWrites;
+        cr.work.mdcBlockFlushes += w.mdcBlockFlushes;
+    }
+    cr.actualEnergyJ = _energy.actualCrashEnergy(cr.work);
+    cr.provisionedEnergyJ =
+        numCores() * (schemeTraits(_cfg.base.scheme).secure
+                          ? _energy.secPbBatteryEnergy(
+                                _cfg.base.scheme,
+                                _cfg.base.secpb.numEntries)
+                          : _energy.bbbBatteryEnergy(
+                                _cfg.base.secpb.numEntries));
+
+    if (schemeTraits(_cfg.base.scheme).secure) {
+        RecoveryVerifier verifier(_layout, _cfg.base.keys);
+        cr.recovery = verifier.verifyAll(_pm, *_tree, _oracle);
+        cr.recovered = cr.recovery.ok();
+    } else {
+        cr.recovered = true;
+        for (Addr addr : _oracle.touchedBlocks()) {
+            ++cr.recovery.blocksChecked;
+            if (_pm.readData(addr) != _oracle.blockContent(addr)) {
+                ++cr.recovery.plaintextMismatches;
+                cr.recovered = false;
+            }
+        }
+    }
+    return cr;
+}
+
+} // namespace secpb

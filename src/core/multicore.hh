@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MultiCoreSystem: N cores, each with its own SecPB, sharing the memory
+ * controller (crypto engine, metadata caches, BMT walker, WPQ, PCM) and
+ * coordinated by the SecPB directory of paper Section IV-C(c).
+ *
+ * The paper's timing evaluation is single-core (Table I); the multi-core
+ * protocol is described but not measured. This system realizes it: a
+ * remote write migrates the owning SecPB's entry -- moving the data-value-
+ * independent metadata with it so the receiving core skips counter/OTP/
+ * BMT work -- and a remote read forces the owner to flush the entry to PM
+ * while the datum is forwarded. The no-replication invariant is enforced
+ * by the directory and property-tested.
+ *
+ * Crash semantics extend naturally: the battery drains every core's
+ * SecPB; ownership is per-block, so per-buffer drain order preserves the
+ * persist-order invariant globally.
+ */
+
+#ifndef SECPB_CORE_MULTICORE_HH
+#define SECPB_CORE_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "cpu/store_buffer.hh"
+#include "cpu/trace_cpu.hh"
+#include "energy/energy_model.hh"
+#include "mem/pcm.hh"
+#include "mem/pm_image.hh"
+#include "mem/wpq.hh"
+#include "metadata/bmt.hh"
+#include "metadata/counter_store.hh"
+#include "metadata/layout.hh"
+#include "metadata/metadata_cache.hh"
+#include "metadata/walker.hh"
+#include "recovery/oracle.hh"
+#include "recovery/verifier.hh"
+#include "secpb/coherence.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/** Configuration of the multi-core machine. */
+struct MultiCoreConfig
+{
+    SystemConfig base;            ///< Per-core + shared-MC parameters.
+    unsigned numCores = 4;
+    Cycles migrationLatency = 24; ///< SecPB-to-SecPB entry transfer.
+};
+
+/** Per-core and aggregate results of a multi-core run. */
+struct MultiCoreResult
+{
+    std::vector<SimulationResult> perCore;
+    std::uint64_t execTicks = 0;        ///< Last core's finish time.
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t migrations = 0;       ///< Entries moved between SecPBs.
+    std::uint64_t remoteReadFlushes = 0;
+};
+
+/** The assembled N-core machine. */
+class MultiCoreSystem
+{
+  public:
+    explicit MultiCoreSystem(const MultiCoreConfig &cfg);
+
+    /**
+     * Run one workload per core to completion (every generator
+     * exhausted, every store buffer empty).
+     */
+    MultiCoreResult run(const std::vector<WorkloadGenerator *> &gens);
+
+    /** Begin execution without advancing time. */
+    void start(const std::vector<WorkloadGenerator *> &gens);
+
+    /** Advance simulated time up to @p limit. */
+    void runUntil(Tick limit);
+
+    bool finished() const;
+
+    /**
+     * A load on @p core to a block possibly owned by a remote SecPB:
+     * the directory decides; a remote owner's entry is flushed (datum
+     * forwarded). Exposed for workloads with read sharing.
+     * @return true if a remote flush was triggered.
+     */
+    bool coreRead(CoreId core, Addr addr);
+
+    /** Crash: battery-drain every core's SecPB, then verify recovery. */
+    CrashReport crashNow();
+
+    /** @name Component access. */
+    /** @{ */
+    unsigned numCores() const { return static_cast<unsigned>(_cores.size()); }
+    SecPb &secpb(CoreId core) { return *_cores.at(core).pb; }
+    StoreBuffer &storeBuffer(CoreId core) { return *_cores.at(core).sb; }
+    TraceCpu &cpu(CoreId core) { return *_cores.at(core).cpu; }
+    SecPbDirectory &directory() { return *_dir; }
+    PersistOracle &oracle() { return _oracle; }
+    PmImage &pm() { return _pm; }
+    BonsaiMerkleTree &tree() { return *_tree; }
+    EventQueue &eventQueue() { return _eq; }
+    const MetadataLayout &layout() const { return _layout; }
+    /** @} */
+
+  private:
+    struct Core
+    {
+        std::unique_ptr<StatGroup> stats;
+        std::unique_ptr<SecPb> pb;
+        std::unique_ptr<StoreBuffer> sb;
+        std::unique_ptr<TraceCpu> cpu;
+        bool done = false;
+        bool sbEmpty = false;
+    };
+
+    SimulationResult coreResult(const Core &core) const;
+
+    MultiCoreConfig _cfg;
+    EventQueue _eq;
+    StatGroup _rootStats;
+
+    MetadataLayout _layout;
+    PmImage _pm;
+    CounterStore _counters;
+    PersistOracle _oracle;
+    EnergyModel _energy;
+
+    std::unique_ptr<PcmModel> _pcm;
+    std::unique_ptr<WritePendingQueue> _wpq;
+    std::unique_ptr<MetadataCache> _ctrCache;
+    std::unique_ptr<MetadataCache> _bmtCache;
+    std::unique_ptr<MetadataCache> _macCache;
+    std::unique_ptr<CryptoEngine> _crypto;
+    std::unique_ptr<BonsaiMerkleTree> _tree;
+    std::unique_ptr<BmtWalker> _walker;
+    std::unique_ptr<SecPbDirectory> _dir;
+
+    std::vector<Core> _cores;
+    bool _started = false;
+    Tick _endTick = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CORE_MULTICORE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Result records returned by SecPbSystem runs and crash experiments.
+ */
+
+#ifndef SECPB_CORE_RESULTS_HH
+#define SECPB_CORE_RESULTS_HH
+
+#include <cstdint>
+
+#include "recovery/verifier.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/** Summary of one timed execution. */
+struct SimulationResult
+{
+    std::uint64_t execTicks = 0;      ///< Retire-to-SB-empty time.
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    std::uint64_t persists = 0;       ///< Stores accepted by the SecPB.
+    std::uint64_t allocations = 0;    ///< SecPB entry allocations.
+    double ppti = 0.0;                ///< Persists per kilo-instruction.
+    double nwpe = 0.0;                ///< Mean writes per entry residency.
+    std::uint64_t bmtRootUpdates = 0;
+    std::uint64_t pageReencryptions = 0;
+    std::uint64_t drainedEntries = 0;
+    std::uint64_t sbFullStalls = 0;
+    std::uint64_t pbFullRejects = 0;
+    std::uint64_t pcmReads = 0;
+    std::uint64_t pcmWrites = 0;
+    double ctrCacheHitRate = 0.0;
+    double bmtCacheHitRate = 0.0;
+    double meanUnblockLatency = 0.0;
+};
+
+/** Outcome of a crash + battery-drain + recovery experiment. */
+struct CrashReport
+{
+    CrashWork work;               ///< What the battery actually did.
+    RecoveryReport recovery;      ///< Integrity/plaintext verification.
+    double provisionedEnergyJ = 0.0;  ///< Worst-case battery sizing.
+    double actualEnergyJ = 0.0;       ///< Energy this drain consumed.
+    Cycles drainLatency = 0;          ///< Observer-blocked window (cycles).
+    double drainLatencyNs = 0.0;      ///< The same window in nanoseconds.
+    bool recovered = false;           ///< True when recovery verified.
+};
+
+} // namespace secpb
+
+#endif // SECPB_CORE_RESULTS_HH

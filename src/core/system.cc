@@ -1,0 +1,171 @@
+#include "core/system.hh"
+
+#include "recovery/drain_latency.hh"
+
+namespace secpb
+{
+
+SecPbSystem::SecPbSystem(const SystemConfig &cfg)
+    : _cfg(cfg),
+      _rootStats("system"),
+      _layout(cfg.pmDataBytes),
+      _counters(_layout),
+      _energy(EnergyCosts{}, 0 /* placeholder, fixed below */)
+{
+    _pcm = std::make_unique<PcmModel>(_eq, cfg.pcm, _rootStats);
+    _dcache = std::make_unique<DataHierarchy>(cfg.dataCache, *_pcm,
+                                              _rootStats);
+    _wpq = std::make_unique<WritePendingQueue>(_eq, *_pcm, cfg.wpqEntries,
+                                               _rootStats);
+    _ctrCache = std::make_unique<MetadataCache>(
+        "ctr_cache", cfg.ctrCacheGeom, cfg.metadataCacheHitLatency, *_pcm,
+        _rootStats);
+    _bmtCache = std::make_unique<MetadataCache>(
+        "bmt_cache", cfg.bmtCacheGeom, cfg.metadataCacheHitLatency, *_pcm,
+        _rootStats, /*writeback_dirty=*/false);
+    _macCache = std::make_unique<MetadataCache>(
+        "mac_cache", cfg.macCacheGeom, cfg.metadataCacheHitLatency, *_pcm,
+        _rootStats);
+    _crypto = std::make_unique<CryptoEngine>(_eq, cfg.crypto, _rootStats);
+    _tree = std::make_unique<BonsaiMerkleTree>(_layout.numPages(),
+                                               cfg.keys.macKey ^ 0xb037);
+    _walker = std::make_unique<BmtWalker>(_eq, cfg.walker, _layout, *_tree,
+                                          *_bmtCache, *_pcm, cfg.crypto,
+                                          _rootStats);
+    _secpb = std::make_unique<SecPb>(
+        _eq, cfg.scheme, cfg.secpb, _layout, cfg.keys, _counters, _oracle,
+        _pm, *_crypto, *_walker, *_ctrCache, *_macCache, *_wpq, _rootStats);
+    _sb = std::make_unique<StoreBuffer>(_eq, *_secpb,
+                                        cfg.storeBufferEntries, _rootStats);
+    _cpu = std::make_unique<TraceCpu>(_eq, *_sb, cfg.cpu, _rootStats,
+                                      _dcache.get());
+
+    _energy = EnergyModel(EnergyCosts{}, _tree->numLevels() + 1);
+}
+
+SystemConfig
+SecPbSystem::configFor(Scheme scheme, const BenchmarkProfile &profile,
+                       const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    cfg.scheme = scheme;
+    cfg.cpu.loadPenalties.mem = profile.memPenalty(
+        static_cast<double>(cfg.pcm.readLatency));
+    if (!cfg.speculativeVerification && schemeTraits(scheme).secure) {
+        // Non-speculative: a PM load waits for its counter fetch (mostly
+        // a metadata-cache hit) and MAC check before use.
+        cfg.cpu.loadPenalties.mem += cfg.metadataCacheHitLatency +
+                                     static_cast<double>(cfg.crypto.macHash);
+    }
+    return cfg;
+}
+
+void
+SecPbSystem::start(WorkloadGenerator &gen)
+{
+    panic_if(_started, "SecPbSystem::start called twice");
+    _started = true;
+    _cpu->run(gen, [this] {
+        _cpuDone = true;
+        _sb->notifyWhenEmpty([this] {
+            _finished = true;
+            _endTick = _eq.curTick();
+        });
+    });
+}
+
+void
+SecPbSystem::runUntil(Tick limit)
+{
+    _eq.run(limit);
+}
+
+SimulationResult
+SecPbSystem::run(WorkloadGenerator &gen)
+{
+    start(gen);
+    while (!_finished) {
+        if (_eq.empty()) {
+            panic("simulation deadlock: no events pending but the run has "
+                  "not finished (SB occupancy %zu, SecPB occupancy %zu)",
+                  _sb->occupancy(), _secpb->occupancy());
+        }
+        _eq.step();
+    }
+    return result();
+}
+
+SimulationResult
+SecPbSystem::result() const
+{
+    SimulationResult r;
+    r.execTicks = _finished ? _endTick : _eq.curTick();
+    r.instructions = _cpu->instructions();
+    r.ipc = r.execTicks
+        ? static_cast<double>(r.instructions) / r.execTicks : 0.0;
+    r.persists = static_cast<std::uint64_t>(_secpb->statPersists.value());
+    r.allocations = static_cast<std::uint64_t>(_secpb->statAllocs.value());
+    r.ppti = r.instructions
+        ? 1000.0 * r.persists / r.instructions : 0.0;
+    r.nwpe = _secpb->statNwpe.count() ? _secpb->statNwpe.mean()
+        : (r.allocations ? static_cast<double>(r.persists) / r.allocations
+                         : 0.0);
+    r.bmtRootUpdates = _walker->rootUpdates();
+    r.pageReencryptions =
+        static_cast<std::uint64_t>(_secpb->statPageReencrypts.value());
+    r.drainedEntries =
+        static_cast<std::uint64_t>(_secpb->statDrainedEntries.value());
+    r.sbFullStalls =
+        static_cast<std::uint64_t>(_cpu->statSbStalls.value());
+    r.pbFullRejects =
+        static_cast<std::uint64_t>(_secpb->statFullRejects.value());
+    r.pcmReads = _pcm->numReads();
+    r.pcmWrites = _pcm->numWrites();
+    r.ctrCacheHitRate = _ctrCache->hitRate();
+    r.bmtCacheHitRate = _bmtCache->hitRate();
+    r.meanUnblockLatency = _secpb->statUnblockLatency.mean();
+    return r;
+}
+
+CrashReport
+SecPbSystem::crashNow()
+{
+    CrashReport cr;
+    DrainLatencyModel latency(_cfg.crypto, _cfg.pcm);
+    cr.work = _secpb->crashDrainAll(
+        _cfg.batteryBackedStoreBuffer
+            ? _sb->pendingStores()
+            : std::vector<std::pair<Addr, std::uint64_t>>{});
+    cr.actualEnergyJ = _energy.actualCrashEnergy(cr.work);
+    cr.drainLatency = latency.estimate(cr.work);
+    cr.drainLatencyNs = latency.estimateNs(cr.work, _cfg.clock);
+    if (_cfg.scheme == Scheme::Sp) {
+        cr.provisionedEnergyJ = _energy.spAdrEnergy(_cfg.wpqEntries);
+    } else if (schemeTraits(_cfg.scheme).secure) {
+        cr.provisionedEnergyJ =
+            _energy.secPbBatteryEnergy(_cfg.scheme, _cfg.secpb.numEntries);
+    } else {
+        cr.provisionedEnergyJ =
+            _energy.bbbBatteryEnergy(_cfg.secpb.numEntries);
+    }
+
+    if (schemeTraits(_cfg.scheme).secure) {
+        RecoveryVerifier verifier(_layout, _cfg.keys);
+        cr.recovery = verifier.verifyAll(_pm, *_tree, _oracle);
+        cr.recovered = cr.recovery.ok();
+    } else {
+        // BBB stores plaintext; recovery is a plain comparison.
+        cr.recovery.blocksChecked = 0;
+        cr.recovered = true;
+        for (Addr addr : _oracle.touchedBlocks()) {
+            ++cr.recovery.blocksChecked;
+            if (_pm.readData(addr) != _oracle.blockContent(addr)) {
+                ++cr.recovery.plaintextMismatches;
+                cr.recovered = false;
+            }
+        }
+    }
+    return cr;
+}
+
+} // namespace secpb

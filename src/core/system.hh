@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SecPbSystem: the assembled simulated machine and the library's main
+ * entry point.
+ *
+ * Wires together the core, store buffer, SecPB, crypto engine, metadata
+ * caches, BMT walker, WPQ, and PCM, per a SystemConfig. One instance
+ * models one run; build a fresh instance per (benchmark, scheme) point.
+ *
+ * Typical use:
+ * @code
+ *   SystemConfig cfg;
+ *   cfg.scheme = Scheme::Cobcm;
+ *   SecPbSystem sys(cfg);
+ *   SyntheticGenerator gen(profileByName("gamess"), 1'000'000);
+ *   SimulationResult r = sys.run(gen);
+ * @endcode
+ *
+ * Crash experiments interrupt a run:
+ * @code
+ *   sys.start(gen);
+ *   sys.runUntil(500'000);
+ *   CrashReport cr = sys.crashNow();   // battery drain + recovery verify
+ * @endcode
+ */
+
+#ifndef SECPB_CORE_SYSTEM_HH
+#define SECPB_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "cpu/store_buffer.hh"
+#include "cpu/trace_cpu.hh"
+#include "energy/energy_model.hh"
+#include "mem/data_hierarchy.hh"
+#include "mem/pcm.hh"
+#include "mem/pm_image.hh"
+#include "mem/wpq.hh"
+#include "metadata/bmt.hh"
+#include "metadata/counter_store.hh"
+#include "metadata/layout.hh"
+#include "metadata/metadata_cache.hh"
+#include "metadata/walker.hh"
+#include "recovery/oracle.hh"
+#include "recovery/verifier.hh"
+#include "secpb/secpb.hh"
+#include "workload/profile.hh"
+
+namespace secpb
+{
+
+/** The assembled simulated machine. */
+class SecPbSystem
+{
+  public:
+    explicit SecPbSystem(const SystemConfig &cfg = {});
+
+    /**
+     * Convenience: configure the CPU's load penalties from a benchmark
+     * profile (PCM read latency and MLP overlap) before building.
+     */
+    static SystemConfig configFor(Scheme scheme,
+                                  const BenchmarkProfile &profile,
+                                  const SystemConfig &base = {});
+
+    /** Run @p gen to completion (generator exhausted, store buffer empty). */
+    SimulationResult run(WorkloadGenerator &gen);
+
+    /** Begin executing @p gen without advancing time. */
+    void start(WorkloadGenerator &gen);
+
+    /** Advance simulated time up to @p limit (or until idle). */
+    void runUntil(Tick limit);
+
+    /** True once the workload retired and the store buffer drained. */
+    bool finished() const { return _finished; }
+
+    /**
+     * Crash now: battery-drain the SecPB, then run recovery verification
+     * against the persist oracle. Simulated time does not advance.
+     */
+    CrashReport crashNow();
+
+    /** Result snapshot of the current/finished run. */
+    SimulationResult result() const;
+
+    /** Dump the full statistics tree. */
+    void dumpStats(std::ostream &os) const { _rootStats.dump(os); }
+
+    /** @name Component access (tests, examples). */
+    /** @{ */
+    EventQueue &eventQueue() { return _eq; }
+    SecPb &secpb() { return *_secpb; }
+    StoreBuffer &storeBuffer() { return *_sb; }
+    TraceCpu &cpu() { return *_cpu; }
+    PmImage &pm() { return _pm; }
+    BonsaiMerkleTree &tree() { return *_tree; }
+    BmtWalker &walker() { return *_walker; }
+    PersistOracle &oracle() { return _oracle; }
+    CounterStore &counters() { return _counters; }
+    const MetadataLayout &layout() const { return _layout; }
+    PcmModel &pcm() { return *_pcm; }
+    WritePendingQueue &wpq() { return *_wpq; }
+    MetadataCache &ctrCache() { return *_ctrCache; }
+    MetadataCache &bmtCache() { return *_bmtCache; }
+    MetadataCache &macCache() { return *_macCache; }
+    DataHierarchy &dataCache() { return *_dcache; }
+    const SystemConfig &config() const { return _cfg; }
+    const EnergyModel &energyModel() const { return _energy; }
+    /** @} */
+
+  private:
+    SystemConfig _cfg;
+    EventQueue _eq;
+    StatGroup _rootStats;
+
+    MetadataLayout _layout;
+    PmImage _pm;
+    CounterStore _counters;
+    PersistOracle _oracle;
+    EnergyModel _energy;
+
+    std::unique_ptr<PcmModel> _pcm;
+    std::unique_ptr<DataHierarchy> _dcache;
+    std::unique_ptr<WritePendingQueue> _wpq;
+    std::unique_ptr<MetadataCache> _ctrCache;
+    std::unique_ptr<MetadataCache> _bmtCache;
+    std::unique_ptr<MetadataCache> _macCache;
+    std::unique_ptr<CryptoEngine> _crypto;
+    std::unique_ptr<BonsaiMerkleTree> _tree;
+    std::unique_ptr<BmtWalker> _walker;
+    std::unique_ptr<SecPb> _secpb;
+    std::unique_ptr<StoreBuffer> _sb;
+    std::unique_ptr<TraceCpu> _cpu;
+
+    bool _started = false;
+    bool _cpuDone = false;
+    bool _finished = false;
+    Tick _endTick = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CORE_SYSTEM_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The core's store buffer.
+ *
+ * Retired stores wait here until the SecPB accepts them. Stores issue to
+ * the SecPB strictly in program order, one at a time: the SecPB raises its
+ * unblock signal when the current store's early tuple subset is complete,
+ * and only then is the next store offered (paper Section IV-B). When the
+ * buffer fills, the core stalls retirement -- this is the mechanism that
+ * converts security-metadata latency into slowdown.
+ */
+
+#ifndef SECPB_CPU_STORE_BUFFER_HH
+#define SECPB_CPU_STORE_BUFFER_HH
+
+#include <deque>
+
+#include "secpb/secpb.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace secpb
+{
+
+/** In-order store buffer feeding the SecPB. */
+class StoreBuffer
+{
+  public:
+    StoreBuffer(EventQueue &eq, SecPb &pb, unsigned num_entries,
+                StatGroup &parent)
+        : _eq(eq), _pb(pb), _numEntries(num_entries),
+          _stats("store_buffer", &parent),
+          statPushes(_stats, "pushes", "stores retired into the buffer"),
+          statFullStalls(_stats, "full_stalls",
+                         "retire attempts rejected: buffer full"),
+          statOccupancy(_stats, "occupancy", "occupancy at each push")
+    {
+        fatal_if(num_entries == 0, "store buffer needs >= 1 entry");
+    }
+
+    /**
+     * Retire a store into the buffer.
+     * @return false if the buffer is full (core must stall).
+     */
+    bool
+    tryPush(Addr addr, std::uint64_t value, std::uint32_t asid = 0)
+    {
+        if (_queue.size() >= _numEntries) {
+            ++statFullStalls;
+            return false;
+        }
+        ++statPushes;
+        statOccupancy.sample(static_cast<double>(_queue.size()));
+        _queue.push_back(PendingStore{addr, value, asid});
+        issueHead();
+        return true;
+    }
+
+    /** Register a one-shot callback fired when a slot frees. */
+    void
+    notifyOnSpace(EventCallback cb)
+    {
+        _spaceWaiters.push_back(std::move(cb));
+    }
+
+    /** Register a one-shot callback fired when the buffer drains empty. */
+    void
+    notifyWhenEmpty(EventCallback cb)
+    {
+        if (_queue.empty() && !_issueInFlight) {
+            cb();
+            return;
+        }
+        _emptyWaiters.push_back(std::move(cb));
+    }
+
+    bool empty() const { return _queue.empty() && !_issueInFlight; }
+    std::size_t occupancy() const { return _queue.size(); }
+
+    /**
+     * Stores retired but not yet accepted by the SecPB, in program
+     * order. With a battery-backed store buffer (paper Section IV-C(b))
+     * these are part of the persistence domain and the battery absorbs
+     * them at crash time.
+     */
+    std::vector<std::pair<Addr, std::uint64_t>>
+    pendingStores() const
+    {
+        std::vector<std::pair<Addr, std::uint64_t>> out;
+        out.reserve(_queue.size());
+        // The head entry stays queued until its unblock arrives; when an
+        // issue is in flight the SecPB has already accepted (persisted)
+        // it, so it must not be absorbed a second time.
+        std::size_t skip = _issueInFlight ? 1 : 0;
+        for (const PendingStore &ps : _queue) {
+            if (skip > 0) {
+                --skip;
+                continue;
+            }
+            out.emplace_back(ps.addr, ps.value);
+        }
+        return out;
+    }
+
+  private:
+    struct PendingStore
+    {
+        Addr addr;
+        std::uint64_t value;
+        std::uint32_t asid;
+    };
+
+    void
+    issueHead()
+    {
+        if (_issueInFlight || _queue.empty())
+            return;
+        const PendingStore &head = _queue.front();
+        _issueInFlight = true;
+        const bool accepted = _pb.tryAcceptStore(
+            head.addr, head.value, [this] { headUnblocked(); },
+            head.asid);
+        if (!accepted) {
+            _issueInFlight = false;
+            if (!_waitingForPbSpace) {
+                _waitingForPbSpace = true;
+                _pb.notifyOnSpace([this] {
+                    _waitingForPbSpace = false;
+                    issueHead();
+                });
+            }
+        }
+    }
+
+    void
+    headUnblocked()
+    {
+        _queue.pop_front();
+        _issueInFlight = false;
+        wake(_spaceWaiters);
+        if (_queue.empty())
+            wake(_emptyWaiters);
+        else
+            issueHead();
+    }
+
+    void
+    wake(std::vector<EventCallback> &waiters)
+    {
+        if (waiters.empty())
+            return;
+        std::vector<EventCallback> fired;
+        fired.swap(waiters);
+        for (auto &w : fired)
+            w();
+    }
+
+    EventQueue &_eq;
+    SecPb &_pb;
+    unsigned _numEntries;
+    std::deque<PendingStore> _queue;
+    bool _issueInFlight = false;
+    bool _waitingForPbSpace = false;
+    std::vector<EventCallback> _spaceWaiters;
+    std::vector<EventCallback> _emptyWaiters;
+    StatGroup _stats;
+
+  public:
+    Scalar statPushes;
+    Scalar statFullStalls;
+    Average statOccupancy;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CPU_STORE_BUFFER_HH

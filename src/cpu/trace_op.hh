@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace operations consumed by the core model.
+ *
+ * The evaluation is trace driven: a workload generator (synthetic SPEC-like
+ * profiles, scripted test traces, or example applications) produces a
+ * stream of TraceOps that the core retires. Loads carry the hierarchy
+ * level they hit in -- the generator owns the locality model -- and stores
+ * carry a real 64-bit value so the persistence path stays functional.
+ */
+
+#ifndef SECPB_CPU_TRACE_OP_HH
+#define SECPB_CPU_TRACE_OP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/** Which level of the data hierarchy a load hits in. */
+enum class MemLevel
+{
+    L1,
+    L2,
+    L3,
+    Mem,
+};
+
+/** One trace record. */
+struct TraceOp
+{
+    enum class Kind
+    {
+        Instr,  ///< A bundle of non-memory instructions.
+        Load,   ///< One load; `level` says where it hits.
+        Store,  ///< One 8-byte store to `addr` with `value`.
+    };
+
+    Kind kind = Kind::Instr;
+    std::uint32_t count = 1;      ///< Instr: bundle size.
+    Addr addr = 0;                ///< Store: 8-byte-aligned address.
+    std::uint64_t value = 0;      ///< Store: value written.
+    MemLevel level = MemLevel::L1; ///< Load: hit level.
+    std::uint32_t asid = 0;       ///< Address-space id (process owner).
+};
+
+/** Pull interface implemented by every workload source. */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /**
+     * Produce the next op.
+     * @return false when the workload is exhausted (@p op untouched).
+     */
+    virtual bool next(TraceOp &op) = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CPU_TRACE_OP_HH

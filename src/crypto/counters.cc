@@ -1,0 +1,46 @@
+#include "crypto/counters.hh"
+
+#include <cstring>
+
+namespace secpb
+{
+
+BlockData
+CounterBlock::pack() const
+{
+    BlockData out{};
+    std::memcpy(out.data(), &major, 8);
+    // Pack 64 seven-bit minors into 56 bytes, little-endian bit order.
+    unsigned bitpos = 0;
+    for (unsigned i = 0; i < BlocksPerPage; ++i) {
+        const unsigned v = minors[i] & MinorCounterMax;
+        const unsigned byte = 8 + bitpos / 8;
+        const unsigned shift = bitpos % 8;
+        out[byte] |= static_cast<std::uint8_t>(v << shift);
+        if (shift > 8 - MinorCounterBits)
+            out[byte + 1] |=
+                static_cast<std::uint8_t>(v >> (8 - shift));
+        bitpos += MinorCounterBits;
+    }
+    return out;
+}
+
+CounterBlock
+CounterBlock::unpack(const BlockData &raw)
+{
+    CounterBlock cb;
+    std::memcpy(&cb.major, raw.data(), 8);
+    unsigned bitpos = 0;
+    for (unsigned i = 0; i < BlocksPerPage; ++i) {
+        const unsigned byte = 8 + bitpos / 8;
+        const unsigned shift = bitpos % 8;
+        unsigned v = raw[byte] >> shift;
+        if (shift > 8 - MinorCounterBits)
+            v |= static_cast<unsigned>(raw[byte + 1]) << (8 - shift);
+        cb.minors[i] = static_cast<std::uint8_t>(v & MinorCounterMax);
+        bitpos += MinorCounterBits;
+    }
+    return cb;
+}
+
+} // namespace secpb

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Split-counter blocks for counter-mode encryption (Yan et al., ISCA'06).
+ *
+ * One 64-byte counter block covers a 4 KB data page: a 64-bit major counter
+ * shared by the page plus 64 seven-bit minor counters, one per data block.
+ * A minor-counter overflow increments the major counter and forces a page
+ * re-encryption (every block in the page gets a fresh pad), exactly as in
+ * the Bonsai Merkle Tree paper the SecPB design builds on.
+ */
+
+#ifndef SECPB_CRYPTO_COUNTERS_HH
+#define SECPB_CRYPTO_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/block_data.hh"
+
+namespace secpb
+{
+
+/** Data page size covered by one counter block. */
+constexpr unsigned PageSize = 4096;
+
+/** Data blocks per page == minor counters per counter block. */
+constexpr unsigned BlocksPerPage = PageSize / BlockSize;
+
+/** Width of a minor counter in bits (split-counter scheme). */
+constexpr unsigned MinorCounterBits = 7;
+
+/** Maximum minor counter value before overflow. */
+constexpr std::uint8_t MinorCounterMax = (1u << MinorCounterBits) - 1;
+
+/**
+ * The (major, minor) counter pair used as the encryption nonce for one
+ * data block.
+ */
+struct BlockCounter
+{
+    std::uint64_t major = 0;
+    std::uint8_t minor = 0;
+
+    bool operator==(const BlockCounter &) const = default;
+};
+
+/**
+ * A split-counter block: 64-bit major + 64 x 7-bit minors. In-memory
+ * representation keeps minors unpacked for speed; pack()/unpack() produce
+ * the canonical 64-byte wire format (8B major + 56B packed minors), which
+ * is what gets hashed into the BMT and stored in the PM image.
+ */
+struct CounterBlock
+{
+    std::uint64_t major = 0;
+    std::array<std::uint8_t, BlocksPerPage> minors{};
+
+    /** Counter pair for the page-local block @p block_in_page (0..63). */
+    BlockCounter
+    counterFor(unsigned block_in_page) const
+    {
+        return BlockCounter{major, minors[block_in_page]};
+    }
+
+    /**
+     * Increment the minor counter for @p block_in_page.
+     * @return true if the minor overflowed; the caller must then perform a
+     *         page re-encryption: the major counter has been incremented
+     *         and every minor reset to zero.
+     */
+    bool
+    increment(unsigned block_in_page)
+    {
+        if (minors[block_in_page] == MinorCounterMax) {
+            ++major;
+            minors.fill(0);
+            return true;
+        }
+        ++minors[block_in_page];
+        return false;
+    }
+
+    /** Serialize into the canonical 64-byte format. */
+    BlockData pack() const;
+
+    /** Deserialize from the canonical 64-byte format. */
+    static CounterBlock unpack(const BlockData &raw);
+
+    bool operator==(const CounterBlock &) const = default;
+};
+
+} // namespace secpb
+
+#endif // SECPB_CRYPTO_COUNTERS_HH

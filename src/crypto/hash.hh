@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hash primitives for the security-metadata models.
+ *
+ * These stand in for the SHA-512 units of the paper. They are fast 64-bit
+ * mixing functions -- NOT cryptographically secure -- but they are fully
+ * value-dependent, so the integrity-verification logic behaves like the
+ * real thing: any bit flip in data, counters, MACs, or tree nodes changes
+ * downstream hashes and is caught by verification. The *timing* of the real
+ * units (40 processor cycles per hash, Table I) is modelled separately in
+ * the crypto engine.
+ */
+
+#ifndef SECPB_CRYPTO_HASH_HH
+#define SECPB_CRYPTO_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "mem/block_data.hh"
+
+namespace secpb
+{
+
+/** A 64-bit digest. */
+using Digest = std::uint64_t;
+
+/** Strong 64-bit integer mix (splitmix64 finalizer). */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Hash an arbitrary byte range with a seed. */
+inline Digest
+hashBytes(const std::uint8_t *data, std::size_t len, std::uint64_t seed)
+{
+    std::uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ULL + len));
+    std::size_t i = 0;
+    while (i + 8 <= len) {
+        std::uint64_t w;
+        std::memcpy(&w, data + i, 8);
+        h = mix64(h ^ w) * 0x100000001b3ULL;
+        i += 8;
+    }
+    if (i < len) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, data + i, len - i);
+        h = mix64(h ^ w) * 0x100000001b3ULL;
+    }
+    return mix64(h);
+}
+
+/** Hash a whole 64-byte block. */
+inline Digest
+hashBlock(const BlockData &b, std::uint64_t seed)
+{
+    return hashBytes(b.data(), b.size(), seed);
+}
+
+} // namespace secpb
+
+#endif // SECPB_CRYPTO_HASH_HH

@@ -1,0 +1,146 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+double
+EnergyModel::lateWorkEnergy(const SchemeTraits &t) const
+{
+    const double block = static_cast<double>(BlockSize);
+    double e = 0.0;
+
+    if (!t.earlyCounter) {
+        // Assumption (2): the counter block misses on-chip and must be
+        // fetched from PM. The increment itself is negligible (6).
+        e += block * _costs.moveMcToPm;
+    }
+    if (!t.earlyOtp) {
+        // Assumption (5): OTPs for ciphertexts must be generated.
+        e += block * _costs.aesPerByte;
+    }
+    if (!t.earlyBmt) {
+        // Assumption (3): no path overlap, every BMT cache access misses;
+        // each level fetches a node from PM and computes its hash.
+        e += _bmtLevels *
+             (block * _costs.moveMcToPm + block * _costs.shaPerByte);
+    }
+    // Assumption (6): the ciphertext XOR is a single-cycle logical
+    // operation with negligible energy.
+    if (!t.earlyMac) {
+        // Assumption (4): MACs need computing but not fetching.
+        e += block * _costs.shaPerByte;
+    }
+    return e;
+}
+
+double
+EnergyModel::fullLateTupleEnergy() const
+{
+    return lateWorkEnergy(schemeTraits(Scheme::Cobcm));
+}
+
+unsigned
+EnergyModel::entryFootprintBytes(const SchemeTraits &t)
+{
+    // Dp (64B) always; O (64B) if the OTP is pre-computed; Dc (64B) if
+    // the ciphertext is; M (64B, the 512-bit MAC field) if the MAC is;
+    // C (1B counter snapshot) if the counter is; the B bit is noise.
+    unsigned bytes = BlockSize;
+    if (t.earlyOtp)
+        bytes += BlockSize;
+    if (t.earlyCiphertext)
+        bytes += BlockSize;
+    if (t.earlyMac)
+        bytes += BlockSize;
+    if (t.earlyCounter)
+        bytes += 1;
+    return bytes;
+}
+
+double
+EnergyModel::entryDrainEnergy(Scheme scheme) const
+{
+    const SchemeTraits t = schemeTraits(scheme);
+    double e = entryFootprintBytes(t) * _costs.movePbToPm;
+    if (t.secure)
+        e += lateWorkEnergy(t);
+    return e;
+}
+
+double
+EnergyModel::secPbBatteryEnergy(Scheme scheme, unsigned entries) const
+{
+    // All entries drained, plus one more entry's worth as the in-flight
+    // margin: a crash may land mid-acceptance, with the write and its
+    // deferred metadata generation still pending (Section V-B).
+    return (entries + 1) * entryDrainEnergy(scheme);
+}
+
+double
+EnergyModel::bbbBatteryEnergy(unsigned entries) const
+{
+    return entries * static_cast<double>(BlockSize) * _costs.movePbToPm;
+}
+
+double
+EnergyModel::spAdrEnergy(unsigned wpq_entries) const
+{
+    return wpq_entries * (static_cast<double>(BlockSize) *
+                              _costs.moveMcToPm +
+                          fullLateTupleEnergy());
+}
+
+double
+EnergyModel::eadrBatteryEnergy(const HierarchyFootprint &h) const
+{
+    const double l1_lines = static_cast<double>(h.l1Bytes) / BlockSize;
+    const double l2_lines = static_cast<double>(h.l2Bytes) / BlockSize;
+    const double l3_lines = static_cast<double>(h.l3Bytes) / BlockSize;
+    const double block = static_cast<double>(BlockSize);
+    return l1_lines * block * _costs.moveL1ToPm +
+           l2_lines * block * _costs.moveL2ToPm +
+           l3_lines * block * _costs.moveL3ToPm;
+}
+
+double
+EnergyModel::sEadrBatteryEnergy(const HierarchyFootprint &h) const
+{
+    // Assumption (1): every cache line is dirty and needs its full
+    // security-metadata tuple generated under the same worst-case
+    // assumptions as a fully lazy SecPB entry.
+    const double total_lines =
+        static_cast<double>(h.l1Bytes + h.l2Bytes + h.l3Bytes) / BlockSize;
+    return eadrBatteryEnergy(h) + total_lines * fullLateTupleEnergy();
+}
+
+BatteryEstimate
+EnergyModel::size(double energy_j, const BatteryTech &tech) const
+{
+    BatteryEstimate est;
+    est.energyJ = energy_j;
+    est.volumeMm3 = energy_j / tech.densityJPerMm3;
+    const double footprint = std::pow(est.volumeMm3, 2.0 / 3.0);
+    est.areaRatioToCore = footprint / _coreAreaMm2;
+    return est;
+}
+
+double
+EnergyModel::actualCrashEnergy(const CrashWork &work) const
+{
+    const double block = static_cast<double>(BlockSize);
+    double e = 0.0;
+    e += work.entriesDrained * block * _costs.movePbToPm;
+    e += work.counterFetches * block * _costs.moveMcToPm;
+    e += work.otpsGenerated * block * _costs.aesPerByte;
+    e += work.bmtLevelsWalked *
+         (block * _costs.moveMcToPm + block * _costs.shaPerByte);
+    e += work.macsComputed * block * _costs.shaPerByte;
+    e += work.pmBlockWrites * block * _costs.moveMcToPm;
+    return e;
+}
+
+} // namespace secpb

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Drain-energy and battery-capacity model (paper Section V-B, Tables III,
+ * V, VI).
+ *
+ * The battery (or supercapacitor) must provision, at worst case, the
+ * energy to drain every SecPB entry and complete whatever memory-tuple
+ * work the chosen scheme deferred. Worst-case assumptions (1)-(6) of the
+ * paper are encoded literally: every block is dirty, every metadata cache
+ * access misses, BMT update paths never overlap, MACs need computing but
+ * not fetching, and XOR/increment energy is negligible.
+ *
+ * Energy densities: the paper quotes 1e-4 Wh (SuperCap) and 1e-2 Wh
+ * (Li-thin-film) energy densities; interpreting them per cm^3 reproduces
+ * Table V's volumes from Table III's per-byte costs, so that is the
+ * calibration used here (documented in DESIGN.md / EXPERIMENTS.md).
+ * Footprint area assumes a cubic cell: area = volume^(2/3), compared
+ * against a 5.37 mm^2 client-class core.
+ */
+
+#ifndef SECPB_ENERGY_ENERGY_MODEL_HH
+#define SECPB_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "secpb/scheme.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/** Per-byte energy costs (Table III). */
+struct EnergyCosts
+{
+    double sramAccess = 1e-12;      ///< SRAM access, J/B.
+    double movePbToPm = 11.839e-9;  ///< SecPB -> PM, J/B.
+    double moveL1ToPm = 11.839e-9;  ///< L1D -> PM, J/B.
+    double moveL2ToPm = 11.228e-9;  ///< L2 -> PM, J/B.
+    double moveL3ToPm = 11.228e-9;  ///< L3 -> PM, J/B.
+    double moveMcToPm = 11.228e-9;  ///< MC <-> PM (either direction), J/B.
+    double shaPerByte = 79.29e-9;   ///< SHA-512 (BMT node / MAC), J/B.
+    double aesPerByte = 30e-9;      ///< AES-192 (OTP generation), J/B.
+};
+
+/** An energy-storage technology. */
+struct BatteryTech
+{
+    std::string name;
+    double densityJPerMm3;  ///< Usable energy density, J/mm^3.
+};
+
+/** SuperCap: 1e-4 Wh/cm^3 = 3.6e-4 J/mm^3. */
+inline BatteryTech
+superCapTech()
+{
+    return {"SuperCap", 3.6e-4};
+}
+
+/** Li thin-film: 1e-2 Wh/cm^3 = 3.6e-2 J/mm^3. */
+inline BatteryTech
+liThinTech()
+{
+    return {"Li-Thin", 3.6e-2};
+}
+
+/** A battery sizing estimate. */
+struct BatteryEstimate
+{
+    double energyJ = 0.0;
+    double volumeMm3 = 0.0;
+    double areaRatioToCore = 0.0;  ///< Cubic-cell footprint / core area.
+};
+
+/** Cache-hierarchy footprint for the eADR comparisons (Table I). */
+struct HierarchyFootprint
+{
+    std::uint64_t l1Bytes = 64 * 1024;
+    std::uint64_t l2Bytes = 512 * 1024;
+    std::uint64_t l3Bytes = 4 * 1024 * 1024;
+};
+
+/**
+ * The analytical drain-energy / battery-capacity model.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(const EnergyCosts &costs = {}, unsigned bmt_levels = 8,
+                double core_area_mm2 = 5.37)
+        : _costs(costs), _bmtLevels(bmt_levels), _coreAreaMm2(core_area_mm2)
+    {}
+
+    /**
+     * Worst-case energy to complete the deferred ("late") tuple work for
+     * one SecPB entry under @p scheme and drain it to PM.
+     */
+    double entryDrainEnergy(Scheme scheme) const;
+
+    /**
+     * Worst-case battery energy for a @p entries-entry SecPB running
+     * @p scheme: all entries drained plus one full in-flight tuple update
+     * (a crash may land mid-update).
+     */
+    double secPbBatteryEnergy(Scheme scheme, unsigned entries) const;
+
+    /** Battery energy for insecure BBB (drain only). */
+    double bbbBatteryEnergy(unsigned entries) const;
+
+    /**
+     * ADR provisioning for the SP baseline: the WPQ is the persistence
+     * domain, and every queued block may still need its full tuple
+     * completed when power fails.
+     */
+    double spAdrEnergy(unsigned wpq_entries) const;
+
+    /** Battery energy for insecure eADR (flush all caches). */
+    double eadrBatteryEnergy(const HierarchyFootprint &h = {}) const;
+
+    /**
+     * Battery energy for secure eADR: every cache line dirty, each needing
+     * the full worst-case tuple update (assumptions (1)-(5)).
+     */
+    double sEadrBatteryEnergy(const HierarchyFootprint &h = {}) const;
+
+    /** Size @p energy_j on @p tech; includes the core-area ratio. */
+    BatteryEstimate size(double energy_j, const BatteryTech &tech) const;
+
+    /**
+     * Energy actually consumed by a specific post-crash drain, from the
+     * work accounting the SecPB reports. Always <= the worst case the
+     * battery was provisioned for.
+     */
+    double actualCrashEnergy(const CrashWork &work) const;
+
+    const EnergyCosts &costs() const { return _costs; }
+    unsigned bmtLevels() const { return _bmtLevels; }
+    double coreAreaMm2() const { return _coreAreaMm2; }
+
+    /** Worst-case full late-tuple work for one block (all deferred). */
+    double fullLateTupleEnergy() const;
+
+    /**
+     * Bytes of SecPB entry state the battery must move out on a drain:
+     * the tracked fields of Figure 5 (Dp always; O, Dc, M, C for schemes
+     * that pre-compute them). NoGap's 260-byte entry is the paper's
+     * Table I "Entry size".
+     */
+    static unsigned entryFootprintBytes(const SchemeTraits &t);
+
+  private:
+    /** Late work for one entry given which components were deferred. */
+    double lateWorkEnergy(const SchemeTraits &t) const;
+
+    EnergyCosts _costs;
+    unsigned _bmtLevels;
+    double _coreAreaMm2;
+};
+
+} // namespace secpb
+
+#endif // SECPB_ENERGY_ENERGY_MODEL_HH

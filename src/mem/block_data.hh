@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional cache-block payloads.
+ *
+ * The simulator is functional as well as timed: data blocks carry real
+ * bytes so that crash-recovery tests can decrypt PM content and compare it
+ * against an oracle. BlockData is the 64-byte payload type used everywhere.
+ */
+
+#ifndef SECPB_MEM_BLOCK_DATA_HH
+#define SECPB_MEM_BLOCK_DATA_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/** A 64-byte block payload. */
+using BlockData = std::array<std::uint8_t, BlockSize>;
+
+/** Number of 64-bit words per block. */
+constexpr unsigned WordsPerBlock = BlockSize / 8;
+
+/** An all-zero block. */
+inline BlockData
+zeroBlock()
+{
+    BlockData b{};
+    return b;
+}
+
+/** Read the 64-bit word at word index @p idx (0..7). */
+inline std::uint64_t
+blockWord(const BlockData &b, unsigned idx)
+{
+    std::uint64_t w;
+    std::memcpy(&w, b.data() + idx * 8, 8);
+    return w;
+}
+
+/** Write the 64-bit word at word index @p idx (0..7). */
+inline void
+setBlockWord(BlockData &b, unsigned idx, std::uint64_t value)
+{
+    std::memcpy(b.data() + idx * 8, &value, 8);
+}
+
+/** XOR two blocks (used for one-time-pad encryption). */
+inline BlockData
+xorBlocks(const BlockData &a, const BlockData &b)
+{
+    BlockData out;
+    for (unsigned i = 0; i < BlockSize; ++i)
+        out[i] = a[i] ^ b[i];
+    return out;
+}
+
+} // namespace secpb
+
+#endif // SECPB_MEM_BLOCK_DATA_HH

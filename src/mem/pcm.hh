@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Phase-change-memory (PCM) main-memory timing model.
+ *
+ * Table I of the paper: 8 GB PCM, 55 ns reads, 150 ns writes, 128-entry
+ * write queue, 64-entry read queue. The device is banked: accesses to
+ * distinct banks overlap, same-bank accesses serialize. Two interfaces are
+ * offered: a callback style (read/write with completion events) used by the
+ * drain machinery, and an occupancy style (readOccupy/writeOccupy) that
+ * returns the queuing + service delay for callers that fold memory latency
+ * into a larger computed duration (e.g. the BMT update walker).
+ */
+
+#ifndef SECPB_MEM_PCM_HH
+#define SECPB_MEM_PCM_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace secpb
+{
+
+/** PCM device configuration (defaults follow Table I at 4 GHz). */
+struct PcmConfig
+{
+    Cycles readLatency = 220;   ///< 55 ns at 4 GHz.
+    Cycles writeLatency = 600;  ///< 150 ns at 4 GHz.
+    unsigned numBanks = 32;     ///< Bank/partition parallelism.
+    unsigned readQueueEntries = 64;
+    unsigned writeQueueEntries = 128;
+};
+
+/** Banked PCM timing model. */
+class PcmModel
+{
+  public:
+    PcmModel(EventQueue &eq, const PcmConfig &cfg, StatGroup &parent)
+        : _eq(eq), _cfg(cfg),
+          _banks(eq, "pcm", cfg.numBanks),
+          _stats("pcm", &parent),
+          statReads(_stats, "reads", "PCM read accesses"),
+          statWrites(_stats, "writes", "PCM write accesses"),
+          statReadDelay(_stats, "read_delay",
+                        "total read delay incl. queuing (cycles)"),
+          statWriteDelay(_stats, "write_delay",
+                         "total write delay incl. queuing (cycles)")
+    {}
+
+    /** Issue a read; fires @p done when data is available. */
+    Tick
+    read(Addr addr, EventCallback done)
+    {
+        ++statReads;
+        Tick finish = _banks.request(addr, _cfg.readLatency,
+                                     std::move(done));
+        statReadDelay.sample(static_cast<double>(finish - _eq.curTick()));
+        return finish;
+    }
+
+    /** Issue a write; fires @p done once the cell array is updated. */
+    Tick
+    write(Addr addr, EventCallback done)
+    {
+        ++statWrites;
+        Tick finish = _banks.request(addr, _cfg.writeLatency,
+                                     std::move(done));
+        statWriteDelay.sample(static_cast<double>(finish - _eq.curTick()));
+        return finish;
+    }
+
+    /**
+     * Occupy the bank for a read and return the total delay (queuing +
+     * service) as seen from now. For callers that compute an aggregate
+     * duration instead of chaining events.
+     */
+    Cycles
+    readOccupy(Addr addr)
+    {
+        ++statReads;
+        Tick finish = _banks.request(addr, _cfg.readLatency, nullptr);
+        Cycles delay = finish - _eq.curTick();
+        statReadDelay.sample(static_cast<double>(delay));
+        return delay;
+    }
+
+    /** Occupancy-style write; see readOccupy(). */
+    Cycles
+    writeOccupy(Addr addr)
+    {
+        ++statWrites;
+        Tick finish = _banks.request(addr, _cfg.writeLatency, nullptr);
+        Cycles delay = finish - _eq.curTick();
+        statWriteDelay.sample(static_cast<double>(delay));
+        return delay;
+    }
+
+    const PcmConfig &config() const { return _cfg; }
+    std::uint64_t numReads() const
+    { return static_cast<std::uint64_t>(statReads.value()); }
+    std::uint64_t numWrites() const
+    { return static_cast<std::uint64_t>(statWrites.value()); }
+
+  private:
+    EventQueue &_eq;
+    PcmConfig _cfg;
+    BankedResource _banks;
+    StatGroup _stats;
+
+  public:
+    Scalar statReads;
+    Scalar statWrites;
+    Average statReadDelay;
+    Average statWriteDelay;
+};
+
+} // namespace secpb
+
+#endif // SECPB_MEM_PCM_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Functional image of persistent memory.
+ *
+ * Everything that would survive power loss lives here: data ciphertext,
+ * split-counter blocks, MACs. (BMT nodes are owned by BonsaiMerkleTree,
+ * which is likewise treated as PM-resident; the root lives in an on-chip
+ * battery-backed register.) Sparse maps keep an 8 GB device cheap to model.
+ * Tamper hooks let integrity tests corrupt state the way a physical
+ * attacker would.
+ */
+
+#ifndef SECPB_MEM_PM_IMAGE_HH
+#define SECPB_MEM_PM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/cipher.hh"
+#include "crypto/counters.hh"
+#include "mem/block_data.hh"
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/** Sparse functional state of the PM device. */
+class PmImage
+{
+  public:
+    /** Read the ciphertext of a data block (zero block if untouched). */
+    BlockData
+    readData(Addr block_addr) const
+    {
+        auto it = _data.find(blockAlign(block_addr));
+        return it != _data.end() ? it->second : zeroBlock();
+    }
+
+    /** Persist the ciphertext of a data block. */
+    void
+    writeData(Addr block_addr, const BlockData &ciphertext)
+    {
+        _data[blockAlign(block_addr)] = ciphertext;
+    }
+
+    /** True if a data block has ever been persisted. */
+    bool
+    hasData(Addr block_addr) const
+    {
+        return _data.count(blockAlign(block_addr)) != 0;
+    }
+
+    /** Read the counter block for page @p page_idx (default if untouched). */
+    CounterBlock
+    readCounterBlock(std::uint64_t page_idx) const
+    {
+        auto it = _counters.find(page_idx);
+        return it != _counters.end() ? it->second : CounterBlock{};
+    }
+
+    /** Persist a counter block. */
+    void
+    writeCounterBlock(std::uint64_t page_idx, const CounterBlock &cb)
+    {
+        _counters[page_idx] = cb;
+    }
+
+    /** Read the stored MAC for a data block (0 if untouched). */
+    MacValue
+    readMac(Addr block_addr) const
+    {
+        auto it = _macs.find(blockAlign(block_addr));
+        return it != _macs.end() ? it->second : 0;
+    }
+
+    /** Persist a MAC. */
+    void
+    writeMac(Addr block_addr, MacValue mac)
+    {
+        _macs[blockAlign(block_addr)] = mac;
+    }
+
+    /** Number of distinct data blocks ever persisted. */
+    std::size_t numDataBlocks() const { return _data.size(); }
+
+    /** All persisted data block addresses (for recovery scans). */
+    std::vector<Addr>
+    dataBlockAddrs() const
+    {
+        std::vector<Addr> out;
+        out.reserve(_data.size());
+        for (const auto &kv : _data)
+            out.push_back(kv.first);
+        return out;
+    }
+
+    /**
+     * @name Tamper hooks (integrity tests)
+     * These emulate a physical attacker flipping bits in the NVDIMM.
+     * @{
+     */
+    void
+    tamperData(Addr block_addr, unsigned byte, std::uint8_t xor_mask)
+    {
+        _data[blockAlign(block_addr)][byte % BlockSize] ^= xor_mask;
+    }
+
+    void
+    tamperCounter(std::uint64_t page_idx, unsigned minor_idx)
+    {
+        CounterBlock cb = readCounterBlock(page_idx);
+        cb.minors[minor_idx % BlocksPerPage] ^= 1;
+        _counters[page_idx] = cb;
+    }
+
+    void
+    tamperMac(Addr block_addr, std::uint64_t xor_mask)
+    {
+        _macs[blockAlign(block_addr)] ^= xor_mask;
+    }
+
+    /**
+     * Replay attack: roll a block's tuple (ciphertext, counter minor, MAC)
+     * back to a previously captured version.
+     */
+    void
+    replayTuple(Addr block_addr, const BlockData &old_ct,
+                const CounterBlock &old_cb, MacValue old_mac,
+                std::uint64_t page_idx)
+    {
+        writeData(block_addr, old_ct);
+        writeCounterBlock(page_idx, old_cb);
+        writeMac(block_addr, old_mac);
+    }
+    /** @} */
+
+  private:
+    std::unordered_map<Addr, BlockData> _data;
+    std::unordered_map<std::uint64_t, CounterBlock> _counters;
+    std::unordered_map<Addr, MacValue> _macs;
+};
+
+} // namespace secpb
+
+#endif // SECPB_MEM_PM_IMAGE_HH

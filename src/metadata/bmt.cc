@@ -1,0 +1,118 @@
+#include "metadata/bmt.hh"
+
+#include "crypto/counters.hh"
+
+namespace secpb
+{
+
+BonsaiMerkleTree::BonsaiMerkleTree(std::uint64_t num_leaves,
+                                   std::uint64_t seed)
+    : _numLeaves(num_leaves), _seed(seed)
+{
+    fatal_if(num_leaves == 0, "BMT needs at least one leaf");
+
+    // Count node levels until a single node covers everything.
+    _numLevels = 0;
+    std::uint64_t width = num_leaves;
+    do {
+        width = (width + 7) / 8;
+        ++_numLevels;
+    } while (width > 1);
+
+    // Default digests, bottom-up. _defaultDigest[0] is the digest of an
+    // untouched (all-zero) counter block; _defaultDigest[l] for l >= 1 is
+    // the digest of a level-(l-1) node whose children are all default.
+    _defaultDigest.resize(_numLevels + 1);
+    _defaultDigest[0] = hashBlock(CounterBlock{}.pack(), _seed);
+    for (unsigned l = 1; l <= _numLevels; ++l) {
+        BmtNode n;
+        n.child.fill(_defaultDigest[l - 1]);
+        _defaultDigest[l] = n.digest(_seed);
+    }
+    _root = _defaultDigest[_numLevels];
+}
+
+Digest
+BonsaiMerkleTree::defaultChildDigest(unsigned level) const
+{
+    return _defaultDigest[level];
+}
+
+BmtNode
+BonsaiMerkleTree::node(unsigned level, std::uint64_t index) const
+{
+    panic_if(level >= _numLevels, "BMT node level %u out of range", level);
+    auto it = _nodes.find(key(level, index));
+    if (it != _nodes.end())
+        return it->second;
+    BmtNode n;
+    n.child.fill(defaultChildDigest(level));
+    return n;
+}
+
+Digest
+BonsaiMerkleTree::updateLeaf(std::uint64_t leaf_idx, Digest leaf_digest)
+{
+    panic_if(leaf_idx >= _numLeaves, "BMT leaf index out of range");
+
+    Digest child_digest = leaf_digest;
+    std::uint64_t child_idx = leaf_idx;
+    for (unsigned level = 0; level < _numLevels; ++level) {
+        const std::uint64_t node_idx = child_idx / 8;
+        const unsigned slot = static_cast<unsigned>(child_idx % 8);
+        auto [it, inserted] = _nodes.try_emplace(key(level, node_idx));
+        if (inserted)
+            it->second.child.fill(defaultChildDigest(level));
+        it->second.child[slot] = child_digest;
+        child_digest = it->second.digest(_seed);
+        child_idx = node_idx;
+    }
+    _root = child_digest;
+    return _root;
+}
+
+bool
+BonsaiMerkleTree::verifyLeaf(std::uint64_t leaf_idx,
+                             Digest leaf_digest) const
+{
+    panic_if(leaf_idx >= _numLeaves, "BMT leaf index out of range");
+
+    Digest child_digest = leaf_digest;
+    std::uint64_t child_idx = leaf_idx;
+    for (unsigned level = 0; level < _numLevels; ++level) {
+        const std::uint64_t node_idx = child_idx / 8;
+        const unsigned slot = static_cast<unsigned>(child_idx % 8);
+        const BmtNode n = node(level, node_idx);
+        if (n.child[slot] != child_digest)
+            return false;
+        child_digest = n.digest(_seed);
+        child_idx = node_idx;
+    }
+    return child_digest == _root;
+}
+
+std::vector<std::uint64_t>
+BonsaiMerkleTree::pathIndices(std::uint64_t leaf_idx) const
+{
+    std::vector<std::uint64_t> path;
+    path.reserve(_numLevels);
+    std::uint64_t idx = leaf_idx;
+    for (unsigned level = 0; level < _numLevels; ++level) {
+        idx /= 8;
+        path.push_back(idx);
+    }
+    return path;
+}
+
+bool
+BonsaiMerkleTree::tamperNode(unsigned level, std::uint64_t index,
+                             const BmtNode &forged)
+{
+    auto it = _nodes.find(key(level, index));
+    if (it == _nodes.end())
+        return false;
+    it->second = forged;
+    return true;
+}
+
+} // namespace secpb

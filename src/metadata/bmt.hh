@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Functional Bonsai Merkle Tree over the split-counter blocks.
+ *
+ * A BMT (Rogers et al., MICRO'07) protects only counters; data freshness
+ * follows transitively because MACs bind data to counters. The tree here is
+ * arity-8: each 64-byte node holds eight 64-bit child digests. Level 0
+ * nodes hold digests of counter blocks (the leaves); the top node's digest
+ * is the root, kept in a battery-backed on-chip register.
+ *
+ * The tree is sparse: untouched subtrees take per-level default digests, so
+ * an 8 GB PM (2M counter blocks) costs memory only proportional to the
+ * touched footprint. Timing of updates (one hash per level, serialized in
+ * the crypto engine) is modelled separately in metadata/walker.hh.
+ */
+
+#ifndef SECPB_METADATA_BMT_HH
+#define SECPB_METADATA_BMT_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hash.hh"
+#include "metadata/layout.hh"
+#include "sim/logging.hh"
+
+namespace secpb
+{
+
+/** A BMT node: eight child digests, 64 bytes on the wire. */
+struct BmtNode
+{
+    std::array<Digest, 8> child{};
+
+    /** Serialize to the 64-byte PM representation. */
+    BlockData
+    pack() const
+    {
+        BlockData out;
+        for (unsigned i = 0; i < 8; ++i)
+            setBlockWord(out, i, child[i]);
+        return out;
+    }
+
+    /** Digest of this node's content. */
+    Digest
+    digest(std::uint64_t seed) const
+    {
+        const BlockData raw = pack();
+        return hashBlock(raw, seed);
+    }
+
+    bool operator==(const BmtNode &) const = default;
+};
+
+/**
+ * Sparse arity-8 Merkle tree over counter blocks.
+ */
+class BonsaiMerkleTree
+{
+  public:
+    /**
+     * @param num_leaves number of counter blocks covered.
+     * @param seed hash domain-separation seed (part of the key material).
+     */
+    explicit BonsaiMerkleTree(std::uint64_t num_leaves,
+                              std::uint64_t seed = 0xb0a5a1b0a5a1ULL);
+
+    /** Number of node levels between leaves and root. */
+    unsigned numLevels() const { return _numLevels; }
+
+    /**
+     * Total hash operations on a leaf-to-root update: one leaf-block hash
+     * plus one per node level. For the default 8 GB PM this is 8, matching
+     * "BMT: 8 levels" in Table I.
+     */
+    unsigned updateHashCount() const { return _numLevels + 1; }
+
+    std::uint64_t numLeaves() const { return _numLeaves; }
+
+    /** Current root digest. */
+    Digest root() const { return _root; }
+
+    /** Digest of a counter block under this tree's seed. */
+    Digest
+    leafDigest(const CounterBlock &cb) const
+    {
+        return hashBlock(cb.pack(), _seed);
+    }
+
+    /**
+     * Install a new leaf (counter block) digest and propagate to the root.
+     * @return the new root digest.
+     */
+    Digest updateLeaf(std::uint64_t leaf_idx, Digest leaf_digest);
+
+    /**
+     * Verify a leaf digest against the stored tree and the root register.
+     * Walks leaf -> root checking, at each step, that the recomputed child
+     * digest equals the slot stored in the parent node. Detects tampering
+     * of counter blocks *and* of interior tree nodes.
+     */
+    bool verifyLeaf(std::uint64_t leaf_idx, Digest leaf_digest) const;
+
+    /**
+     * Node indices along the path of @p leaf_idx, level 0 first. Used by
+     * the timing walker to derive node PM addresses for cache modelling.
+     */
+    std::vector<std::uint64_t> pathIndices(std::uint64_t leaf_idx) const;
+
+    /** Read node (@p level, @p index), materializing defaults. */
+    BmtNode node(unsigned level, std::uint64_t index) const;
+
+    /**
+     * Overwrite a stored node -- test hook for tamper-injection. Returns
+     * false if the node was never touched (still default).
+     */
+    bool tamperNode(unsigned level, std::uint64_t index,
+                    const BmtNode &forged);
+
+    /** Overwrite the root register -- test hook for rollback attacks. */
+    void setRoot(Digest d) { _root = d; }
+
+    /** Default digest of an untouched leaf (all-zero counter block). */
+    Digest defaultLeafDigest() const { return _defaultDigest[0]; }
+
+    /** Total number of explicitly stored (touched) nodes. */
+    std::size_t touchedNodes() const { return _nodes.size(); }
+
+  private:
+    static std::uint64_t
+    key(unsigned level, std::uint64_t index)
+    {
+        return (static_cast<std::uint64_t>(level) << 56) | index;
+    }
+
+    /** Child digest feeding level @p level: leaf digest or node digest. */
+    Digest defaultChildDigest(unsigned level) const;
+
+    std::uint64_t _numLeaves;
+    unsigned _numLevels;
+    std::uint64_t _seed;
+    Digest _root;
+
+    /** Per-level digest of an untouched child: [0] leaf, [l] node l-1. */
+    std::vector<Digest> _defaultDigest;
+
+    std::unordered_map<std::uint64_t, BmtNode> _nodes;
+};
+
+} // namespace secpb
+
+#endif // SECPB_METADATA_BMT_HH

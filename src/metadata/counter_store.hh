@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Authoritative functional state of the split counters.
+ *
+ * This is the merged view of counters held anywhere on-chip (counter cache,
+ * SecPB entries) plus PM: the value an increment operates on. Persistence
+ * of a counter block into the PM image happens separately, when the block
+ * is drained through the WPQ (or by battery after a crash).
+ */
+
+#ifndef SECPB_METADATA_COUNTER_STORE_HH
+#define SECPB_METADATA_COUNTER_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/counters.hh"
+#include "metadata/layout.hh"
+
+namespace secpb
+{
+
+/** Result of a counter increment. */
+struct CounterIncrement
+{
+    BlockCounter counter;    ///< The fresh (post-increment) counter.
+    bool overflowed;         ///< Minor overflow: page re-encryption needed.
+    CounterBlock oldBlock;   ///< Pre-increment block (for re-encryption).
+};
+
+/** Functional working copy of every touched counter block. */
+class CounterStore
+{
+  public:
+    explicit CounterStore(const MetadataLayout &layout) : _layout(layout) {}
+
+    /** Current counter block for page @p page_idx. */
+    const CounterBlock &
+    block(std::uint64_t page_idx) const
+    {
+        static const CounterBlock zero{};
+        auto it = _blocks.find(page_idx);
+        return it != _blocks.end() ? it->second : zero;
+    }
+
+    /** Current (major, minor) counter for the block at @p data_addr. */
+    BlockCounter
+    counterFor(Addr data_addr) const
+    {
+        return block(_layout.pageIndex(data_addr))
+            .counterFor(_layout.blockInPage(data_addr));
+    }
+
+    /**
+     * Increment the minor counter for @p data_addr.
+     * On minor overflow the block's major is bumped and all minors reset;
+     * the caller must re-encrypt the page using the returned old block.
+     */
+    CounterIncrement
+    increment(Addr data_addr)
+    {
+        const std::uint64_t page = _layout.pageIndex(data_addr);
+        CounterBlock &cb = _blocks[page];
+        CounterIncrement result;
+        result.oldBlock = cb;
+        result.overflowed = cb.increment(_layout.blockInPage(data_addr));
+        result.counter = cb.counterFor(_layout.blockInPage(data_addr));
+        return result;
+    }
+
+    /** Number of touched counter blocks. */
+    std::size_t numTouched() const { return _blocks.size(); }
+
+  private:
+    const MetadataLayout &_layout;
+    std::unordered_map<std::uint64_t, CounterBlock> _blocks;
+};
+
+} // namespace secpb
+
+#endif // SECPB_METADATA_COUNTER_STORE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Physical-address map of the secure PM: where data, counters, MACs, and
+ * BMT nodes live. Metadata regions sit above the data region; the layout
+ * gives every metadata object a real address so the metadata caches can be
+ * modelled as ordinary set-associative caches and PCM bank contention is
+ * address-accurate.
+ */
+
+#ifndef SECPB_METADATA_LAYOUT_HH
+#define SECPB_METADATA_LAYOUT_HH
+
+#include <cstdint>
+
+#include "crypto/counters.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/**
+ * Secure-PM address map.
+ *
+ * Layout (byte addresses):
+ *   [0, dataSize)                      protected data
+ *   [ctrBase, ctrBase + numPages*64)   split-counter blocks, 1 per 4KB page
+ *   [macBase, macBase + numBlocks*8)   64-bit MACs, 8 per 64B block
+ *   [bmtBase, ...)                     BMT nodes, 64B each, level-major
+ */
+class MetadataLayout
+{
+  public:
+    explicit MetadataLayout(std::uint64_t data_size = 8ULL << 30)
+        : _dataSize(data_size),
+          _numPages(data_size / PageSize),
+          _numBlocks(data_size / BlockSize),
+          _ctrBase(data_size),
+          _macBase(_ctrBase + _numPages * BlockSize),
+          _bmtBase(_macBase + _numBlocks * 8)
+    {
+        fatal_if(data_size % PageSize != 0,
+                 "PM data size must be page aligned");
+    }
+
+    std::uint64_t dataSize() const { return _dataSize; }
+    std::uint64_t numPages() const { return _numPages; }
+    std::uint64_t numBlocks() const { return _numBlocks; }
+
+    /** True if @p addr falls inside the protected data region. */
+    bool isData(Addr addr) const { return addr < _dataSize; }
+
+    /** Page index of a data address. */
+    std::uint64_t
+    pageIndex(Addr data_addr) const
+    {
+        return data_addr / PageSize;
+    }
+
+    /** Index of the block within its page (0..63). */
+    unsigned
+    blockInPage(Addr data_addr) const
+    {
+        return static_cast<unsigned>((data_addr % PageSize) / BlockSize);
+    }
+
+    /** PM address of the counter block covering @p data_addr. */
+    Addr
+    counterAddr(Addr data_addr) const
+    {
+        return _ctrBase + pageIndex(data_addr) * BlockSize;
+    }
+
+    /** PM address of the MAC slot for @p data_addr (8 bytes). */
+    Addr
+    macAddr(Addr data_addr) const
+    {
+        return _macBase + blockIndex(data_addr) * 8;
+    }
+
+    /** Block-aligned PM address of the MAC block containing the slot. */
+    Addr
+    macBlockAddr(Addr data_addr) const
+    {
+        return blockAlign(macAddr(data_addr));
+    }
+
+    /**
+     * PM address of BMT node (@p level, @p index). Levels are numbered from
+     * the leaves (level 0 holds leaf digests) upward; the level-major
+     * layout packs each level contiguously.
+     */
+    Addr
+    bmtNodeAddr(unsigned level, std::uint64_t index) const
+    {
+        // Offsets: level 0 starts at 0; each level l has
+        // ceil(numLeaves / 8^(l+1)) nodes.
+        std::uint64_t offset = 0;
+        std::uint64_t nodes = (_numPages + 7) / 8;
+        for (unsigned l = 0; l < level; ++l) {
+            offset += nodes;
+            nodes = (nodes + 7) / 8;
+        }
+        return _bmtBase + (offset + index) * BlockSize;
+    }
+
+    Addr ctrBase() const { return _ctrBase; }
+    Addr macBase() const { return _macBase; }
+    Addr bmtBase() const { return _bmtBase; }
+
+  private:
+    std::uint64_t _dataSize;
+    std::uint64_t _numPages;
+    std::uint64_t _numBlocks;
+    Addr _ctrBase;
+    Addr _macBase;
+    Addr _bmtBase;
+};
+
+} // namespace secpb
+
+#endif // SECPB_METADATA_LAYOUT_HH

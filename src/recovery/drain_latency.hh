@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Post-crash drain-latency model.
+ *
+ * Section III-B: while the battery closes the draining and sec-sync
+ * gaps, the crash observer must be *blocked* (recovery unavailable) or
+ * *warned* (state not yet consistent). How long that window lasts is a
+ * direct function of how much tuple work the scheme deferred -- the other
+ * axis of the early/late trade-off next to battery capacity.
+ *
+ * The model prices the CrashWork accounting that the SecPB reports from
+ * an actual drain: cryptographic work runs on the (pipeline-parallel)
+ * engine, PM traffic runs on the banked PCM, and the window is the
+ * slower of the two plus the serial tail of the last tuple.
+ */
+
+#ifndef SECPB_RECOVERY_DRAIN_LATENCY_HH
+#define SECPB_RECOVERY_DRAIN_LATENCY_HH
+
+#include <algorithm>
+
+#include "crypto/engine.hh"
+#include "mem/pcm.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/** Analytical estimate of the battery-drain (observer-blocked) window. */
+class DrainLatencyModel
+{
+  public:
+    DrainLatencyModel(const CryptoLatencies &lat, const PcmConfig &pcm,
+                      unsigned crypto_parallelism = 4)
+        : _lat(lat), _pcm(pcm), _par(std::max(1u, crypto_parallelism))
+    {}
+
+    /** Cycles from crash detection until the PM image is consistent. */
+    Cycles
+    estimate(const CrashWork &work) const
+    {
+        // Crypto/compute stream: pads, MACs, and BMT node hashes, spread
+        // over the engine's parallel units.
+        const std::uint64_t compute =
+            work.otpsGenerated * _lat.aesPad +
+            work.macsComputed * _lat.macHash +
+            work.bmtLevelsWalked * _lat.bmtHash;
+
+        // PM stream: counter fetches + node fetches (one read per level
+        // walked, worst case) + all block writes, over the banks.
+        const std::uint64_t reads =
+            work.counterFetches + work.bmtLevelsWalked;
+        const std::uint64_t writes =
+            work.pmBlockWrites + work.mdcBlockFlushes;
+        const std::uint64_t pm_traffic =
+            reads * _pcm.readLatency + writes * _pcm.writeLatency;
+
+        const Cycles compute_window =
+            static_cast<Cycles>(compute / _par);
+        const Cycles pm_window = static_cast<Cycles>(
+            pm_traffic / std::max(1u, _pcm.numBanks));
+
+        // Serial tail: the last entry's tuple cannot be parallelized
+        // away -- one counter fetch, one pad, one full BMT walk, one MAC,
+        // one write.
+        const Cycles tail = _pcm.readLatency + _lat.aesPad +
+                            8 * _lat.bmtHash + _lat.macHash +
+                            _pcm.writeLatency;
+
+        return std::max(compute_window, pm_window) + tail;
+    }
+
+    /** The same window in nanoseconds at @p clock. */
+    double
+    estimateNs(const CrashWork &work, const ClockInfo &clock = {}) const
+    {
+        return static_cast<double>(estimate(work)) * 1000.0 /
+               clock.coreFreqMhz;
+    }
+
+  private:
+    CryptoLatencies _lat;
+    PcmConfig _pcm;
+    unsigned _par;
+};
+
+} // namespace secpb
+
+#endif // SECPB_RECOVERY_DRAIN_LATENCY_HH

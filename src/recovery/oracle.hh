@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The crash-recovery observer's reference state.
+ *
+ * A store reaches its point of persistency (PoP) the moment it is accepted
+ * by the persist buffer (paper Section III). The oracle applies every
+ * accepted store, in acceptance order, to a plaintext shadow of the
+ * persistent address space. After a crash plus battery-powered drain,
+ * recovery must reproduce exactly this state -- the oracle is what the
+ * crash-recovery tests compare decrypted PM content against.
+ */
+
+#ifndef SECPB_RECOVERY_ORACLE_HH
+#define SECPB_RECOVERY_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/block_data.hh"
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/** Plaintext shadow of all persisted stores, in persist order. */
+class PersistOracle
+{
+  public:
+    /** Apply an accepted 64-bit store to the shadow state. */
+    void
+    applyStore(Addr addr, std::uint64_t value)
+    {
+        BlockData &b = _blocks[blockAlign(addr)];
+        setBlockWord(b, blockOffset(addr) / 8, value);
+        ++_numPersists;
+    }
+
+    /** Last-persisted plaintext of the block containing @p addr. */
+    BlockData
+    blockContent(Addr addr) const
+    {
+        auto it = _blocks.find(blockAlign(addr));
+        return it != _blocks.end() ? it->second : zeroBlock();
+    }
+
+    /** True if any store to this block has persisted. */
+    bool
+    touched(Addr addr) const
+    {
+        return _blocks.count(blockAlign(addr)) != 0;
+    }
+
+    /** All block addresses ever persisted to. */
+    std::vector<Addr>
+    touchedBlocks() const
+    {
+        std::vector<Addr> out;
+        out.reserve(_blocks.size());
+        for (const auto &kv : _blocks)
+            out.push_back(kv.first);
+        return out;
+    }
+
+    std::uint64_t numPersists() const { return _numPersists; }
+    std::size_t numBlocks() const { return _blocks.size(); }
+
+  private:
+    std::unordered_map<Addr, BlockData> _blocks;
+    std::uint64_t _numPersists = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_RECOVERY_ORACLE_HH

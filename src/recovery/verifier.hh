@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Post-crash recovery and integrity verification.
+ *
+ * After a crash plus battery drain, the recovery observer walks the PM
+ * image: for every block the workload ever persisted to, it fetches the
+ * tuple (ciphertext, counter, MAC), verifies the MAC, verifies the counter
+ * block against the BMT and its root register, decrypts, and -- in tests --
+ * compares the plaintext against the persist oracle. This checks both PLP
+ * invariants end to end:
+ *
+ *  - tuple atomicity: a mismatch in any component shows up as a MAC or
+ *    BMT failure or a plaintext mismatch;
+ *  - persist order: the oracle applies stores in acceptance order, so a
+ *    recovered state missing an older store but containing a newer one
+ *    diverges from the oracle.
+ */
+
+#ifndef SECPB_RECOVERY_VERIFIER_HH
+#define SECPB_RECOVERY_VERIFIER_HH
+
+#include <cstdint>
+
+#include "crypto/cipher.hh"
+#include "mem/pm_image.hh"
+#include "metadata/bmt.hh"
+#include "metadata/layout.hh"
+#include "recovery/oracle.hh"
+
+namespace secpb
+{
+
+/** Result of a recovery pass. */
+struct RecoveryReport
+{
+    std::uint64_t blocksChecked = 0;
+    std::uint64_t macFailures = 0;
+    std::uint64_t bmtFailures = 0;
+    std::uint64_t plaintextMismatches = 0;
+
+    bool
+    ok() const
+    {
+        return macFailures == 0 && bmtFailures == 0 &&
+               plaintextMismatches == 0;
+    }
+};
+
+/** The recovery observer. */
+class RecoveryVerifier
+{
+  public:
+    RecoveryVerifier(const MetadataLayout &layout, const SecurityKeys &keys)
+        : _layout(layout), _keys(keys)
+    {}
+
+    /**
+     * Verify and decrypt one block from the PM image.
+     * @param expected if non-null, the plaintext the block must decrypt to.
+     */
+    void
+    verifyBlock(const PmImage &pm, const BonsaiMerkleTree &tree,
+                Addr block_addr, const BlockData *expected,
+                RecoveryReport &report) const
+    {
+        ++report.blocksChecked;
+        const std::uint64_t page = _layout.pageIndex(block_addr);
+        const CounterBlock cb = pm.readCounterBlock(page);
+        const BlockCounter ctr =
+            cb.counterFor(_layout.blockInPage(block_addr));
+        const BlockData ct = pm.readData(block_addr);
+
+        // Integrity of the counter: leaf digest must chain to the root.
+        if (!tree.verifyLeaf(page, tree.leafDigest(cb)))
+            ++report.bmtFailures;
+
+        // Integrity of the data: stored MAC must match (ct, addr, ctr).
+        const MacValue mac = computeMac(_keys, block_addr, ct, ctr);
+        if (mac != pm.readMac(block_addr))
+            ++report.macFailures;
+
+        if (expected) {
+            const BlockData pad = generatePad(_keys, block_addr, ctr);
+            if (decryptBlock(ct, pad) != *expected)
+                ++report.plaintextMismatches;
+        }
+    }
+
+    /**
+     * Full recovery scan: verify every block the oracle saw persisted and
+     * compare the decrypted plaintext against the oracle state.
+     */
+    RecoveryReport
+    verifyAll(const PmImage &pm, const BonsaiMerkleTree &tree,
+              const PersistOracle &oracle) const
+    {
+        RecoveryReport report;
+        for (Addr addr : oracle.touchedBlocks()) {
+            const BlockData expected = oracle.blockContent(addr);
+            verifyBlock(pm, tree, addr, &expected, report);
+        }
+        return report;
+    }
+
+    /** Integrity-only scan (no plaintext oracle), as a real system would. */
+    RecoveryReport
+    verifyIntegrity(const PmImage &pm, const BonsaiMerkleTree &tree) const
+    {
+        RecoveryReport report;
+        for (Addr addr : pm.dataBlockAddrs())
+            verifyBlock(pm, tree, addr, nullptr, report);
+        return report;
+    }
+
+  private:
+    const MetadataLayout &_layout;
+    SecurityKeys _keys;
+};
+
+} // namespace secpb
+
+#endif // SECPB_RECOVERY_VERIFIER_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Multi-core SecPB coherence (paper Section IV-C) -- functional model.
+ *
+ * With one SecPB per core, two kinds of state must never be replicated:
+ *
+ *  - security metadata: normally memory-side (no replication possible),
+ *    but eager schemes keep counters/MACs inside SecPB entries. A
+ *    directory in the MC tracks which core's SecPB may hold metadata for
+ *    a block; a miss in another core *migrates* the entry rather than
+ *    copying it.
+ *  - data blocks: a remote read sends the datum from the owner and
+ *    triggers a flush of the owner's SecPB entry to PM (read case); a
+ *    remote write migrates the SecPB entry to the writer (write case).
+ *    Migration moves the data-value-independent metadata with the entry,
+ *    so the receiving core does not redo counter/OTP/BMT work.
+ *
+ * The paper describes but does not evaluate this protocol (the timing
+ * study is single-core, Table I); accordingly this is a functional unit
+ * with its own invariant checks and tests: at most one SecPB holds a
+ * block, the directory always matches reality, and flush-on-remote-read
+ * persists the latest value.
+ */
+
+#ifndef SECPB_SECPB_COHERENCE_HH
+#define SECPB_SECPB_COHERENCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace secpb
+{
+
+/** Core identifier. */
+using CoreId = unsigned;
+
+/** Sentinel: no SecPB holds the block. */
+constexpr CoreId NoOwner = ~0u;
+
+/**
+ * A minimal per-core SecPB occupancy view used by the directory. The
+ * full SecPb class models the single-core timing path; this companion
+ * tracks which (core, block) pairs exist across cores and enforces the
+ * no-replication invariant.
+ */
+class SecPbDirectory
+{
+  public:
+    SecPbDirectory(unsigned num_cores, StatGroup &parent)
+        : _numCores(num_cores),
+          _stats("secpb_directory", &parent),
+          statMigrations(_stats, "migrations",
+                         "entries migrated between SecPBs"),
+          statRemoteReadFlushes(_stats, "remote_read_flushes",
+                                "entries flushed by remote reads"),
+          statLocalHits(_stats, "local_hits",
+                        "accesses that hit the local SecPB")
+    {
+        fatal_if(num_cores == 0, "directory needs >= 1 core");
+    }
+
+    unsigned numCores() const { return _numCores; }
+
+    /** Which core's SecPB holds @p addr (NoOwner if none). */
+    CoreId
+    owner(Addr addr) const
+    {
+        auto it = _owner.find(blockAlign(addr));
+        return it != _owner.end() ? it->second : NoOwner;
+    }
+
+    /**
+     * Core @p core writes @p addr.
+     *
+     * @return the action the hardware performs:
+     *   - LocalHit: entry already in this core's SecPB;
+     *   - Allocate: no SecPB holds it; allocate locally;
+     *   - Migrate: another SecPB holds it; the entry (with its
+     *     value-independent metadata) moves here.
+     */
+    enum class WriteAction
+    {
+        LocalHit,
+        Allocate,
+        Migrate,
+    };
+
+    WriteAction
+    write(CoreId core, Addr addr)
+    {
+        checkCore(core);
+        const Addr block = blockAlign(addr);
+        const CoreId cur = owner(block);
+        if (cur == core) {
+            ++statLocalHits;
+            return WriteAction::LocalHit;
+        }
+        if (cur == NoOwner) {
+            _owner[block] = core;
+            return WriteAction::Allocate;
+        }
+        // Remote write: migrate the entry; the directory is updated so
+        // the block is never replicated across SecPBs.
+        _owner[block] = core;
+        ++statMigrations;
+        return WriteAction::Migrate;
+    }
+
+    /**
+     * Core @p core reads @p addr.
+     *
+     * A remote read forces the owner to flush the entry to PM (and the
+     * datum is forwarded); the block then leaves every SecPB -- it is in
+     * shared state in the caches.
+     *
+     * @return true if a remote SecPB flush was triggered.
+     */
+    bool
+    read(CoreId core, Addr addr)
+    {
+        checkCore(core);
+        const Addr block = blockAlign(addr);
+        const CoreId cur = owner(block);
+        if (cur == NoOwner || cur == core) {
+            if (cur == core)
+                ++statLocalHits;
+            return false;
+        }
+        _owner.erase(block);
+        ++statRemoteReadFlushes;
+        return true;
+    }
+
+    /** The owner's entry drained (watermark/crash): block leaves SecPBs. */
+    void
+    drained(CoreId core, Addr addr)
+    {
+        const Addr block = blockAlign(addr);
+        auto it = _owner.find(block);
+        panic_if(it == _owner.end() || it->second != core,
+                 "drain from a core that does not own the block");
+        _owner.erase(it);
+    }
+
+    /** Blocks currently owned by @p core. */
+    std::vector<Addr>
+    blocksOwnedBy(CoreId core) const
+    {
+        std::vector<Addr> out;
+        for (const auto &kv : _owner)
+            if (kv.second == core)
+                out.push_back(kv.first);
+        return out;
+    }
+
+    /** Invariant: every block has at most one owner (holds by
+     *  construction; exposed for property tests over random traces). */
+    bool
+    invariantSingleOwner() const
+    {
+        for (const auto &kv : _owner)
+            if (kv.second >= _numCores)
+                return false;
+        return true;
+    }
+
+    std::size_t numTracked() const { return _owner.size(); }
+
+  private:
+    void
+    checkCore(CoreId core) const
+    {
+        panic_if(core >= _numCores, "core id %u out of range", core);
+    }
+
+    unsigned _numCores;
+    std::unordered_map<Addr, CoreId> _owner;
+    StatGroup _stats;
+
+  public:
+    Scalar statMigrations;
+    Scalar statRemoteReadFlushes;
+    Scalar statLocalHits;
+};
+
+} // namespace secpb
+
+#endif // SECPB_SECPB_COHERENCE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The SecPB secure-persistency scheme spectrum (paper Section IV, Table II).
+ *
+ * Each scheme decides which components of the memory tuple
+ * (counter, OTP, BMT root, ciphertext, MAC) are produced *early* -- on the
+ * critical path of a store entering the SecPB -- versus *late* -- when the
+ * entry drains, or post-crash on battery power. Scheme names list the
+ * components deferred to late time: e.g. BCM defers Bmt root, Ciphertext,
+ * and Mac; COBCM defers everything (Counter, Otp, Bmt, Ciphertext, Mac).
+ */
+
+#ifndef SECPB_SECPB_SCHEME_HH
+#define SECPB_SECPB_SCHEME_HH
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace secpb
+{
+
+/** Evaluated persistency schemes (paper Table II). */
+enum class Scheme
+{
+    Bbb,    ///< Insecure battery-backed buffer baseline (HPCA'21).
+    Sp,     ///< Strict persistency with SPoP at the MC (PLP, MICRO'20).
+    SecWt,  ///< Write-through security: full tuple per store, no
+            ///< once-per-dirty-block coalescing (Fig. 8 normalization).
+    NoGap,  ///< Eagerly update all metadata.
+    M,      ///< Defer MAC.
+    Cm,     ///< Defer ciphertext, MAC.
+    Bcm,    ///< Defer BMT root, ciphertext, MAC.
+    Obcm,   ///< Defer OTP, BMT root, ciphertext, MAC.
+    Cobcm,  ///< Defer everything; only the data write is early.
+};
+
+/** Which tuple components a scheme produces early. */
+struct SchemeTraits
+{
+    bool secure;          ///< Any security metadata at all.
+    bool earlyCounter;    ///< Counter fetched+incremented at store persist.
+    bool earlyOtp;        ///< One-time pad generated at store persist.
+    bool earlyBmt;        ///< BMT root updated at store persist.
+    bool earlyCiphertext; ///< Ciphertext regenerated per store.
+    bool earlyMac;        ///< MAC regenerated per store.
+    /**
+     * Apply the Section IV-A optimization: data-value-independent metadata
+     * (counter, OTP, BMT root) is produced once per dirty block rather than
+     * once per store. On for every scheme except the write-through
+     * strawman.
+     */
+    bool coalesceValueIndependent;
+};
+
+/** Traits lookup for @p s. */
+constexpr SchemeTraits
+schemeTraits(Scheme s)
+{
+    switch (s) {
+      case Scheme::Bbb:
+        return {false, false, false, false, false, false, true};
+      case Scheme::Sp:
+        return {true, true, true, true, true, true, false};
+      case Scheme::SecWt:
+        return {true, true, true, true, true, true, false};
+      case Scheme::NoGap:
+        return {true, true, true, true, true, true, true};
+      case Scheme::M:
+        return {true, true, true, true, true, false, true};
+      case Scheme::Cm:
+        return {true, true, true, true, false, false, true};
+      case Scheme::Bcm:
+        return {true, true, true, false, false, false, true};
+      case Scheme::Obcm:
+        return {true, true, false, false, false, false, true};
+      case Scheme::Cobcm:
+        return {true, false, false, false, false, false, true};
+    }
+    return {false, false, false, false, false, false, true};
+}
+
+/** Human-readable scheme name (matches the paper's). */
+inline const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Bbb:   return "bbb";
+      case Scheme::Sp:    return "sp";
+      case Scheme::SecWt: return "sec_wt";
+      case Scheme::NoGap: return "NoGap";
+      case Scheme::M:     return "M";
+      case Scheme::Cm:    return "CM";
+      case Scheme::Bcm:   return "BCM";
+      case Scheme::Obcm:  return "OBCM";
+      case Scheme::Cobcm: return "COBCM";
+    }
+    return "?";
+}
+
+/** Parse a scheme name (case-sensitive, as printed by schemeName). */
+inline Scheme
+parseScheme(const std::string &name)
+{
+    for (Scheme s : {Scheme::Bbb, Scheme::Sp, Scheme::SecWt, Scheme::NoGap,
+                     Scheme::M, Scheme::Cm, Scheme::Bcm, Scheme::Obcm,
+                     Scheme::Cobcm}) {
+        if (name == schemeName(s))
+            return s;
+    }
+    fatal("unknown scheme name '%s'", name.c_str());
+}
+
+/** All six SecPB schemes, laziest first (for sweeps). */
+constexpr Scheme SecPbSchemes[] = {
+    Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
+    Scheme::Cm, Scheme::M, Scheme::NoGap,
+};
+
+} // namespace secpb
+
+#endif // SECPB_SECPB_SCHEME_HH

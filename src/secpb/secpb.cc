@@ -1,0 +1,1030 @@
+#include "secpb/secpb.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/debug.hh"
+
+namespace secpb
+{
+
+SecPb::SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
+             const MetadataLayout &layout, const SecurityKeys &keys,
+             CounterStore &counters, PersistOracle &oracle, PmImage &pm,
+             CryptoEngine &crypto, BmtWalker &walker,
+             MetadataCache &ctr_cache, MetadataCache &mac_cache,
+             WritePendingQueue &wpq, StatGroup &parent)
+    : _eq(eq), _scheme(scheme), _traits(schemeTraits(scheme)), _cfg(cfg),
+      _layout(layout), _keys(keys), _counters(counters), _oracle(oracle),
+      _pm(pm), _crypto(crypto), _walker(walker), _ctrCache(ctr_cache),
+      _macCache(mac_cache), _wpq(wpq),
+      _entries(cfg.numEntries),
+      _highWm(std::max<unsigned>(
+          1, static_cast<unsigned>(cfg.numEntries * cfg.highWatermark))),
+      _lowWm(static_cast<unsigned>(cfg.numEntries * cfg.lowWatermark)),
+      _stats("secpb", &parent),
+      statPersists(_stats, "persists", "stores accepted by the SecPB"),
+      statAllocs(_stats, "allocs", "new SecPB entry allocations"),
+      statCoalescedHits(_stats, "coalesced_hits",
+                        "stores coalesced into resident entries"),
+      statFullRejects(_stats, "full_rejects",
+                      "accepts rejected because the buffer was full"),
+      statDrainedEntries(_stats, "drained_entries",
+                         "entries drained during execution"),
+      statPageReencrypts(_stats, "page_reencrypts",
+                         "page re-encryptions from minor-counter overflow"),
+      statNwpe(_stats, "nwpe", "writes per entry residency (NWPE)"),
+      statUnblockLatency(_stats, "unblock_latency",
+                         "store accept to unblock signal (cycles)"),
+      statOccupancy(_stats, "occupancy", "occupancy sampled at accepts")
+{
+    fatal_if(cfg.numEntries == 0, "SecPB needs at least one entry");
+    fatal_if(cfg.lowWatermark >= cfg.highWatermark,
+             "SecPB low watermark must be below the high watermark");
+    _freeList.reserve(cfg.numEntries);
+    for (unsigned i = 0; i < cfg.numEntries; ++i)
+        _freeList.push_back(cfg.numEntries - 1 - i);
+    _dbg = debug::enabled("SecPb");
+}
+
+PbEntry *
+SecPb::find(Addr addr)
+{
+    auto it = _index.find(blockAlign(addr));
+    return it != _index.end() ? &_entries[it->second] : nullptr;
+}
+
+PbEntry *
+SecPb::allocate(Addr addr)
+{
+    if (_freeList.empty())
+        return nullptr;
+    const std::uint64_t idx = _freeList.back();
+    _freeList.pop_back();
+    PbEntry &e = _entries[idx];
+    e.clear();
+    e.valid = true;
+    e.addr = blockAlign(addr);
+    e.allocSeq = ++_allocSeq;
+    _index.emplace(e.addr, idx);
+    return &e;
+}
+
+void
+SecPb::opStarted(PbEntry *e, bool gates_unblock)
+{
+    if (gates_unblock)
+        ++_accept.pending;
+    if (e)
+        ++e->pendingEarlyOps;
+}
+
+void
+SecPb::opFinished(PbEntry *e, bool gates_unblock)
+{
+    if (e) {
+        panic_if(e->pendingEarlyOps == 0, "early-op underflow");
+        --e->pendingEarlyOps;
+    }
+    if (!gates_unblock) {
+        maybeStartDrain();
+        return;
+    }
+    panic_if(_accept.pending == 0, "accept-op underflow");
+    if (--_accept.pending == 0) {
+        statUnblockLatency.sample(
+            static_cast<double>(_eq.curTick() - _accept.start));
+        EventCallback cb = std::move(_accept.cb);
+        _accept.cb = nullptr;
+        if (cb)
+            cb();
+    }
+    maybeStartDrain();
+}
+
+void
+SecPb::refreshCiphertext(PbEntry &e)
+{
+    e.ciphertext = encryptBlock(e.plaintext, e.otp);
+    e.vCt = true;
+}
+
+void
+SecPb::refreshMac(PbEntry &e)
+{
+    e.mac = computeMac(_keys, e.addr, e.ciphertext, e.counter);
+    e.vMac = true;
+}
+
+BlockCounter
+SecPb::incrementCounter(Addr addr)
+{
+    CounterIncrement r = _counters.increment(addr);
+    if (r.overflowed) {
+        ++statPageReencrypts;
+        if (_dbg)
+            DPRINTF("SecPb", "minor overflow -> re-encrypt page %llu",
+                    static_cast<unsigned long long>(
+                        _layout.pageIndex(addr)));
+        reencryptPage(_layout.pageIndex(addr), r.oldBlock);
+    }
+    return r.counter;
+}
+
+void
+SecPb::reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb)
+{
+    const CounterBlock &nb = _counters.block(page_idx);
+    const Addr page_base = page_idx * PageSize;
+
+    for (unsigned b = 0; b < BlocksPerPage; ++b) {
+        const Addr addr = page_base + b * BlockSize;
+        if (PbEntry *e = find(addr)) {
+            // Resident block: retarget its counter snapshot and regenerate
+            // any value-dependent fields it already produced.
+            e->counter = nb.counterFor(b);
+            if (e->vOtp) {
+                e->otp = generatePad(_keys, addr, e->counter);
+                _crypto.generateOtp();
+            }
+            if (e->vCt)
+                refreshCiphertext(*e);
+            if (e->vMac) {
+                refreshMac(*e);
+                _crypto.generateMac();
+            }
+        } else if (_pm.hasData(addr)) {
+            // Persisted, non-resident block: transcrypt in place.
+            const BlockData old_pad =
+                generatePad(_keys, addr, old_cb.counterFor(b));
+            const BlockData pt = decryptBlock(_pm.readData(addr), old_pad);
+            const BlockCounter nc = nb.counterFor(b);
+            const BlockData new_pad = generatePad(_keys, addr, nc);
+            const BlockData ct = encryptBlock(pt, new_pad);
+            _pm.writeData(addr, ct);
+            _pm.writeMac(addr, computeMac(_keys, addr, ct, nc));
+            _crypto.generateOtp();
+            _crypto.generateMac();
+        }
+    }
+
+    // Persist the fresh counter block and fold it into the BMT.
+    _pm.writeCounterBlock(page_idx, nb);
+    _walker.update(page_base, _walker.tree().leafDigest(nb));
+}
+
+bool
+SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
+                      EventCallback unblocked, std::uint32_t asid)
+{
+    if (_scheme == Scheme::Sp)
+        return acceptStoreSp(addr, value, std::move(unblocked));
+
+    PbEntry *e = find(addr);
+    if (e && e->draining) {
+        // The entry is mid-drain; a fresh residency must wait for the
+        // drain to free the slot. Treat as full.
+        ++statFullRejects;
+        return false;
+    }
+
+    // Coherence (Section IV-C(c)): a write to a block resident in a
+    // remote SecPB migrates the entry here, carrying its value-
+    // independent metadata. The directory is updated atomically with
+    // the move, so no replication ever exists.
+    Cycles migration_extra = 0;
+    if (!e && _dir) {
+        const CoreId cur = _dir->owner(blockAlign(addr));
+        if (cur != NoOwner && cur != _coreId) {
+            if (_freeList.empty()) {
+                ++statFullRejects;
+                maybeStartDrain();
+                return false;
+            }
+            std::optional<PbEntry> moved =
+                _peers(cur)->extractForMigration(addr);
+            if (!moved) {
+                // Owner entry busy (draining / early ops); retry soon.
+                ++statFullRejects;
+                _eq.scheduleIn(_cfg.accessLatency,
+                               [this] { wakeSpaceWaiters(); });
+                return false;
+            }
+            _dir->write(_coreId, addr);
+            injectMigrated(*moved);
+            e = find(addr);
+            migration_extra = _migrationLatency;
+        }
+    }
+
+    if (!e && _freeList.empty()) {
+        ++statFullRejects;
+        maybeStartDrain();
+        return false;
+    }
+
+    panic_if(_accept.pending != 0,
+             "store offered while a previous acceptance is in flight");
+    _accept.start = _eq.curTick();
+    _accept.cb = std::move(unblocked);
+
+    ++statPersists;
+    statOccupancy.sample(static_cast<double>(_index.size()));
+
+    const Tick base =
+        _eq.curTick() + _cfg.accessLatency + migration_extra;
+
+    if (e) {
+        ++statCoalescedHits;
+        ++e->numWrites;
+        if (_dbg)
+            DPRINTF("SecPb", "coalesce %#llx (writes=%llu) @%llu",
+                    static_cast<unsigned long long>(e->addr),
+                    static_cast<unsigned long long>(e->numWrites),
+                    static_cast<unsigned long long>(_eq.curTick()));
+        // PoP: the store persists the moment the entry's plaintext is
+        // updated.
+        setBlockWord(e->plaintext, blockOffset(addr) / 8, value);
+        _oracle.applyStore(addr, value);
+        launchHitOps(*e, base, nullptr);
+    } else {
+        e = allocate(addr);
+        ++statAllocs;
+        if (_dir)
+            _dir->write(_coreId, addr);
+        if (_dbg)
+            DPRINTF("SecPb", "alloc %#llx occupancy=%zu @%llu",
+                    static_cast<unsigned long long>(e->addr),
+                    _index.size(),
+                    static_cast<unsigned long long>(_eq.curTick()));
+        e->asid = asid;
+        e->numWrites = 1;
+        e->plaintext = _oracle.blockContent(addr);
+        setBlockWord(e->plaintext, blockOffset(addr) / 8, value);
+        e->vData = true;
+        _oracle.applyStore(addr, value);
+        launchEarlyOps(*e, base, nullptr);
+        maybeStartDrain();
+    }
+    return true;
+}
+
+void
+SecPb::launchEarlyOps(PbEntry &e, Tick base, EventCallback /*unused*/)
+{
+    PbEntry *ep = &e;
+
+    // The buffer write itself (access latency).
+    opStarted(ep);
+    _eq.schedule(base, [this, ep] { opFinished(ep); });
+
+    if (!_traits.secure)
+        return;
+
+    // Counter: fetch from the counter cache (miss -> PCM) and increment.
+    // When nothing downstream is produced early (OBCM), the fetch runs in
+    // the background: the unblock only waits for a second SecPB access
+    // that checks the counter valid bit (paper Section VI-B).
+    Tick t_ctr = base;
+    if (_traits.earlyCounter) {
+        const bool gates = _traits.earlyOtp || _traits.earlyBmt;
+        const Cycles d_ctr =
+            _ctrCache.writeAccess(_layout.counterAddr(e.addr)) +
+            _crypto.latencies().counterInc;
+        e.counter = incrementCounter(e.addr);
+        e.ctrIncremented = true;
+        t_ctr = base + d_ctr;
+        opStarted(ep, gates);
+        _eq.schedule(t_ctr, [this, ep, gates] {
+            ep->vCtr = true;
+            opFinished(ep, gates);
+        });
+        if (!gates) {
+            // The valid-bit check costs one more SecPB access.
+            opStarted(ep);
+            _eq.schedule(base + _cfg.accessLatency,
+                         [this, ep] { opFinished(ep); });
+        }
+    }
+
+    // OTP (depends on the counter), then ciphertext, then MAC.
+    if (_traits.earlyOtp) {
+        opStarted(ep);
+        _eq.schedule(t_ctr, [this, ep] {
+            _crypto.generateOtp([this, ep] {
+                ep->otp = generatePad(_keys, ep->addr, ep->counter);
+                ep->vOtp = true;
+                if (_traits.earlyCiphertext) {
+                    opStarted(ep);
+                    _eq.scheduleIn(_crypto.generateCiphertext(),
+                                   [this, ep] {
+                        refreshCiphertext(*ep);
+                        if (_traits.earlyMac) {
+                            opStarted(ep);
+                            _crypto.generateMac([this, ep] {
+                                refreshMac(*ep);
+                                _macCache.writeAccess(
+                                    _layout.macAddr(ep->addr));
+                                opFinished(ep);
+                            });
+                        }
+                        opFinished(ep);
+                    });
+                }
+                opFinished(ep);
+            });
+        });
+    }
+
+    // BMT root update (depends on the counter; parallel with the OTP).
+    if (_traits.earlyBmt) {
+        opStarted(ep);
+        _eq.schedule(t_ctr, [this, ep] {
+            const std::uint64_t page = _layout.pageIndex(ep->addr);
+            const Digest d =
+                _walker.tree().leafDigest(_counters.block(page));
+            _walker.update(ep->addr, d, [this, ep] {
+                ep->vBmt = true;
+                opFinished(ep);
+            });
+        });
+    }
+}
+
+void
+SecPb::launchHitOps(PbEntry &e, Tick base, EventCallback /*unused*/)
+{
+    PbEntry *ep = &e;
+
+    // The coalescing write itself.
+    opStarted(ep);
+    _eq.schedule(base, [this, ep] { opFinished(ep); });
+
+    if (!_traits.secure)
+        return;
+
+    if (!_traits.coalesceValueIndependent) {
+        // sec_wt strawman: every store redoes the whole tuple.
+        e.vCtr = e.vOtp = e.vBmt = false;
+        e.vCt = e.vMac = false;
+        e.ctrIncremented = false;
+        launchSecWtRegen(e, base);
+        return;
+    }
+
+    // Value-dependent metadata must reflect the new plaintext: invalidate
+    // stale ciphertext/MAC immediately; eager schemes regenerate them now,
+    // lazy schemes leave them for drain time.
+    e.vCt = false;
+    e.vMac = false;
+
+    if (_traits.earlyCiphertext) {
+        opStarted(ep);
+        _eq.schedule(base + _crypto.generateCiphertext(), [this, ep] {
+            refreshCiphertext(*ep);
+            if (_traits.earlyMac) {
+                opStarted(ep);
+                _crypto.generateMac([this, ep] {
+                    refreshMac(*ep);
+                    _macCache.writeAccess(_layout.macAddr(ep->addr));
+                    opFinished(ep);
+                });
+            }
+            opFinished(ep);
+        });
+    }
+}
+
+void
+SecPb::launchSecWtRegen(PbEntry &e, Tick base)
+{
+    // Write-through security: redo counter, OTP, BMT, ciphertext, MAC for
+    // this store, with no coalescing of value-independent work.
+    PbEntry *ep = &e;
+    const Cycles d_ctr =
+        _ctrCache.writeAccess(_layout.counterAddr(e.addr)) +
+        _crypto.latencies().counterInc;
+    e.counter = incrementCounter(e.addr);
+    e.ctrIncremented = true;
+    const Tick t_ctr = base + d_ctr;
+
+    opStarted(ep);
+    _eq.schedule(t_ctr, [this, ep] {
+        ep->vCtr = true;
+        opFinished(ep);
+    });
+
+    opStarted(ep);
+    _eq.schedule(t_ctr, [this, ep] {
+        _crypto.generateOtp([this, ep] {
+            ep->otp = generatePad(_keys, ep->addr, ep->counter);
+            ep->vOtp = true;
+            opStarted(ep);
+            _eq.scheduleIn(_crypto.generateCiphertext(), [this, ep] {
+                refreshCiphertext(*ep);
+                opStarted(ep);
+                _crypto.generateMac([this, ep] {
+                    refreshMac(*ep);
+                    _macCache.writeAccess(_layout.macAddr(ep->addr));
+                    opFinished(ep);
+                });
+                opFinished(ep);
+            });
+            opFinished(ep);
+        });
+    });
+
+    opStarted(ep);
+    _eq.schedule(t_ctr, [this, ep] {
+        const std::uint64_t page = _layout.pageIndex(ep->addr);
+        const Digest d = _walker.tree().leafDigest(_counters.block(page));
+        _walker.update(ep->addr, d, [this, ep] {
+            ep->vBmt = true;
+            opFinished(ep);
+        });
+    });
+}
+
+bool
+SecPb::acceptStoreSp(Addr addr, std::uint64_t value,
+                     EventCallback unblocked)
+{
+    const Addr block_addr = blockAlign(addr);
+
+    panic_if(_accept.pending != 0,
+             "store offered while a previous acceptance is in flight");
+
+    // Coalescing window: a store to a block whose tuple update is still
+    // in flight persists on arrival (the target WPQ slot is already
+    // reserved in the ADR domain); the pending tuple picks up the value.
+    auto pending_it = _spPending.find(block_addr);
+    if (pending_it != _spPending.end()) {
+        _accept.start = _eq.curTick();
+        _accept.cb = std::move(unblocked);
+        ++statPersists;
+        ++statCoalescedHits;
+        _oracle.applyStore(addr, value);
+        opStarted(nullptr);
+        _eq.scheduleIn(_cfg.spCoalesceCycles,
+                       [this] { opFinished(nullptr); });
+        return true;
+    }
+
+    if (_wpq.full()) {
+        ++statFullRejects;
+        return false;
+    }
+
+    _accept.start = _eq.curTick();
+    _accept.cb = std::move(unblocked);
+
+    ++statPersists;
+    ++statAllocs;
+
+    // Traverse the hierarchy to the MC, then fetch and bump the counter.
+    const Cycles d_ctr =
+        _ctrCache.writeAccess(_layout.counterAddr(block_addr)) +
+        _crypto.latencies().counterInc;
+    const BlockCounter ctr = incrementCounter(block_addr);
+    const Tick t_ctr = _eq.curTick() + _cfg.spTraversalCycles + d_ctr;
+
+    _oracle.applyStore(addr, value);
+    _spPending.emplace(block_addr, ctr);
+
+    // Shared finalization state for the parallel chains.
+    struct SpState
+    {
+        unsigned pending = 0;
+        Addr blockAddr;
+        BlockCounter ctr;
+        bool pushedData = false;
+    };
+    auto st = std::make_shared<SpState>();
+    st->blockAddr = block_addr;
+    st->ctr = ctr;
+
+    // Persist the data block through the WPQ (metadata lands dirty in the
+    // MDCs); retried if the WPQ is momentarily full.
+    auto persist_tuple =
+        [this, st](auto &&self) -> void {
+        if (!st->pushedData) {
+            if (!_wpq.push(st->blockAddr)) {
+                _wpq.notifyOnSpace([self] { self(self); });
+                return;
+            }
+            st->pushedData = true;
+            _macCache.writeAccess(_layout.macAddr(st->blockAddr));
+        }
+        // The tuple is generated from the final (coalesced) plaintext.
+        persistSpTuple(st->blockAddr, st->ctr);
+        _spPending.erase(st->blockAddr);
+    };
+
+    auto finish_one = [st, persist_tuple] {
+        if (--st->pending > 0)
+            return;
+        // Full tuple produced: persist through the WPQ. Under strict
+        // persistency the store only completes once the tuple is durable.
+        persist_tuple(persist_tuple);
+    };
+
+    // The store buffer is released once the persist pipeline has
+    // absorbed this store: after the MC traversal and counter access,
+    // when the walker can take the walk, plus the per-level
+    // serialization charge (shared tree levels across updates).
+    opStarted(nullptr);
+    const Tick pipe_free = std::max(t_ctr, _walker.pipeReadyAt());
+    const Tick unblock_at =
+        pipe_free + _walker.effectiveLevels() * _cfg.spPerLevelCycles;
+    _eq.schedule(unblock_at, [this] { opFinished(nullptr); });
+
+    // Chain 1: OTP -> ciphertext -> MAC.
+    st->pending = 2;
+    _eq.schedule(t_ctr, [this, st, finish_one] {
+        _crypto.generateOtp([this, st, finish_one] {
+            _eq.scheduleIn(_crypto.generateCiphertext(),
+                           [this, st, finish_one] {
+                _crypto.generateMac([this, st, finish_one]
+                                    { finish_one(); });
+            });
+        });
+    });
+
+    // Chain 2: BMT leaf-to-root update (pipelined/merged in the walker).
+    _eq.schedule(t_ctr, [this, st, finish_one] {
+        const std::uint64_t page = _layout.pageIndex(st->blockAddr);
+        const Digest d = _walker.tree().leafDigest(_counters.block(page));
+        _walker.update(st->blockAddr, d,
+                       [finish_one] { finish_one(); });
+    });
+
+    return true;
+}
+
+void
+SecPb::persistSpTuple(Addr block_addr, const BlockCounter &ctr)
+{
+    const BlockData pt = _oracle.blockContent(block_addr);
+    const BlockData pad = generatePad(_keys, block_addr, ctr);
+    const BlockData ct = encryptBlock(pt, pad);
+    _crypto.generateCiphertext();
+    const std::uint64_t page = _layout.pageIndex(block_addr);
+    _pm.writeData(block_addr, ct);
+    _pm.writeCounterBlock(page, _counters.block(page));
+    _pm.writeMac(block_addr, computeMac(_keys, block_addr, ct, ctr));
+}
+
+void
+SecPb::notifyOnSpace(EventCallback cb)
+{
+    _spaceWaiters.push_back(std::move(cb));
+}
+
+void
+SecPb::wakeSpaceWaiters()
+{
+    if (_spaceWaiters.empty())
+        return;
+    std::vector<EventCallback> waiters;
+    waiters.swap(_spaceWaiters);
+    for (auto &w : waiters)
+        w();
+}
+
+void
+SecPb::maybeStartDrain()
+{
+    const bool over_wm = _index.size() >= _highWm;
+    if (!over_wm && !_drainAllMode)
+        return;
+    // Start up to drainWidth concurrent drains, but never so many that
+    // completing them would undershoot the low watermark (coalescing
+    // opportunity would be wasted). drainAll mode ignores the floor.
+    while (_drainsActive < _cfg.drainWidth) {
+        const std::size_t would_remain = _index.size() - _drainsActive;
+        if (!_drainAllMode && would_remain <= _lowWm)
+            break;
+        if (_drainAllMode && would_remain == 0)
+            break;
+        const unsigned before = _drainsActive;
+        drainNext();
+        if (_drainsActive == before)
+            break;  // no eligible entry right now
+    }
+}
+
+void
+SecPb::drainNext()
+{
+    // Oldest drainable entry: valid, not already draining, no early ops
+    // still in flight.
+    PbEntry *victim = nullptr;
+    for (auto &kv : _index) {
+        PbEntry &e = _entries[kv.second];
+        if (e.draining || e.pendingEarlyOps != 0)
+            continue;
+        if (!victim || e.allocSeq < victim->allocSeq)
+            victim = &e;
+    }
+    if (!victim)
+        return;
+    ++_drainsActive;
+    victim->draining = true;
+    startDrainOf(*victim);
+}
+
+void
+SecPb::startDrainOf(PbEntry &e)
+{
+    PbEntry *ep = &e;
+    const std::uint64_t idx = _index.at(e.addr);
+
+    if (!_traits.secure) {
+        // Insecure BBB baseline: the "tuple" is just the data block, which
+        // drains as-is (no encryption).
+        e.ciphertext = e.plaintext;
+        e.ctrIncremented = true;
+        e.vCtr = e.vOtp = e.vCt = e.vMac = e.vBmt = true;
+        e.pushedCtr = true;
+        e.pushedMac = true;
+        e.drainPending = 1;
+        _eq.schedule(_eq.curTick(), [this, idx, ep] {
+            if (--ep->drainPending == 0)
+                finalizeDrain(idx);
+        });
+        return;
+    }
+
+    // Complete the missing tuple components at the MC ("late" work).
+    Tick t_ctr = _eq.curTick();
+    if (!e.ctrIncremented) {
+        const Cycles d_ctr =
+            _ctrCache.writeAccess(_layout.counterAddr(e.addr)) +
+            _crypto.latencies().counterInc;
+        e.counter = incrementCounter(e.addr);
+        e.ctrIncremented = true;
+        t_ctr += d_ctr;
+    }
+    e.vCtr = true;
+
+    e.drainPending = 2;
+    auto branch_done = [this, idx, ep] {
+        if (--ep->drainPending == 0)
+            finalizeDrain(idx);
+    };
+
+    // Branch A: OTP -> ciphertext -> MAC (skipping already-valid parts).
+    _eq.schedule(t_ctr, [this, ep, branch_done] {
+        auto after_otp = [this, ep, branch_done] {
+            auto after_ct = [this, ep, branch_done] {
+                if (!ep->vMac) {
+                    _crypto.generateMac([this, ep, branch_done] {
+                        refreshMac(*ep);
+                        _macCache.writeAccess(_layout.macAddr(ep->addr));
+                        branch_done();
+                    });
+                } else {
+                    branch_done();
+                }
+            };
+            if (!ep->vCt) {
+                _eq.scheduleIn(_crypto.generateCiphertext(),
+                               [this, ep, after_ct] {
+                    refreshCiphertext(*ep);
+                    after_ct();
+                });
+            } else {
+                after_ct();
+            }
+        };
+        if (!ep->vOtp) {
+            _crypto.generateOtp([this, ep, after_otp] {
+                ep->otp = generatePad(_keys, ep->addr, ep->counter);
+                ep->vOtp = true;
+                after_otp();
+            });
+        } else {
+            after_otp();
+        }
+    });
+
+    // Branch B: BMT root update, if this residency hasn't done it. The
+    // drain does not wait for the walk to *retire* -- the battery
+    // provisioning includes one in-flight tuple update for exactly that
+    // window -- but it does wait for the pipelined walker to *accept*
+    // the walk, so walker throughput backpressures draining. Merged
+    // same-leaf updates are accepted instantly.
+    _eq.schedule(t_ctr, [this, ep, branch_done] {
+        if (!ep->vBmt) {
+            const std::uint64_t page = _layout.pageIndex(ep->addr);
+            const Digest d =
+                _walker.tree().leafDigest(_counters.block(page));
+            const BmtWalker::UpdateTiming t =
+                _walker.updateTimed(ep->addr, d);
+            ep->vBmt = true;
+            _eq.schedule(std::max(t.issue, _eq.curTick()),
+                         [branch_done] { branch_done(); });
+        } else {
+            branch_done();
+        }
+    });
+}
+
+void
+SecPb::finalizeDrain(std::uint64_t entry_idx)
+{
+    PbEntry &e = _entries[entry_idx];
+    panic_if(!e.valid || !e.draining, "finalizing a non-draining entry");
+
+    // Push the data block through the ADR WPQ. Counter and MAC updates
+    // land in the (volatile) metadata caches, dirty; they reach PM on MDC
+    // eviction or, after a crash, via the battery-powered MDC flush --
+    // exactly the state the paper's battery-sizing assumptions (2) and (4)
+    // describe. Functionally they are applied to the PM image now, since
+    // the crash path always flushes them.
+    if (!e.pushedData) {
+        if (!_wpq.push(e.addr)) {
+            _wpq.notifyOnSpace([this, entry_idx]
+                               { finalizeDrain(entry_idx); });
+            return;
+        }
+        e.pushedData = true;
+        _pm.writeData(e.addr, e.ciphertext);
+        if (_traits.secure) {
+            _ctrCache.writeAccess(_layout.counterAddr(e.addr));
+            _macCache.writeAccess(_layout.macAddr(e.addr));
+            const std::uint64_t page = _layout.pageIndex(e.addr);
+            _pm.writeCounterBlock(page, _counters.block(page));
+            _pm.writeMac(e.addr, e.mac);
+        }
+    }
+
+    releaseEntry(e);
+
+    panic_if(_drainsActive == 0, "drain bookkeeping underflow");
+    --_drainsActive;
+
+    const bool keep_draining =
+        _drainAllMode ? !_index.empty() : _index.size() > _lowWm;
+    if (keep_draining) {
+        maybeStartDrain();
+    } else if (_drainAllMode && _index.empty() && _drainsActive == 0) {
+        _drainAllMode = false;
+        if (_drainAllDone) {
+            EventCallback cb = std::move(_drainAllDone);
+            _drainAllDone = nullptr;
+            cb();
+        }
+    }
+}
+
+void
+SecPb::releaseEntry(PbEntry &e)
+{
+    if (_dbg)
+        DPRINTF("SecPb", "drain %#llx nwpe=%llu @%llu",
+                static_cast<unsigned long long>(e.addr),
+                static_cast<unsigned long long>(e.numWrites),
+                static_cast<unsigned long long>(_eq.curTick()));
+    ++statDrainedEntries;
+    statNwpe.sample(static_cast<double>(e.numWrites));
+    if (_dir && _dir->owner(e.addr) == _coreId)
+        _dir->drained(_coreId, e.addr);
+    const std::uint64_t idx = _index.at(e.addr);
+    _index.erase(e.addr);
+    e.clear();
+    _freeList.push_back(idx);
+    wakeSpaceWaiters();
+}
+
+void
+SecPb::drainAll(EventCallback done)
+{
+    if (_index.empty() && _drainsActive == 0) {
+        if (done)
+            done();
+        return;
+    }
+    _drainAllMode = true;
+    _drainAllDone = std::move(done);
+    maybeStartDrain();
+}
+
+void
+SecPb::completeEntryFunctionally(PbEntry &e, CrashWork &work)
+{
+    ++work.entriesDrained;
+
+    if (!_traits.secure) {
+        // BBB: the battery just moves the plaintext blocks out.
+        _pm.writeData(e.addr, e.plaintext);
+        ++work.pmBlockWrites;
+        return;
+    }
+
+    if (!e.ctrIncremented) {
+        if (!_ctrCache.contains(_layout.counterAddr(e.addr)))
+            ++work.counterFetches;
+        e.counter = incrementCounter(e.addr);
+        e.ctrIncremented = true;
+        ++work.countersIncremented;
+    }
+    if (!e.vOtp) {
+        e.otp = generatePad(_keys, e.addr, e.counter);
+        e.vOtp = true;
+        ++work.otpsGenerated;
+    }
+    if (!e.vCt) {
+        refreshCiphertext(e);
+        ++work.ciphertexts;
+    }
+    if (!e.vMac) {
+        refreshMac(e);
+        ++work.macsComputed;
+    }
+    if (!e.vBmt) {
+        const std::uint64_t page = _layout.pageIndex(e.addr);
+        _walker.tree().updateLeaf(
+            page, _walker.tree().leafDigest(_counters.block(page)));
+        e.vBmt = true;
+        ++work.bmtRootUpdates;
+        work.bmtLevelsWalked += _walker.tree().numLevels();
+    }
+
+    const std::uint64_t page = _layout.pageIndex(e.addr);
+    _pm.writeData(e.addr, e.ciphertext);
+    _pm.writeCounterBlock(page, _counters.block(page));
+    _pm.writeMac(e.addr, e.mac);
+    work.pmBlockWrites += 3;
+}
+
+CrashWork
+SecPb::applicationCrash(std::uint32_t asid, AppCrashPolicy policy)
+{
+    CrashWork work;
+
+    // Collect the victims in persist order. Entries with early ops or a
+    // drain in flight are left to their normal pipelines -- an
+    // application crash does not stop the clock, so in-flight hardware
+    // operations retire normally.
+    std::vector<PbEntry *> victims;
+    for (auto &kv : _index) {
+        PbEntry &e = _entries[kv.second];
+        if (e.draining || e.pendingEarlyOps != 0)
+            continue;
+        if (policy == AppCrashPolicy::DrainProcess && e.asid != asid)
+            continue;
+        victims.push_back(&e);
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const PbEntry *a, const PbEntry *b)
+              { return a->allocSeq < b->allocSeq; });
+
+    for (PbEntry *ep : victims) {
+        completeEntryFunctionally(*ep, work);
+        releaseEntry(*ep);
+    }
+    return work;
+}
+
+CrashWork
+SecPb::crashDrainAll(
+    const std::vector<std::pair<Addr, std::uint64_t>> &absorbed_stores)
+{
+    CrashWork work;
+
+    if (_dbg)
+        DPRINTF("SecPb", "crash drain: %zu resident, %zu sb-absorbed",
+                _index.size(), absorbed_stores.size());
+
+    // Battery-backed store buffer: absorb its stores in program order.
+    // Stores to resident blocks fold into the entry (stale value-
+    // dependent fields are invalidated); others are completed as
+    // one-off tuples after the resident pass.
+    std::vector<Addr> absorbed_blocks;
+    for (const auto &[addr, value] : absorbed_stores) {
+        _oracle.applyStore(addr, value);
+        if (PbEntry *e = find(addr)) {
+            setBlockWord(e->plaintext, blockOffset(addr) / 8, value);
+            e->vCt = false;
+            e->vMac = false;
+        } else {
+            const Addr block = blockAlign(addr);
+            if (std::find(absorbed_blocks.begin(), absorbed_blocks.end(),
+                          block) == absorbed_blocks.end())
+                absorbed_blocks.push_back(block);
+        }
+    }
+
+    // SP: the battery completes every pending tuple update so the
+    // functional BMT/counter state and the PM image stay consistent.
+    for (const auto &kv : _spPending) {
+        persistSpTuple(kv.first, kv.second);
+        const std::uint64_t page = _layout.pageIndex(kv.first);
+        _walker.tree().updateLeaf(
+            page, _walker.tree().leafDigest(_counters.block(page)));
+        ++work.entriesDrained;
+        ++work.otpsGenerated;
+        ++work.macsComputed;
+        ++work.bmtRootUpdates;
+        work.bmtLevelsWalked += _walker.tree().numLevels();
+        work.pmBlockWrites += 3;
+    }
+    _spPending.clear();
+
+    // Persist order: complete entries oldest-first.
+    std::vector<PbEntry *> resident;
+    for (auto &kv : _index)
+        resident.push_back(&_entries[kv.second]);
+    std::sort(resident.begin(), resident.end(),
+              [](const PbEntry *a, const PbEntry *b)
+              { return a->allocSeq < b->allocSeq; });
+
+    for (PbEntry *ep : resident)
+        completeEntryFunctionally(*ep, work);
+
+    // Complete the absorbed stores that had no resident entry.
+    for (Addr block : absorbed_blocks) {
+        PbEntry tmp;
+        tmp.valid = true;
+        tmp.addr = block;
+        tmp.plaintext = _oracle.blockContent(block);
+        tmp.vData = true;
+        completeEntryFunctionally(tmp, work);
+    }
+
+    // Flush dirty metadata-cache blocks: the persistent copies of counters
+    // and MACs for already-drained entries live there (assumptions (2) and
+    // (4) of the battery sizing). Functionally they were applied at drain
+    // time; here we account the flush work.
+    if (_traits.secure) {
+        const auto ctr_dirty = _ctrCache.dirtyBlocks();
+        const auto mac_dirty = _macCache.dirtyBlocks();
+        work.mdcBlockFlushes = ctr_dirty.size() + mac_dirty.size();
+        work.pmBlockWrites += work.mdcBlockFlushes;
+        _ctrCache.flushAll();
+        _macCache.flushAll();
+    }
+
+    // Clear the buffer (the WPQ content was already functionally applied
+    // when pushed -- ADR guarantees it reaches the cell array).
+    for (PbEntry *ep : resident) {
+        if (_dir && _dir->owner(ep->addr) == _coreId)
+            _dir->drained(_coreId, ep->addr);
+        const std::uint64_t idx = _index.at(ep->addr);
+        _index.erase(ep->addr);
+        ep->clear();
+        _freeList.push_back(idx);
+    }
+    _drainsActive = 0;
+
+    return work;
+}
+
+std::optional<PbEntry>
+SecPb::extractForMigration(Addr addr)
+{
+    auto it = _index.find(blockAlign(addr));
+    if (it == _index.end())
+        return std::nullopt;
+    PbEntry &e = _entries[it->second];
+    if (e.draining || e.pendingEarlyOps != 0)
+        return std::nullopt;
+    PbEntry copy = e;
+    const std::uint64_t idx = it->second;
+    _index.erase(it);
+    e.clear();
+    _freeList.push_back(idx);
+    wakeSpaceWaiters();
+    return copy;
+}
+
+void
+SecPb::injectMigrated(const PbEntry &entry)
+{
+    panic_if(_freeList.empty(), "injectMigrated without a free slot");
+    const std::uint64_t idx = _freeList.back();
+    _freeList.pop_back();
+    PbEntry &e = _entries[idx];
+    e = entry;
+    e.allocSeq = ++_allocSeq;
+    e.draining = false;
+    e.pendingEarlyOps = 0;
+    e.drainPending = 0;
+    e.pushedData = false;
+    _index.emplace(e.addr, idx);
+}
+
+bool
+SecPb::flushForRemoteRead(Addr addr)
+{
+    PbEntry *e = find(addr);
+    if (!e || e->draining || e->pendingEarlyOps != 0)
+        return false;
+    e->draining = true;
+    ++_drainsActive;
+    startDrainOf(*e);
+    return true;
+}
+
+} // namespace secpb

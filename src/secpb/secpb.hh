@@ -1,0 +1,352 @@
+/**
+ * @file
+ * The Secure Persist Buffer (SecPB) -- the paper's core contribution.
+ *
+ * SecPB is a small battery-backed buffer next to the L1D that serves as the
+ * point of persistency (PoP) for stores. This class implements:
+ *
+ *  - the BBB-style coalescing buffer with high/low watermark draining;
+ *  - the six secure-persistency schemes of Table II, which split the
+ *    memory-tuple work (counter, OTP, BMT root, ciphertext, MAC) between
+ *    store-persist time ("early") and drain/post-crash time ("late");
+ *  - the Section IV-A optimization: data-value-independent metadata is
+ *    produced once per dirty block, not once per store;
+ *  - the drain engine, which completes the tuple at the MC and pushes the
+ *    data, counter, and MAC blocks through the ADR WPQ;
+ *  - battery-powered crash draining (functional), with an accounting of
+ *    the work actually performed so the energy model's worst case can be
+ *    compared against reality;
+ *  - the SP baseline (PLP-style strict persistency with the SPoP at the
+ *    MC) and the sec_wt write-through strawman used to normalize Fig. 8.
+ *
+ * Functional-eager, timing-lazy: functional effects (counter increments,
+ * pads, tree updates, PM writes) are applied when the operation is
+ * initiated; valid bits and timing events model when the hardware would
+ * have finished, which is what gates the store-buffer unblock signal.
+ */
+
+#ifndef SECPB_SECPB_SECPB_HH
+#define SECPB_SECPB_SECPB_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/cipher.hh"
+#include "crypto/engine.hh"
+#include "mem/pm_image.hh"
+#include "mem/wpq.hh"
+#include "metadata/counter_store.hh"
+#include "metadata/metadata_cache.hh"
+#include "metadata/walker.hh"
+#include "pb/entry.hh"
+#include "recovery/oracle.hh"
+#include "secpb/coherence.hh"
+#include "secpb/scheme.hh"
+#include "stats/stats.hh"
+
+namespace secpb
+{
+
+/** SecPB structural configuration (Table I defaults). */
+struct SecPbConfig
+{
+    unsigned numEntries = 32;
+    Cycles accessLatency = 2;
+    double highWatermark = 0.75;   ///< Drain trigger (fraction full).
+    double lowWatermark = 0.50;    ///< Drain target (fraction full).
+    unsigned drainWidth = 8;       ///< Concurrent drain operations.
+    Cycles spTraversalCycles = 52; ///< SP only: core-to-MC traversal.
+    /**
+     * SP only: per-BMT-level serialization charge per persist. PLP
+     * overlaps tuple updates across stores, but consecutive updates
+     * share tree levels (always the root), so sustained throughput costs
+     * a fraction of a hash per level.
+     */
+    Cycles spPerLevelCycles = 50;
+    /** SP only: cost of a store coalescing into a WPQ-resident block. */
+    Cycles spCoalesceCycles = 8;
+};
+
+/** Work performed by the battery after a crash (per-component counts). */
+struct CrashWork
+{
+    std::uint64_t entriesDrained = 0;
+    std::uint64_t countersIncremented = 0;
+    std::uint64_t counterFetches = 0;   ///< Counter blocks missing on-chip.
+    std::uint64_t otpsGenerated = 0;
+    std::uint64_t bmtRootUpdates = 0;
+    std::uint64_t bmtLevelsWalked = 0;
+    std::uint64_t macsComputed = 0;
+    std::uint64_t ciphertexts = 0;
+    std::uint64_t pmBlockWrites = 0;
+    std::uint64_t mdcBlockFlushes = 0;  ///< Dirty metadata-cache blocks.
+};
+
+/**
+ * The secure persist buffer, its controller FSM, and the drain engine.
+ */
+class SecPb
+{
+  public:
+    SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
+          const MetadataLayout &layout, const SecurityKeys &keys,
+          CounterStore &counters, PersistOracle &oracle, PmImage &pm,
+          CryptoEngine &crypto, BmtWalker &walker,
+          MetadataCache &ctr_cache, MetadataCache &mac_cache,
+          WritePendingQueue &wpq, StatGroup &parent);
+
+    /**
+     * Offer the head store of the store buffer to the SecPB.
+     *
+     * @param addr 8-byte-aligned store address.
+     * @param value the 64-bit store value.
+     * @param unblocked fired when the buffer can accept the next store
+     *        (i.e. when this store's early tuple subset is complete).
+     * @return false if the buffer has no room (or, for SP, the WPQ is
+     *         full); the caller should notifyOnSpace() and retry.
+     */
+    bool tryAcceptStore(Addr addr, std::uint64_t value,
+                        EventCallback unblocked,
+                        std::uint32_t asid = 0);
+
+    /** Register a one-shot callback fired when room frees up. */
+    void notifyOnSpace(EventCallback cb);
+
+    /** Begin draining every entry (clean shutdown); @p done on empty. */
+    void drainAll(EventCallback done);
+
+    /**
+     * Battery-powered crash drain: functionally complete and persist every
+     * resident entry, in persist (allocation) order. Simulated time does
+     * not advance -- the battery works while the clock is dead.
+     * @param absorbed_stores stores still in a battery-backed store
+     *        buffer at crash time (Section IV-C(b)): the battery applies
+     *        them, in program order, before draining.
+     * @return accounting of the work performed.
+     */
+    CrashWork crashDrainAll(
+        const std::vector<std::pair<Addr, std::uint64_t>>
+            &absorbed_stores = {});
+
+    /** Application-crash handling policies (paper Section III-B). */
+    enum class AppCrashPolicy
+    {
+        DrainAll,      ///< Drain every entry (the paper's choice: no
+                       ///< ASID tags, but less coalescing for others).
+        DrainProcess,  ///< Drain only the crashed process's entries
+                       ///< (requires ASID-tagged entries).
+    };
+
+    /**
+     * Handle an application crash for process @p asid under @p policy.
+     * Unlike a system crash, the machine keeps running: drained state is
+     * persisted functionally and the entries are freed. With DrainAll
+     * the ASID is ignored.
+     * @return accounting of the work performed.
+     */
+    CrashWork applicationCrash(std::uint32_t asid, AppCrashPolicy policy);
+
+    std::size_t occupancy() const { return _index.size(); }
+    bool empty() const { return _index.empty(); }
+    Scheme scheme() const { return _scheme; }
+    const SecPbConfig &config() const { return _cfg; }
+
+    /**
+     * @name Multi-core coherence (paper Section IV-C(c))
+     * Each core has its own SecPB; a directory in the MC ensures a block
+     * (and any metadata inside its entry) lives in at most one of them.
+     * A remote write migrates the entry -- carrying its value-independent
+     * metadata so the receiving core does not redo counter/OTP/BMT work;
+     * a remote read forces the owner to flush the entry.
+     * @{
+     */
+
+    /** Resolver from a core id to that core's SecPB. */
+    using PeerLookup = std::function<SecPb *(CoreId)>;
+
+    /** Attach this SecPB to a coherence domain. */
+    void
+    attachCoherence(SecPbDirectory *dir, CoreId core_id,
+                    PeerLookup peers, Cycles migration_latency)
+    {
+        _dir = dir;
+        _coreId = core_id;
+        _peers = std::move(peers);
+        _migrationLatency = migration_latency;
+    }
+
+    CoreId coreId() const { return _coreId; }
+
+    /**
+     * Remove the entry for @p addr so it can migrate to another core.
+     * Fails (nullopt) while the entry is draining or has early ops in
+     * flight -- the requester retries.
+     */
+    std::optional<PbEntry> extractForMigration(Addr addr);
+
+    /**
+     * Install a migrated entry. The caller must have ensured a free
+     * slot. The entry keeps its fields and valid bits; it gets a fresh
+     * local allocation sequence (drain order is per-buffer).
+     */
+    void injectMigrated(const PbEntry &entry);
+
+    /**
+     * A remote core read @p addr: flush the local entry to PM (timed,
+     * through the normal drain machinery) while the datum is forwarded.
+     * @return true if an entry was found and its drain started.
+     */
+    bool flushForRemoteRead(Addr addr);
+    /** @} */
+
+    /** High/low watermark entry counts derived from the config. */
+    unsigned highWatermarkEntries() const { return _highWm; }
+    unsigned lowWatermarkEntries() const { return _lowWm; }
+
+  private:
+    /** Allocate a free entry for @p addr; returns nullptr if full. */
+    PbEntry *allocate(Addr addr);
+
+    /** Entry for @p addr or nullptr. */
+    PbEntry *find(Addr addr);
+
+    /** Launch the early (store-persist-time) tuple ops for a fresh entry. */
+    void launchEarlyOps(PbEntry &e, Tick base, EventCallback unblocked);
+
+    /** Per-store early value-dependent work on a coalescing hit. */
+    void launchHitOps(PbEntry &e, Tick base, EventCallback unblocked);
+
+    /** sec_wt strawman: redo the full tuple for every coalescing store. */
+    void launchSecWtRegen(PbEntry &e, Tick base);
+
+    /** Functionally persist one SP tuple from the oracle plaintext. */
+    void persistSpTuple(Addr block_addr, const BlockCounter &ctr);
+
+    /** SP baseline: full tuple update at the MC, per store. */
+    bool acceptStoreSp(Addr addr, std::uint64_t value,
+                       EventCallback unblocked);
+
+    /** Functionally complete + persist one entry (crash-drain helper). */
+    void completeEntryFunctionally(PbEntry &e, CrashWork &work);
+
+    /** Functional counter increment + page re-encryption on overflow. */
+    BlockCounter incrementCounter(Addr addr);
+
+    /** Re-encrypt a page after a minor-counter overflow. */
+    void reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb);
+
+    /** Refresh an entry's value-dependent fields from its plaintext. */
+    void refreshCiphertext(PbEntry &e);
+    void refreshMac(PbEntry &e);
+
+    /** Kick the drain engine if the high watermark is reached. */
+    void maybeStartDrain();
+
+    /** Drain the oldest drainable entry. */
+    void drainNext();
+
+    /** Complete the tuple for @p e at the MC, then persist it. */
+    void startDrainOf(PbEntry &e);
+
+    /** Push data + counter + MAC blocks of @p e through the WPQ. */
+    void finalizeDrain(std::uint64_t entry_idx);
+
+    /** Free a drained entry and wake space waiters. */
+    void releaseEntry(PbEntry &e);
+
+    /** Fire and clear all registered space waiters. */
+    void wakeSpaceWaiters();
+
+    EventQueue &_eq;
+    Scheme _scheme;
+    SchemeTraits _traits;
+    SecPbConfig _cfg;
+    const MetadataLayout &_layout;
+    SecurityKeys _keys;
+    CounterStore &_counters;
+    PersistOracle &_oracle;
+    PmImage &_pm;
+    CryptoEngine &_crypto;
+    BmtWalker &_walker;
+    MetadataCache &_ctrCache;
+    MetadataCache &_macCache;
+    WritePendingQueue &_wpq;
+
+    std::vector<PbEntry> _entries;
+    std::unordered_map<Addr, std::uint64_t> _index;  ///< addr -> entry idx.
+    std::vector<std::uint64_t> _freeList;
+    std::uint64_t _allocSeq = 0;
+
+    unsigned _highWm;
+    unsigned _lowWm;
+    unsigned _drainsActive = 0;
+    bool _drainAllMode = false;
+    EventCallback _drainAllDone;
+
+    std::vector<EventCallback> _spaceWaiters;
+
+    /** Cached at construction: tracing under the "SecPb" debug flag. */
+    bool _dbg = false;
+
+    /** @name Coherence-domain state (null/defaults when single-core). */
+    /** @{ */
+    SecPbDirectory *_dir = nullptr;
+    CoreId _coreId = 0;
+    PeerLookup _peers;
+    Cycles _migrationLatency = 24;
+    /** @} */
+
+    /**
+     * Tracker for the (single) in-flight store acceptance. The store
+     * buffer issues one store at a time and waits for the unblock signal,
+     * so a single slot suffices.
+     */
+    struct AcceptTracker
+    {
+        unsigned pending = 0;
+        Tick start = 0;
+        EventCallback cb;
+    };
+    AcceptTracker _accept;
+
+    /**
+     * SP baseline: blocks with an in-flight tuple update headed for the
+     * WPQ. Later stores to the same block coalesce into the pending
+     * entry (the WPQ is the persistence domain, so they persist on
+     * arrival); the tuple is generated from the final plaintext when the
+     * update completes. On a crash the battery completes every pending
+     * tuple -- covered by the in-flight provisioning margin.
+     */
+    std::unordered_map<Addr, BlockCounter> _spPending;
+
+    /**
+     * Begin tracking one early op for the in-flight acceptance.
+     * @param gates_unblock false for operations that proceed in the
+     *        background without delaying the store-buffer unblock signal
+     *        (e.g. OBCM's counter fetch, which the paper overlaps -- the
+     *        unblock only waits for the two SecPB accesses).
+     */
+    void opStarted(PbEntry *e, bool gates_unblock = true);
+
+    /** Complete one early op; fires the unblock when all gating ops are
+     *  done. The @p gates_unblock flag must match the opStarted call. */
+    void opFinished(PbEntry *e, bool gates_unblock = true);
+
+    StatGroup _stats;
+
+  public:
+    Scalar statPersists;        ///< Stores accepted (PPTI numerator).
+    Scalar statAllocs;          ///< New entry allocations.
+    Scalar statCoalescedHits;   ///< Stores coalesced into resident entries.
+    Scalar statFullRejects;     ///< Accept attempts rejected (buffer full).
+    Scalar statDrainedEntries;  ///< Entries drained during execution.
+    Scalar statPageReencrypts;  ///< Minor-counter-overflow re-encryptions.
+    Average statNwpe;           ///< Writes per entry residency (NWPE).
+    Average statUnblockLatency; ///< Store-accept to unblock (cycles).
+    Average statOccupancy;      ///< Occupancy sampled at each accept.
+};
+
+} // namespace secpb
+
+#endif // SECPB_SECPB_SECPB_HH

@@ -1,0 +1,84 @@
+#include "sim/debug.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace secpb::debug
+{
+
+namespace
+{
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> set = [] {
+        std::set<std::string> s;
+        if (const char *env = std::getenv("SECPB_DEBUG")) {
+            std::stringstream ss(env);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                if (!item.empty())
+                    s.insert(item);
+        }
+        return s;
+    }();
+    return set;
+}
+
+Sink &
+sink()
+{
+    static Sink s;
+    return s;
+}
+
+} // namespace
+
+bool
+enabled(const std::string &flag)
+{
+    const auto &f = flags();
+    return f.count(flag) != 0 || f.count("All") != 0;
+}
+
+void
+enable(const std::string &flag)
+{
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    flags().erase(flag);
+}
+
+void
+clearAll()
+{
+    flags().clear();
+}
+
+void
+setSink(Sink s)
+{
+    sink() = std::move(s);
+}
+
+void
+emit(const char *flag, const std::string &msg)
+{
+    const std::string line = std::string(flag) + ": " + msg;
+    if (sink())
+        sink()(line);
+    else
+        std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace secpb::debug

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * gem5-style debug tracing.
+ *
+ * Components guard trace points with named flags; users enable them via
+ * the SECPB_DEBUG environment variable (comma-separated list, e.g.
+ * `SECPB_DEBUG=SecPb,Walker`) or programmatically. Output goes to a
+ * settable sink (stderr by default) so tests can capture it.
+ *
+ * Hot components cache the flag lookup at construction; the DPRINTF
+ * macro itself is for cold/diagnostic paths.
+ */
+
+#ifndef SECPB_SIM_DEBUG_HH
+#define SECPB_SIM_DEBUG_HH
+
+#include <functional>
+#include <string>
+
+namespace secpb::debug
+{
+
+/** True if @p flag is enabled (env SECPB_DEBUG or enable()). */
+bool enabled(const std::string &flag);
+
+/** Enable / disable a flag at runtime (tests, interactive tools). */
+void enable(const std::string &flag);
+void disable(const std::string &flag);
+
+/** Drop all programmatic flags (env-derived ones are re-read). */
+void clearAll();
+
+/** Where trace lines go; nullptr restores the stderr default. */
+using Sink = std::function<void(const std::string &line)>;
+void setSink(Sink sink);
+
+/** Emit one trace line (used by the DPRINTF macro). */
+void emit(const char *flag, const std::string &msg);
+
+} // namespace secpb::debug
+
+/** Trace @p fmt under @p flag ("SecPb", "Walker", ...). */
+#define DPRINTF(flag, ...)                                                \
+    do {                                                                  \
+        if (::secpb::debug::enabled(flag))                                \
+            ::secpb::debug::emit(flag, ::secpb::csprintf(__VA_ARGS__));   \
+    } while (0)
+
+#endif // SECPB_SIM_DEBUG_HH

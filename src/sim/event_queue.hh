@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * EventQueue keeps a time-ordered queue of callbacks. Events scheduled for
+ * the same tick fire in FIFO order of scheduling, which keeps simulations
+ * deterministic. The kernel is deliberately simple: every hardware model in
+ * this project expresses timing by scheduling closures.
+ */
+
+#ifndef SECPB_SIM_EVENT_QUEUE_HH
+#define SECPB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace secpb
+{
+
+/** Callback type fired when an event reaches the head of the queue. */
+using EventCallback = std::function<void()>;
+
+/**
+ * A time-ordered event queue; the heart of the simulator.
+ *
+ * Usage:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(10, [] { ... });
+ *   eq.run();             // runs until the queue drains
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time in core cycles. */
+    Tick curTick() const { return _curTick; }
+
+    /** Number of events executed so far (for progress reporting). */
+    std::uint64_t numExecuted() const { return _numExecuted; }
+
+    /**
+     * Schedule @p cb to fire at absolute time @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void
+    schedule(Tick when, EventCallback cb)
+    {
+        panic_if(when < _curTick,
+                 "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_curTick));
+        _events.push(PendingEvent{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to fire @p delta cycles from now. */
+    void
+    scheduleIn(Cycles delta, EventCallback cb)
+    {
+        schedule(_curTick + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Tick of the earliest pending event; MaxTick when empty. */
+    Tick
+    nextTick() const
+    {
+        return _events.empty() ? MaxTick : _events.top().when;
+    }
+
+    /**
+     * Execute events until the queue drains or @p limit is reached.
+     * @return the tick at which execution stopped.
+     */
+    Tick
+    run(Tick limit = MaxTick)
+    {
+        while (!_events.empty()) {
+            const PendingEvent &top = _events.top();
+            if (top.when > limit) {
+                _curTick = limit;
+                return _curTick;
+            }
+            _curTick = top.when;
+            EventCallback cb = std::move(const_cast<PendingEvent &>(top).cb);
+            _events.pop();
+            ++_numExecuted;
+            cb();
+        }
+        return _curTick;
+    }
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        const PendingEvent &top = _events.top();
+        _curTick = top.when;
+        EventCallback cb = std::move(const_cast<PendingEvent &>(top).cb);
+        _events.pop();
+        ++_numExecuted;
+        cb();
+        return true;
+    }
+
+    /** Reset time and drop all pending events (tests only). */
+    void
+    reset()
+    {
+        _curTick = 0;
+        _numExecuted = 0;
+        _nextSeq = 0;
+        while (!_events.empty())
+            _events.pop();
+    }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventCallback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const PendingEvent &a, const PendingEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
+        _events;
+    Tick _curTick = 0;
+    std::uint64_t _numExecuted = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic() is for internal simulator bugs (conditions that must never happen
+ * regardless of user input); fatal() is for user-caused misconfiguration.
+ * warn() and inform() are advisory and never stop the simulation.
+ */
+
+#ifndef SECPB_SIM_LOGGING_HH
+#define SECPB_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace secpb
+{
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Globally silence warn()/inform() output (used by tests and benches). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace secpb
+
+/** Report an internal simulator bug and abort. */
+#define panic(...) \
+    ::secpb::panicImpl(__FILE__, __LINE__, ::secpb::csprintf(__VA_ARGS__))
+
+/** Report a user-caused error (bad configuration) and exit(1). */
+#define fatal(...) \
+    ::secpb::fatalImpl(__FILE__, __LINE__, ::secpb::csprintf(__VA_ARGS__))
+
+/** panic() if @p cond does not hold. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() if @p cond does not hold. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+/** Advisory warning; never stops simulation. */
+#define warn(...) ::secpb::warnImpl(::secpb::csprintf(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...) ::secpb::informImpl(::secpb::csprintf(__VA_ARGS__))
+
+#endif // SECPB_SIM_LOGGING_HH

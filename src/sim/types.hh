@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module.
+ *
+ * The simulator is cycle granular: one Tick equals one core clock cycle at
+ * the configured core frequency (4 GHz by default, matching Table I of the
+ * SecPB paper). Wall-clock latencies from the paper (e.g. the 55 ns PCM
+ * read) are converted to Ticks through ClockInfo.
+ */
+
+#ifndef SECPB_SIM_TYPES_HH
+#define SECPB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace secpb
+{
+
+/** Simulation time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A duration expressed in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Physical memory address (byte granular). */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick MaxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr InvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Cache block (and PM access) granularity in bytes. */
+constexpr unsigned BlockSize = 64;
+
+/** log2(BlockSize), for address arithmetic. */
+constexpr unsigned BlockShift = 6;
+
+/** Align @p addr down to its containing block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(BlockSize - 1);
+}
+
+/** Byte offset of @p addr within its block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (BlockSize - 1));
+}
+
+/** Block index of @p addr (addr divided by the block size). */
+constexpr std::uint64_t
+blockIndex(Addr addr)
+{
+    return addr >> BlockShift;
+}
+
+/**
+ * Clock conversion helper.
+ *
+ * Latencies in the paper are given either in processor cycles (e.g. the
+ * 40-cycle MAC) or in nanoseconds (PCM access). ClockInfo converts the
+ * latter into Ticks.
+ */
+struct ClockInfo
+{
+    /** Core frequency in MHz (Table I: 4.00 GHz). */
+    double coreFreqMhz = 4000.0;
+
+    /** Convert a nanosecond latency into core cycles, rounding up. */
+    Cycles
+    nsToCycles(double ns) const
+    {
+        double cycles = ns * coreFreqMhz / 1000.0;
+        auto whole = static_cast<Cycles>(cycles);
+        return (cycles > static_cast<double>(whole)) ? whole + 1 : whole;
+    }
+};
+
+} // namespace secpb
+
+#endif // SECPB_SIM_TYPES_HH

@@ -1,0 +1,184 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace secpb
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.addStat(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + _name)
+       << std::right << std::setw(16) << _value
+       << "  # " << _desc << "\n";
+}
+
+void
+Scalar::printCsv(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << _name << "," << _value << "\n";
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + _name)
+       << std::right << std::setw(16) << mean()
+       << "  # " << _desc << " (n=" << _count << ")\n";
+}
+
+void
+Average::printCsv(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << _name << "," << mean() << "\n";
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc, double min, double max,
+                           unsigned num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      _min(min), _max(max),
+      _bucketWidth(num_buckets ? (max - min) / num_buckets : 1.0),
+      _buckets(num_buckets, 0)
+{
+    panic_if(max <= min, "Distribution %s: max must exceed min",
+             _name.c_str());
+    panic_if(num_buckets == 0, "Distribution %s: needs >= 1 bucket",
+             _name.c_str());
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _minSeen = v;
+        _maxSeen = v;
+    } else {
+        _minSeen = std::min(_minSeen, v);
+        _maxSeen = std::max(_maxSeen, v);
+    }
+    _sum += v;
+    ++_count;
+
+    if (v < _min) {
+        ++_underflow;
+    } else if (v >= _max) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<size_t>((v - _min) / _bucketWidth);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        ++_buckets[idx];
+    }
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + _name + ".mean")
+       << std::right << std::setw(16) << mean()
+       << "  # " << _desc << "\n";
+    os << std::left << std::setw(48) << (prefix + _name + ".min")
+       << std::right << std::setw(16) << _minSeen << "\n";
+    os << std::left << std::setw(48) << (prefix + _name + ".max")
+       << std::right << std::setw(16) << _maxSeen << "\n";
+    os << std::left << std::setw(48) << (prefix + _name + ".count")
+       << std::right << std::setw(16) << _count << "\n";
+}
+
+void
+Distribution::printCsv(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << _name << ".mean," << mean() << "\n";
+    os << prefix << _name << ".count," << _count << "\n";
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _sum = 0.0;
+    _count = 0;
+    _minSeen = 0.0;
+    _maxSeen = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), _parent(parent)
+{
+    if (_parent)
+        _parent->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (_parent)
+        _parent->removeChild(this);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(_children.begin(), _children.end(), child);
+    if (it != _children.end())
+        _children.erase(it);
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (_parent)
+        return _parent->fullName() + "." + _name;
+    return _name;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = fullName() + ".";
+    for (const StatBase *s : _stats)
+        s->print(os, prefix);
+    for (const StatGroup *child : _children)
+        child->dump(os);
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os) const
+{
+    const std::string prefix = fullName() + ".";
+    for (const StatBase *s : _stats)
+        s->printCsv(os, prefix);
+    for (const StatGroup *child : _children)
+        child->dumpCsv(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+    for (StatGroup *child : _children)
+        child->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : _stats)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+} // namespace secpb

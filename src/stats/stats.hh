@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Lightweight statistics package, modelled on gem5's Stats.
+ *
+ * Statistics register themselves with a StatGroup; groups can be dumped as
+ * human-readable text or CSV. Three primitive kinds cover everything this
+ * project needs: Scalar (a counter or accumulated value), Average (mean of
+ * samples), and Distribution (bucketed histogram with min/max/mean).
+ */
+
+#ifndef SECPB_STATS_STATS_HH
+#define SECPB_STATS_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secpb
+{
+
+class StatGroup;
+
+/** Base class for a named, registered statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "name value # desc" lines. */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Print CSV rows "prefix.name,value". */
+    virtual void printCsv(std::ostream &os,
+                          const std::string &prefix) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  protected:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple accumulating scalar statistic. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { _value += 1.0; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Mean of submitted samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Linear-bucketed histogram with summary moments. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup &group, std::string name, std::string desc,
+                 double min, double max, unsigned num_buckets);
+
+    void sample(double v);
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double minSeen() const { return _minSeen; }
+    double maxSeen() const { return _maxSeen; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t underflows() const { return _underflow; }
+    std::uint64_t overflows() const { return _overflow; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double _min;
+    double _max;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    double _minSeen = 0.0;
+    double _maxSeen = 0.0;
+};
+
+/**
+ * A named collection of statistics, optionally nested under a parent.
+ * Hardware models own a StatGroup and hang their stats off it.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Fully qualified dotted name (parent.child...). */
+    std::string fullName() const;
+
+    /** Dump this group and all children as text. */
+    void dump(std::ostream &os) const;
+
+    /** Dump this group and all children as CSV (name,value rows). */
+    void dumpCsv(std::ostream &os) const;
+
+    /** Reset every stat in this group and its children. */
+    void resetAll();
+
+    /** Look up a stat by name within this group only. */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { _stats.push_back(stat); }
+    void addChild(StatGroup *child) { _children.push_back(child); }
+    void removeChild(StatGroup *child);
+
+    std::string _name;
+    StatGroup *_parent;
+    std::vector<StatBase *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace secpb
+
+#endif // SECPB_STATS_STATS_HH

@@ -1,0 +1,103 @@
+#include "workload/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace secpb
+{
+
+namespace
+{
+
+/** Build the 18-benchmark table once. */
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    // Fields: name, nonMemCpi, loadsPKI, storesPKI(PPTI),
+    //         pHot, hotW, pWarm, warmW, pSeq, wsPages,
+    //         pL2, pL3, pMem, memOverlap
+    // Anchors from the paper: gamess PPTI 47.4 / NWPE ~2.1,
+    // povray PPTI 38.8 / NWPE ~17.6 (Section VI-B).
+    std::vector<BenchmarkProfile> v;
+    auto add = [&v](const char *name, double cpi, double lpki, double spki,
+                    double ph, unsigned hw, double pw, unsigned ww,
+                    double ps, double plong, double pcluster,
+                    std::uint64_t ws, double pl2, double pl3, double pmem,
+                    double ov) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.nonMemCpi = cpi;
+        p.loadsPerKiloInstr = lpki;
+        p.storesPerKiloInstr = spki;
+        p.pRewriteHot = ph;
+        p.hotWindow = hw;
+        p.pRewriteWarm = pw;
+        p.warmWindow = ww;
+        p.pSequential = ps;
+        p.pRewriteLong = plong;
+        p.pPageCluster = pcluster;
+        p.workingSetPages = ws;
+        p.pLoadL2 = pl2;
+        p.pLoadL3 = pl3;
+        p.pLoadMem = pmem;
+        p.memOverlap = ov;
+        v.push_back(p);
+    };
+
+    add("astar",      0.40, 280, 12.0, 0.72, 4, 0.05, 32, 0.04, 0.06, 0.50, 1024,
+        0.05, 0.015, 0.004, 0.60);
+    add("bwaves",     0.55, 300,  6.0, 0.02, 4, 0.02, 16, 0.92, 0.02, 0.30, 8192,
+        0.08, 0.030, 0.012, 0.75);
+    add("bzip2",      0.42, 260, 11.0, 0.84, 4, 0.03, 24, 0.03, 0.03, 0.50, 2048,
+        0.05, 0.015, 0.003, 0.60);
+    add("cactusADM",  0.50, 300, 14.0, 0.80, 4, 0.04, 32, 0.06, 0.04, 0.50, 4096,
+        0.06, 0.020, 0.006, 0.70);
+    add("gamess",     0.40, 180, 47.4, 0.42, 3, 0.05, 16, 0.02, 0.06, 0.92, 1536,
+        0.03, 0.010, 0.001, 0.50);
+    add("gcc",        0.50, 270, 16.0, 0.80, 6, 0.04, 32, 0.04, 0.05, 0.50, 2048,
+        0.07, 0.020, 0.004, 0.60);
+    add("gobmk",      0.40, 250, 22.0, 0.55, 4, 0.28, 80, 0.04, 0.08, 0.45, 1536,
+        0.05, 0.015, 0.002, 0.50);
+    add("gromacs",    0.38, 230,  8.0, 0.88, 4, 0.03, 24, 0.01, 0.03, 0.50, 1024,
+        0.04, 0.010, 0.002, 0.55);
+    add("h264ref",    0.38, 290,  7.0, 0.90, 4, 0.02, 16, 0.01, 0.03, 0.50,  512,
+        0.04, 0.012, 0.002, 0.50);
+    add("hmmer",      0.35, 310, 13.0, 0.88, 4, 0.02, 16, 0.01, 0.03, 0.50,  512,
+        0.03, 0.008, 0.001, 0.50);
+    add("lbm",        0.40, 280, 14.0, 0.03, 4, 0.03, 16, 0.75, 0.04, 0.40, 16384,
+        0.07, 0.030, 0.015, 0.80);
+    add("leslie3d",   0.50, 300, 10.0, 0.10, 4, 0.08, 32, 0.55, 0.05, 0.30, 8192,
+        0.07, 0.030, 0.010, 0.70);
+    add("libquantum", 0.60, 320,  5.0, 0.02, 4, 0.01, 16, 0.94, 0.02, 0.30, 16384,
+        0.08, 0.040, 0.018, 0.85);
+    add("mcf",        0.55, 350,  9.0, 0.62, 6, 0.10, 48, 0.02, 0.06, 0.20, 8192,
+        0.10, 0.050, 0.028, 0.65);
+    add("milc",       0.55, 290,  8.0, 0.06, 4, 0.06, 24, 0.60, 0.04, 0.30, 8192,
+        0.07, 0.030, 0.012, 0.70);
+    add("omnetpp",    0.70, 300, 13.0, 0.84, 8, 0.03, 64, 0.01, 0.04, 0.30, 4096,
+        0.08, 0.040, 0.012, 0.60);
+    add("povray",     0.42, 260, 38.8, 0.87, 3, 0.02, 16, 0.02, 0.03, 0.60, 1024,
+        0.04, 0.012, 0.002, 0.50);
+    add("sjeng",      0.45, 270,  6.0, 0.92, 6, 0.01, 32, 0.01, 0.02, 0.50, 1024,
+        0.05, 0.020, 0.003, 0.55);
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2006Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : spec2006Profiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+} // namespace secpb

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic benchmark profiles standing in for SPEC CPU2006.
+ *
+ * The paper evaluates 18 SPEC2006 benchmarks (250M-instruction SimPoint
+ * regions). SPEC binaries and inputs cannot be redistributed, so we model
+ * each benchmark by the statistics that, per the paper's own analysis
+ * (Section VI-B), determine secure-persistency overhead:
+ *
+ *  - PPTI: persists (stores) per thousand instructions;
+ *  - NWPE: writes per SecPB entry residency, produced here by a
+ *    reuse-distance mixture (hot / warm / streaming / fresh stores);
+ *  - base CPI, from the non-memory CPI and the load-level mixture.
+ *
+ * The two anchor points the paper quotes are matched directly: gamess
+ * (PPTI 47.4, NWPE 2.1) and povray (PPTI 38.8, NWPE 17.6). Other values
+ * are plausible assignments for those benchmarks' well-known behaviour
+ * (e.g. mcf is a pointer-chasing cache thrasher; lbm and bwaves stream;
+ * gobmk's reuse distances straddle the SecPB capacity so it keeps gaining
+ * from larger buffers, Fig. 7). EXPERIMENTS.md records the measured
+ * PPTI/NWPE per profile next to the paper's numbers.
+ */
+
+#ifndef SECPB_WORKLOAD_PROFILE_HH
+#define SECPB_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secpb
+{
+
+/** Statistical model of one benchmark's memory behaviour. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** CPI of the non-memory instruction stream (4-wide OOO core). */
+    double nonMemCpi = 0.35;
+
+    double loadsPerKiloInstr = 250.0;
+    double storesPerKiloInstr = 10.0;   ///< == PPTI.
+
+    /** @name Store reuse-distance mixture.
+     * A store rewrites one of the last `hotWindow` distinct blocks with
+     * probability pRewriteHot; one of the last `warmWindow` with
+     * pRewriteWarm; continues a sequential stream with pSequential; and
+     * otherwise touches a fresh random block in the working set.
+     * @{ */
+    double pRewriteHot = 0.3;
+    unsigned hotWindow = 4;
+    double pRewriteWarm = 0.2;
+    unsigned warmWindow = 24;
+    /** Long-tail reuse: rewrites of blocks hundreds of blocks back.
+     * Invisible to small SecPBs (the block has long drained) but captured
+     * by large ones -- this is what keeps Fig. 7 improving past 64
+     * entries for capacity-sensitive workloads. */
+    double pRewriteLong = 0.05;
+    unsigned longWindow = 448;
+    double pSequential = 0.2;
+    /**
+     * Page clustering of fresh blocks: with this probability a fresh
+     * store picks another block of the current allocation page instead of
+     * jumping to a new random page. High values model allocators and
+     * array writers that fill pages before moving on -- this is what
+     * makes counter-cache hits and BMT leaf-update merging possible.
+     */
+    double pPageCluster = 0.4;
+    /** @} */
+
+    /** Store working set, in 4 KB pages. */
+    std::uint64_t workingSetPages = 4096;
+
+    /** @name Load hit-level mixture (conditional on being a load). */
+    /** @{ */
+    double pLoadL2 = 0.06;
+    double pLoadL3 = 0.02;
+    double pLoadMem = 0.005;
+    /** @} */
+
+    /** Fraction of a PCM-read miss hidden by MLP / OOO overlap. */
+    double memOverlap = 0.6;
+
+    /** Effective PCM-load penalty in cycles given @p raw_read_latency. */
+    double
+    memPenalty(double raw_read_latency) const
+    {
+        return raw_read_latency * (1.0 - memOverlap);
+    }
+};
+
+/** The 18 SPEC2006-like profiles used throughout the evaluation. */
+const std::vector<BenchmarkProfile> &spec2006Profiles();
+
+/** Look up a profile by name (fatal on unknown name). */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace secpb
+
+#endif // SECPB_WORKLOAD_PROFILE_HH

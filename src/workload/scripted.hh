@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scripted workloads: an explicit op list with a small builder API.
+ *
+ * Used by tests (to drive exact store sequences through the SecPB) and by
+ * example applications (to express application-level persistence logic,
+ * e.g. a key-value store's write-ahead log, as a trace).
+ */
+
+#ifndef SECPB_WORKLOAD_SCRIPTED_HH
+#define SECPB_WORKLOAD_SCRIPTED_HH
+
+#include <vector>
+
+#include "cpu/trace_op.hh"
+
+namespace secpb
+{
+
+/** A workload defined by an explicit list of TraceOps. */
+class ScriptedGenerator : public WorkloadGenerator
+{
+  public:
+    ScriptedGenerator() = default;
+
+    explicit ScriptedGenerator(std::vector<TraceOp> ops)
+        : _ops(std::move(ops))
+    {}
+
+    /** @name Builder API. */
+    /** @{ */
+    ScriptedGenerator &
+    store(Addr addr, std::uint64_t value, std::uint32_t asid = 0)
+    {
+        TraceOp op;
+        op.kind = TraceOp::Kind::Store;
+        op.addr = addr;
+        op.value = value;
+        op.asid = asid;
+        _ops.push_back(op);
+        return *this;
+    }
+
+    ScriptedGenerator &
+    load(MemLevel level = MemLevel::L1)
+    {
+        TraceOp op;
+        op.kind = TraceOp::Kind::Load;
+        op.level = level;
+        _ops.push_back(op);
+        return *this;
+    }
+
+    ScriptedGenerator &
+    instr(std::uint32_t count)
+    {
+        TraceOp op;
+        op.kind = TraceOp::Kind::Instr;
+        op.count = count;
+        _ops.push_back(op);
+        return *this;
+    }
+    /** @} */
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (_cursor >= _ops.size())
+            return false;
+        op = _ops[_cursor++];
+        return true;
+    }
+
+    /** Restart from the beginning (for re-runs). */
+    void rewind() { _cursor = 0; }
+
+    std::size_t size() const { return _ops.size(); }
+
+  private:
+    std::vector<TraceOp> _ops;
+    std::size_t _cursor = 0;
+};
+
+} // namespace secpb
+
+#endif // SECPB_WORKLOAD_SCRIPTED_HH

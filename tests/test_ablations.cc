@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Regression guards for the design-choice mechanisms the ablation bench
+ * isolates: drain concurrency, BMT-update merging, watermark validity,
+ * and SecPB-size effects. Parameterized sweeps double as property tests
+ * that recovery holds at every buffer size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/system.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+std::uint64_t
+gamessTicks(const SystemConfig &cfg, std::uint64_t instr = 40'000)
+{
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profileByName("gamess"), instr, 7);
+    return sys.run(gen).execTicks;
+}
+
+} // namespace
+
+TEST(Ablation, WiderDrainHelpsLazySchemes)
+{
+    SystemConfig narrow =
+        SecPbSystem::configFor(Scheme::Cobcm, profileByName("gamess"));
+    narrow.secpb.drainWidth = 1;
+    SystemConfig wide = narrow;
+    wide.secpb.drainWidth = 8;
+    EXPECT_GT(gamessTicks(narrow), gamessTicks(wide) * 3 / 2);
+}
+
+TEST(Ablation, MergingKeepsCobcmOffTheWalkerBottleneck)
+{
+    SystemConfig merged =
+        SecPbSystem::configFor(Scheme::Cobcm, profileByName("gamess"));
+    SystemConfig unmerged = merged;
+    unmerged.walker.enableMerging = false;
+    EXPECT_GT(gamessTicks(unmerged), gamessTicks(merged) * 11 / 10);
+}
+
+TEST(Ablation, MergingDoesNotChangeRecoveredPlaintext)
+{
+    // Merging is a timing optimization: with the same trace run to
+    // completion, the recovered plaintext state must be identical with
+    // merging on or off (counters/roots may differ -- residency patterns
+    // shift -- but the observer-visible data cannot).
+    auto recovered = [](bool merge) {
+        SystemConfig cfg =
+            SecPbSystem::configFor(Scheme::Cobcm, profileByName("gamess"));
+        cfg.walker.enableMerging = merge;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(profileByName("gamess"), 20'000, 7);
+        sys.run(gen);
+        CrashReport cr = sys.crashNow();
+        EXPECT_TRUE(cr.recovered);
+        std::map<Addr, BlockData> state;
+        for (Addr a : sys.oracle().touchedBlocks())
+            state[a] = sys.oracle().blockContent(a);
+        return state;
+    };
+    EXPECT_EQ(recovered(true), recovered(false));
+}
+
+TEST(Ablation, InvalidWatermarksAreFatal)
+{
+    SystemConfig cfg;
+    cfg.secpb.highWatermark = 0.5;
+    cfg.secpb.lowWatermark = 0.5;
+    EXPECT_DEATH(SecPbSystem sys(cfg), "watermark");
+}
+
+TEST(Ablation, SpSerializationScalesWithTreeHeight)
+{
+    // The SP baseline's per-persist cost grows with the walked height --
+    // this is what separates sp_dbmf from sp_sbmf in Fig. 9.
+    auto sp_ticks = [](BmfMode bmf) {
+        SystemConfig cfg =
+            SecPbSystem::configFor(Scheme::Sp, profileByName("gcc"));
+        cfg.walker.bmfMode = bmf;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(profileByName("gcc"), 40'000, 7);
+        return sys.run(gen).execTicks;
+    };
+    const auto dbmf = sp_ticks(BmfMode::Dbmf);
+    const auto sbmf = sp_ticks(BmfMode::Sbmf);
+    const auto full = sp_ticks(BmfMode::None);
+    EXPECT_LT(dbmf, sbmf);
+    EXPECT_LT(sbmf, full);
+}
+
+class SecPbSizes : public ::testing::TestWithParam<unsigned>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SecPbSizes,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u, 512u),
+                         [](const auto &info) {
+                             return "entries" +
+                                    std::to_string(info.param);
+                         });
+
+TEST_P(SecPbSizes, RecoveryHoldsAtEverySize)
+{
+    SystemConfig cfg =
+        SecPbSystem::configFor(Scheme::Cobcm, profileByName("gobmk"));
+    cfg.secpb.numEntries = GetParam();
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profileByName("gobmk"), 20'000, 5);
+    sys.start(gen);
+    sys.runUntil(6'000);
+    CrashReport cr = sys.crashNow();
+    EXPECT_TRUE(cr.recovered);
+    EXPECT_LE(cr.work.entriesDrained, GetParam());
+}
+
+TEST_P(SecPbSizes, WatermarksScaleWithCapacity)
+{
+    SystemConfig cfg;
+    cfg.secpb.numEntries = GetParam();
+    SecPbSystem sys(cfg);
+    EXPECT_EQ(sys.secpb().highWatermarkEntries(),
+              std::max(1u, GetParam() * 3 / 4));
+    EXPECT_EQ(sys.secpb().lowWatermarkEntries(), GetParam() / 2);
+}
+
+TEST_P(SecPbSizes, BiggerBufferNeverDrainsMoreOften)
+{
+    // Larger SecPBs coalesce more: the number of drained entries per
+    // store is non-increasing in capacity (sampled at two sizes around
+    // the parameter for local monotonicity).
+    if (GetParam() >= 512)
+        GTEST_SKIP() << "no larger size to compare against";
+    auto drains = [](unsigned entries) {
+        SystemConfig cfg =
+            SecPbSystem::configFor(Scheme::Cobcm, profileByName("gcc"));
+        cfg.secpb.numEntries = entries;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(profileByName("gcc"), 40'000, 5);
+        SimulationResult r = sys.run(gen);
+        return static_cast<double>(r.drainedEntries) / r.persists;
+    };
+    EXPECT_LE(drains(GetParam() * 2), drains(GetParam()) * 1.05);
+}

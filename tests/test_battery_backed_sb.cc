@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the battery-backed store buffer option (paper Section
+ * IV-C(b)): with it, stores still waiting in the store buffer at crash
+ * time are absorbed by the battery; without it they are lost -- but
+ * recovery stays consistent either way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "workload/scripted.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+SystemConfig
+cfgWith(bool battery_sb)
+{
+    SystemConfig cfg;
+    cfg.scheme = Scheme::NoGap;  // slow acceptance keeps the SB occupied
+    cfg.secpb.numEntries = 8;
+    cfg.storeBufferEntries = 16;
+    cfg.pmDataBytes = 1ULL << 30;
+    cfg.batteryBackedStoreBuffer = battery_sb;
+    return cfg;
+}
+
+/** Crash while the store buffer demonstrably holds stores. */
+CrashReport
+crashWithSbOccupied(SecPbSystem &sys, std::size_t &sb_occupancy)
+{
+    ScriptedGenerator gen;
+    for (int i = 0; i < 16; ++i)
+        gen.store(static_cast<Addr>(i) * BlockSize, 0x9000 + i);
+    sys.start(gen);
+    sys.runUntil(150);  // a few acceptances in, many stores still queued
+    sb_occupancy = sys.storeBuffer().occupancy();
+    return sys.crashNow();
+}
+
+} // namespace
+
+TEST(BatteryBackedSb, AbsorbedStoresPersist)
+{
+    SecPbSystem sys(cfgWith(true));
+    std::size_t occ = 0;
+    CrashReport cr = crashWithSbOccupied(sys, occ);
+    ASSERT_GT(occ, 0u) << "test needs stores stuck in the SB";
+    EXPECT_TRUE(cr.recovered);
+    // Every one of the 16 stores reached the oracle (SB absorbed).
+    EXPECT_EQ(sys.oracle().numPersists(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(sys.oracle().touched(static_cast<Addr>(i) * BlockSize));
+}
+
+TEST(BatteryBackedSb, WithoutFlagSbStoresAreLost)
+{
+    SecPbSystem sys(cfgWith(false));
+    std::size_t occ = 0;
+    CrashReport cr = crashWithSbOccupied(sys, occ);
+    ASSERT_GT(occ, 0u);
+    EXPECT_TRUE(cr.recovered);  // still consistent -- just a shorter prefix
+    EXPECT_LT(sys.oracle().numPersists(), 16u);
+}
+
+TEST(BatteryBackedSb, AbsorbedStoreCoalescesIntoResidentEntry)
+{
+    // The head block is resident in the SecPB when a queued store to the
+    // same block is absorbed: the tuple must reflect the newest value.
+    SystemConfig cfg = cfgWith(true);
+    cfg.scheme = Scheme::NoGap;
+    SecPbSystem sys(cfg);
+    ScriptedGenerator gen;
+    gen.store(0x100, 0xAAA);   // will be accepted and resident
+    gen.store(0x100, 0xBBB);   // will sit in the SB at crash time
+    sys.start(gen);
+    sys.runUntil(100);
+    CrashReport cr = sys.crashNow();
+    EXPECT_TRUE(cr.recovered);
+    EXPECT_EQ(blockWord(sys.oracle().blockContent(0x100), 0), 0xBBBu);
+}
+
+TEST(BatteryBackedSb, AbsorptionCountsAsBatteryWork)
+{
+    SecPbSystem with(cfgWith(true));
+    std::size_t occ = 0;
+    const CrashReport cr_with = crashWithSbOccupied(with, occ);
+
+    SecPbSystem without(cfgWith(false));
+    const CrashReport cr_without = crashWithSbOccupied(without, occ);
+
+    EXPECT_GT(cr_with.work.entriesDrained,
+              cr_without.work.entriesDrained);
+    EXPECT_GT(cr_with.actualEnergyJ, cr_without.actualEnergyJ);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the functional Bonsai Merkle Tree: structure, updates,
+ * verification, defaults, and tamper detection at every level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/counters.hh"
+#include "metadata/bmt.hh"
+#include "sim/rng.hh"
+
+using namespace secpb;
+
+TEST(Bmt, LevelCountMatchesArity)
+{
+    EXPECT_EQ(BonsaiMerkleTree(1).numLevels(), 1u);
+    EXPECT_EQ(BonsaiMerkleTree(8).numLevels(), 1u);
+    EXPECT_EQ(BonsaiMerkleTree(9).numLevels(), 2u);
+    EXPECT_EQ(BonsaiMerkleTree(64).numLevels(), 2u);
+    // 8 GB PM -> 2^21 counter-block leaves -> 7 node levels, so a
+    // leaf-to-root update performs 8 hashes ("BMT: 8 levels", Table I).
+    BonsaiMerkleTree paper(1ULL << 21);
+    EXPECT_EQ(paper.numLevels(), 7u);
+    EXPECT_EQ(paper.updateHashCount(), 8u);
+}
+
+TEST(Bmt, FreshTreeVerifiesDefaultLeaves)
+{
+    BonsaiMerkleTree tree(4096);
+    EXPECT_TRUE(tree.verifyLeaf(0, tree.defaultLeafDigest()));
+    EXPECT_TRUE(tree.verifyLeaf(4095, tree.defaultLeafDigest()));
+}
+
+TEST(Bmt, UpdateChangesRoot)
+{
+    BonsaiMerkleTree tree(4096);
+    const Digest r0 = tree.root();
+    tree.updateLeaf(7, 0xdeadbeef);
+    EXPECT_NE(tree.root(), r0);
+}
+
+TEST(Bmt, UpdatedLeafVerifies)
+{
+    BonsaiMerkleTree tree(4096);
+    tree.updateLeaf(7, 0xdeadbeef);
+    EXPECT_TRUE(tree.verifyLeaf(7, 0xdeadbeef));
+    EXPECT_FALSE(tree.verifyLeaf(7, 0xdeadbeef ^ 1));
+}
+
+TEST(Bmt, UntouchedLeavesStillVerifyAfterUpdates)
+{
+    BonsaiMerkleTree tree(4096);
+    tree.updateLeaf(7, 1);
+    tree.updateLeaf(9, 2);
+    EXPECT_TRUE(tree.verifyLeaf(100, tree.defaultLeafDigest()));
+}
+
+TEST(Bmt, ManyRandomUpdatesAllVerify)
+{
+    BonsaiMerkleTree tree(1ULL << 21);
+    Rng rng(42);
+    std::unordered_map<std::uint64_t, Digest> truth;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t leaf = rng.below(1ULL << 21);
+        const Digest d = rng.next();
+        tree.updateLeaf(leaf, d);
+        truth[leaf] = d;
+    }
+    for (const auto &kv : truth)
+        EXPECT_TRUE(tree.verifyLeaf(kv.first, kv.second));
+}
+
+TEST(Bmt, SameUpdateIsIdempotentOnRoot)
+{
+    BonsaiMerkleTree tree(4096);
+    tree.updateLeaf(3, 0x1234);
+    const Digest r = tree.root();
+    tree.updateLeaf(3, 0x1234);
+    EXPECT_EQ(tree.root(), r);
+}
+
+TEST(Bmt, RootRollbackDetected)
+{
+    // Replay of the root register (e.g. attacker restores an old root):
+    // the fresh leaf no longer verifies.
+    BonsaiMerkleTree tree(4096);
+    tree.updateLeaf(5, 111);
+    const Digest old_root = tree.root();
+    tree.updateLeaf(5, 222);
+    tree.setRoot(old_root);
+    EXPECT_FALSE(tree.verifyLeaf(5, 222));
+}
+
+TEST(Bmt, InteriorNodeTamperDetected)
+{
+    BonsaiMerkleTree tree(1ULL << 12);
+    tree.updateLeaf(77, 0xabc);
+    const auto path = tree.pathIndices(77);
+    // Tamper every level of the path in turn.
+    for (unsigned lvl = 0; lvl < tree.numLevels(); ++lvl) {
+        BonsaiMerkleTree fresh(1ULL << 12);
+        fresh.updateLeaf(77, 0xabc);
+        BmtNode forged = fresh.node(lvl, path[lvl]);
+        forged.child[0] ^= 1;
+        ASSERT_TRUE(fresh.tamperNode(lvl, path[lvl], forged));
+        EXPECT_FALSE(fresh.verifyLeaf(77, 0xabc)) << "level " << lvl;
+    }
+}
+
+TEST(Bmt, PathIndicesShrinkByArity)
+{
+    BonsaiMerkleTree tree(1ULL << 21);
+    const auto path = tree.pathIndices(0777777);
+    ASSERT_EQ(path.size(), tree.numLevels());
+    std::uint64_t idx = 0777777;
+    for (unsigned l = 0; l < path.size(); ++l) {
+        idx /= 8;
+        EXPECT_EQ(path[l], idx);
+    }
+    EXPECT_EQ(path.back(), 0u);  // top node
+}
+
+TEST(Bmt, LeafDigestMatchesCounterBlockHash)
+{
+    BonsaiMerkleTree tree(64);
+    CounterBlock cb;
+    cb.increment(3);
+    const Digest d = tree.leafDigest(cb);
+    tree.updateLeaf(0, d);
+    EXPECT_TRUE(tree.verifyLeaf(0, tree.leafDigest(cb)));
+    cb.increment(3);
+    EXPECT_FALSE(tree.verifyLeaf(0, tree.leafDigest(cb)));
+}
+
+TEST(Bmt, SparseStorageOnlyTouchedNodes)
+{
+    BonsaiMerkleTree tree(1ULL << 21);
+    EXPECT_EQ(tree.touchedNodes(), 0u);
+    tree.updateLeaf(0, 1);
+    EXPECT_EQ(tree.touchedNodes(), tree.numLevels());
+    // A second update along the same path adds no nodes.
+    tree.updateLeaf(1, 2);
+    EXPECT_EQ(tree.touchedNodes(), tree.numLevels());
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the multi-core SecPB directory (paper Section IV-C):
+ * migration on remote writes, flush on remote reads, and the
+ * no-replication invariant under random traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secpb/coherence.hh"
+#include "sim/rng.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+struct Fixture
+{
+    StatGroup g{"g"};
+    SecPbDirectory dir{4, g};
+};
+
+} // namespace
+
+TEST(Coherence, FirstWriteAllocates)
+{
+    Fixture f;
+    EXPECT_EQ(f.dir.write(0, 0x100), SecPbDirectory::WriteAction::Allocate);
+    EXPECT_EQ(f.dir.owner(0x100), 0u);
+}
+
+TEST(Coherence, RepeatWriteIsLocalHit)
+{
+    Fixture f;
+    f.dir.write(1, 0x100);
+    EXPECT_EQ(f.dir.write(1, 0x108),
+              SecPbDirectory::WriteAction::LocalHit);
+    EXPECT_DOUBLE_EQ(f.dir.statLocalHits.value(), 1.0);
+}
+
+TEST(Coherence, RemoteWriteMigrates)
+{
+    Fixture f;
+    f.dir.write(0, 0x100);
+    EXPECT_EQ(f.dir.write(2, 0x100),
+              SecPbDirectory::WriteAction::Migrate);
+    EXPECT_EQ(f.dir.owner(0x100), 2u);
+    EXPECT_DOUBLE_EQ(f.dir.statMigrations.value(), 1.0);
+    // No replication: core 0 no longer owns it.
+    EXPECT_TRUE(f.dir.blocksOwnedBy(0).empty());
+}
+
+TEST(Coherence, RemoteReadFlushesOwner)
+{
+    Fixture f;
+    f.dir.write(0, 0x200);
+    EXPECT_TRUE(f.dir.read(3, 0x200));
+    EXPECT_EQ(f.dir.owner(0x200), NoOwner);
+    EXPECT_DOUBLE_EQ(f.dir.statRemoteReadFlushes.value(), 1.0);
+}
+
+TEST(Coherence, LocalReadDoesNotFlush)
+{
+    Fixture f;
+    f.dir.write(0, 0x200);
+    EXPECT_FALSE(f.dir.read(0, 0x200));
+    EXPECT_EQ(f.dir.owner(0x200), 0u);
+}
+
+TEST(Coherence, ReadOfUntrackedBlockIsQuiet)
+{
+    Fixture f;
+    EXPECT_FALSE(f.dir.read(1, 0x300));
+    EXPECT_EQ(f.dir.numTracked(), 0u);
+}
+
+TEST(Coherence, DrainRemovesOwnership)
+{
+    Fixture f;
+    f.dir.write(2, 0x400);
+    f.dir.drained(2, 0x400);
+    EXPECT_EQ(f.dir.owner(0x400), NoOwner);
+}
+
+TEST(Coherence, DrainByNonOwnerPanics)
+{
+    Fixture f;
+    f.dir.write(2, 0x400);
+    EXPECT_DEATH(f.dir.drained(1, 0x400), "does not own");
+}
+
+TEST(Coherence, OutOfRangeCorePanics)
+{
+    Fixture f;
+    EXPECT_DEATH(f.dir.write(7, 0x100), "out of range");
+}
+
+TEST(Coherence, SingleOwnerInvariantUnderRandomTraffic)
+{
+    // Property test: random reads/writes/drains from 4 cores; at every
+    // step each block has at most one owner and accessors agree.
+    Fixture f;
+    Rng rng(2024);
+    std::unordered_map<Addr, CoreId> model;
+    for (int step = 0; step < 20'000; ++step) {
+        const CoreId core = static_cast<CoreId>(rng.below(4));
+        const Addr addr = blockAlign(rng.below(64)) * BlockSize;
+        const double action = rng.uniform();
+        if (action < 0.5) {
+            f.dir.write(core, addr);
+            model[addr] = core;
+        } else if (action < 0.9) {
+            const CoreId before = f.dir.owner(addr);
+            const bool flushed = f.dir.read(core, addr);
+            if (flushed) {
+                ASSERT_NE(before, core);
+                model.erase(addr);
+            }
+        } else {
+            if (f.dir.owner(addr) != NoOwner) {
+                f.dir.drained(f.dir.owner(addr), addr);
+                model.erase(addr);
+            }
+        }
+        ASSERT_TRUE(f.dir.invariantSingleOwner());
+        const CoreId expect =
+            model.count(addr) ? model[addr] : NoOwner;
+        ASSERT_EQ(f.dir.owner(addr), expect);
+    }
+}
+
+TEST(Coherence, BlocksOwnedByEnumerates)
+{
+    Fixture f;
+    f.dir.write(1, 0x000);
+    f.dir.write(1, 0x040);
+    f.dir.write(2, 0x080);
+    EXPECT_EQ(f.dir.blocksOwnedBy(1).size(), 2u);
+    EXPECT_EQ(f.dir.blocksOwnedBy(2).size(), 1u);
+    EXPECT_TRUE(f.dir.blocksOwnedBy(3).empty());
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the energy / battery-sizing model (Tables III, V, VI).
+ * Absolute checks pin the rows the paper reports; relational checks pin
+ * the orderings the design space promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+const EnergyModel &
+model()
+{
+    static EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
+    return em;
+}
+
+double
+scVolume(Scheme s, unsigned entries)
+{
+    return model().size(model().secPbBatteryEnergy(s, entries),
+                        superCapTech()).volumeMm3;
+}
+
+} // namespace
+
+TEST(Energy, EntryFootprintsMatchFigure5)
+{
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::Cobcm)),
+              64u);
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::Obcm)),
+              65u);
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::Bcm)),
+              129u);
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::Cm)),
+              129u);
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::M)),
+              193u);
+    // NoGap tracks every field: the paper's 260 B entry (Table I).
+    EXPECT_EQ(EnergyModel::entryFootprintBytes(schemeTraits(Scheme::NoGap)),
+              257u);
+}
+
+TEST(Energy, LazierSchemesNeedBiggerBatteries)
+{
+    const unsigned n = 32;
+    EXPECT_GT(scVolume(Scheme::Cobcm, n), scVolume(Scheme::Cm, n));
+    EXPECT_GT(scVolume(Scheme::Cm, n), scVolume(Scheme::NoGap, n));
+    EXPECT_GE(scVolume(Scheme::Obcm, n) * 1.001,
+              scVolume(Scheme::Bcm, n));
+    EXPECT_GE(scVolume(Scheme::Cobcm, n) * 1.001,
+              scVolume(Scheme::Obcm, n));
+}
+
+TEST(Energy, TableVValuesWithinTolerance)
+{
+    // Paper Table V, SuperCap volumes (mm^3), 32-entry SecPB.
+    EXPECT_NEAR(scVolume(Scheme::Cobcm, 32), 4.89, 4.89 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::Obcm, 32), 4.82, 4.82 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::Bcm, 32), 4.72, 4.72 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::Cm, 32), 0.73, 0.73 * 0.20);
+    EXPECT_NEAR(scVolume(Scheme::M, 32), 0.67, 0.67 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::NoGap, 32), 0.28, 0.28 * 0.10);
+}
+
+TEST(Energy, BbbAndEadrRows)
+{
+    const auto bbb =
+        model().size(model().bbbBatteryEnergy(32), superCapTech());
+    EXPECT_NEAR(bbb.volumeMm3, 0.07, 0.01);
+    const auto eadr =
+        model().size(model().eadrBatteryEnergy(), superCapTech());
+    EXPECT_NEAR(eadr.volumeMm3, 149.32, 149.32 * 0.01);
+}
+
+TEST(Energy, CoreAreaRatiosMatchPaper)
+{
+    // COBCM 32-entry: 53.6% of a 5.37 mm^2 core (SuperCap), 2.5% Li-Thin.
+    const double e = model().secPbBatteryEnergy(Scheme::Cobcm, 32);
+    EXPECT_NEAR(model().size(e, superCapTech()).areaRatioToCore, 0.536,
+                0.06);
+    EXPECT_NEAR(model().size(e, liThinTech()).areaRatioToCore, 0.025,
+                0.004);
+}
+
+TEST(Energy, LiThinIsHundredTimesDenser)
+{
+    const double e = 1.0e-3;
+    EXPECT_NEAR(model().size(e, superCapTech()).volumeMm3 /
+                    model().size(e, liThinTech()).volumeMm3,
+                100.0, 1e-6);
+}
+
+TEST(Energy, BatteryScalesLinearlyWithEntries)
+{
+    // Table VI shape: doubling the SecPB roughly doubles the battery.
+    for (Scheme s : {Scheme::Cobcm, Scheme::NoGap}) {
+        const double v64 = scVolume(s, 64);
+        const double v128 = scVolume(s, 128);
+        EXPECT_NEAR(v128 / v64, 2.0, 0.05) << schemeName(s);
+    }
+}
+
+TEST(Energy, TableVISpotValues)
+{
+    EXPECT_NEAR(scVolume(Scheme::Cobcm, 8), 1.33, 1.33 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::Cobcm, 512), 76.10, 76.10 * 0.10);
+    EXPECT_NEAR(scVolume(Scheme::NoGap, 512), 4.35, 4.35 * 0.05);
+}
+
+TEST(Energy, SEadrDwarfsSecPb)
+{
+    const double s_eadr = model().sEadrBatteryEnergy();
+    const double cobcm = model().secPbBatteryEnergy(Scheme::Cobcm, 32);
+    // Paper reports 753x; our worst-case accounting yields a few
+    // thousand (documented deviation in EXPERIMENTS.md). The claim that
+    // survives either way: orders of magnitude apart.
+    EXPECT_GT(s_eadr / cobcm, 500.0);
+}
+
+TEST(Energy, ActualCrashEnergyAccountsComponents)
+{
+    CrashWork w;
+    w.entriesDrained = 2;
+    w.otpsGenerated = 2;
+    w.macsComputed = 2;
+    w.bmtLevelsWalked = 16;
+    w.pmBlockWrites = 6;
+    const double e = model().actualCrashEnergy(w);
+    EXPECT_GT(e, 0.0);
+    CrashWork w2 = w;
+    w2.bmtLevelsWalked = 0;
+    EXPECT_LT(model().actualCrashEnergy(w2), e);
+}
+
+TEST(Energy, WorstCaseBoundsActualForFullBuffer)
+{
+    // A fully lazy 32-entry drain can never exceed the provisioned
+    // worst case (which assumes every metadata access misses).
+    CrashWork w;
+    w.entriesDrained = 32;
+    w.countersIncremented = 32;
+    w.counterFetches = 32;
+    w.otpsGenerated = 32;
+    w.macsComputed = 32;
+    w.ciphertexts = 32;
+    w.bmtRootUpdates = 32;
+    w.bmtLevelsWalked = 32 * 8;
+    w.pmBlockWrites = 96;
+    EXPECT_LE(model().actualCrashEnergy(w),
+              model().secPbBatteryEnergy(Scheme::Cobcm, 32) * 1.05);
+}

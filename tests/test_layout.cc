@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the secure-PM address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metadata/layout.hh"
+
+using namespace secpb;
+
+TEST(Layout, RegionSizes)
+{
+    MetadataLayout l(8ULL << 30);
+    EXPECT_EQ(l.numPages(), (8ULL << 30) / 4096);
+    EXPECT_EQ(l.numBlocks(), (8ULL << 30) / 64);
+    EXPECT_EQ(l.ctrBase(), 8ULL << 30);
+    EXPECT_GT(l.macBase(), l.ctrBase());
+    EXPECT_GT(l.bmtBase(), l.macBase());
+}
+
+TEST(Layout, DataPredicate)
+{
+    MetadataLayout l(1ULL << 30);
+    EXPECT_TRUE(l.isData(0));
+    EXPECT_TRUE(l.isData((1ULL << 30) - 1));
+    EXPECT_FALSE(l.isData(1ULL << 30));
+    EXPECT_FALSE(l.isData(l.macBase()));
+}
+
+TEST(Layout, CounterAddrSharedWithinPage)
+{
+    MetadataLayout l(1ULL << 30);
+    EXPECT_EQ(l.counterAddr(0x1000), l.counterAddr(0x1FC0));
+    EXPECT_NE(l.counterAddr(0x1000), l.counterAddr(0x2000));
+    EXPECT_EQ(l.counterAddr(0x1000) % BlockSize, 0u);
+}
+
+TEST(Layout, BlockInPage)
+{
+    MetadataLayout l(1ULL << 30);
+    EXPECT_EQ(l.blockInPage(0x1000), 0u);
+    EXPECT_EQ(l.blockInPage(0x1040), 1u);
+    EXPECT_EQ(l.blockInPage(0x1FC0), 63u);
+}
+
+TEST(Layout, MacAddrsAreDense)
+{
+    MetadataLayout l(1ULL << 30);
+    EXPECT_EQ(l.macAddr(0x40) - l.macAddr(0x00), 8u);
+    // Eight MACs share one 64B MAC block.
+    EXPECT_EQ(l.macBlockAddr(0x000), l.macBlockAddr(0x1C0));
+    EXPECT_NE(l.macBlockAddr(0x000), l.macBlockAddr(0x200));
+}
+
+TEST(Layout, BmtNodesDoNotOverlapLevels)
+{
+    MetadataLayout l(1ULL << 30);  // 2^18 pages -> level0 has 2^15 nodes
+    const Addr lvl0_first = l.bmtNodeAddr(0, 0);
+    const Addr lvl0_last = l.bmtNodeAddr(0, (1ULL << 15) - 1);
+    const Addr lvl1_first = l.bmtNodeAddr(1, 0);
+    EXPECT_EQ(lvl0_first, l.bmtBase());
+    EXPECT_EQ(lvl1_first, lvl0_last + BlockSize);
+}
+
+TEST(Layout, MetadataRegionsDisjoint)
+{
+    MetadataLayout l(1ULL << 30);
+    // The last counter block ends before the MAC region starts.
+    const Addr last_ctr = l.counterAddr((1ULL << 30) - 1);
+    EXPECT_LT(last_ctr + BlockSize, l.macBase() + 1);
+    const Addr last_mac = l.macAddr((1ULL << 30) - 1);
+    EXPECT_LT(last_mac + 8, l.bmtBase() + 1);
+}
+
+TEST(Layout, UnalignedDataSizeIsFatal)
+{
+    EXPECT_DEATH(MetadataLayout l(4096 + 17), "aligned");
+}

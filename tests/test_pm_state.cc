@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Direct unit tests for the functional persistent state: PM image,
+ * persist oracle, counter store, and the speculative-verification knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "mem/pm_image.hh"
+#include "metadata/counter_store.hh"
+#include "recovery/oracle.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+TEST(PmImage, UntouchedBlocksReadZero)
+{
+    PmImage pm;
+    EXPECT_FALSE(pm.hasData(0x1000));
+    EXPECT_EQ(pm.readData(0x1000), zeroBlock());
+    EXPECT_EQ(pm.readMac(0x1000), 0u);
+    EXPECT_EQ(pm.readCounterBlock(7), CounterBlock{});
+}
+
+TEST(PmImage, WritesAreBlockAligned)
+{
+    PmImage pm;
+    BlockData b = zeroBlock();
+    setBlockWord(b, 0, 0x1234);
+    pm.writeData(0x1038, b);  // unaligned address
+    EXPECT_TRUE(pm.hasData(0x1000));
+    EXPECT_EQ(pm.readData(0x1010), b);  // any address in the block
+}
+
+TEST(PmImage, DataBlockEnumeration)
+{
+    PmImage pm;
+    pm.writeData(0x000, zeroBlock());
+    pm.writeData(0x040, zeroBlock());
+    pm.writeData(0x040, zeroBlock());  // overwrite, not a new block
+    EXPECT_EQ(pm.numDataBlocks(), 2u);
+    EXPECT_EQ(pm.dataBlockAddrs().size(), 2u);
+}
+
+TEST(PmImage, TamperHooksMutateState)
+{
+    PmImage pm;
+    pm.writeData(0x000, zeroBlock());
+    pm.tamperData(0x000, 5, 0xFF);
+    EXPECT_EQ(pm.readData(0x000)[5], 0xFF);
+    pm.writeMac(0x000, 0x1111);
+    pm.tamperMac(0x000, 0x0F);
+    EXPECT_EQ(pm.readMac(0x000), 0x1111u ^ 0x0Fu);
+}
+
+TEST(Oracle, StoresAccumulateInOrder)
+{
+    PersistOracle o;
+    o.applyStore(0x100, 0xAA);
+    o.applyStore(0x108, 0xBB);
+    o.applyStore(0x100, 0xCC);  // overwrite word 0
+    EXPECT_EQ(o.numPersists(), 3u);
+    EXPECT_EQ(o.numBlocks(), 1u);
+    const BlockData b = o.blockContent(0x100);
+    EXPECT_EQ(blockWord(b, 0), 0xCCu);
+    EXPECT_EQ(blockWord(b, 1), 0xBBu);
+}
+
+TEST(Oracle, TouchedIsBlockGranular)
+{
+    PersistOracle o;
+    o.applyStore(0x100, 1);
+    EXPECT_TRUE(o.touched(0x13F));
+    EXPECT_FALSE(o.touched(0x140));
+}
+
+TEST(CounterStore, IncrementsAreIndependentAcrossBlocks)
+{
+    MetadataLayout layout(1ULL << 30);
+    CounterStore cs(layout);
+    cs.increment(0x000);
+    cs.increment(0x000);
+    cs.increment(0x040);
+    EXPECT_EQ(cs.counterFor(0x000).minor, 2u);
+    EXPECT_EQ(cs.counterFor(0x040).minor, 1u);
+    EXPECT_EQ(cs.counterFor(0x080).minor, 0u);
+    EXPECT_EQ(cs.numTouched(), 1u);  // one counter block (same page)
+}
+
+TEST(CounterStore, OverflowReturnsOldBlock)
+{
+    MetadataLayout layout(1ULL << 30);
+    CounterStore cs(layout);
+    for (unsigned i = 0; i < MinorCounterMax; ++i)
+        EXPECT_FALSE(cs.increment(0x000).overflowed);
+    const CounterIncrement r = cs.increment(0x000);
+    EXPECT_TRUE(r.overflowed);
+    EXPECT_EQ(r.oldBlock.minors[0], MinorCounterMax);
+    EXPECT_EQ(r.counter.major, 1u);
+    EXPECT_EQ(r.counter.minor, 0u);
+}
+
+TEST(SpeculativeVerification, DisablingSlowsMemLoads)
+{
+    const BenchmarkProfile &p = profileByName("mcf");  // PM-load heavy
+    SystemConfig spec;
+    spec.speculativeVerification = true;
+    spec = SecPbSystem::configFor(Scheme::Cobcm, p, spec);
+    SystemConfig nonspec;
+    nonspec.speculativeVerification = false;
+    nonspec = SecPbSystem::configFor(Scheme::Cobcm, p, nonspec);
+    EXPECT_GT(nonspec.cpu.loadPenalties.mem, spec.cpu.loadPenalties.mem);
+
+    auto ticks = [&p](const SystemConfig &cfg) {
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(p, 40'000, 7);
+        return sys.run(gen).execTicks;
+    };
+    EXPECT_GT(ticks(nonspec), ticks(spec));
+}
+
+TEST(SpeculativeVerification, InsecureBaselineUnaffected)
+{
+    const BenchmarkProfile &p = profileByName("mcf");
+    SystemConfig cfg;
+    cfg.speculativeVerification = false;
+    cfg = SecPbSystem::configFor(Scheme::Bbb, p, cfg);
+    SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, p);
+    EXPECT_DOUBLE_EQ(cfg.cpu.loadPenalties.mem,
+                     base.cpu.loadPenalties.mem);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the scheme definitions: traits encode Table II exactly,
+ * names round-trip, and the early/late split is monotone across the
+ * spectrum.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secpb/scheme.hh"
+
+using namespace secpb;
+
+TEST(Scheme, TraitsMatchTableII)
+{
+    // COBCM: only data write early.
+    const SchemeTraits cobcm = schemeTraits(Scheme::Cobcm);
+    EXPECT_TRUE(cobcm.secure);
+    EXPECT_FALSE(cobcm.earlyCounter);
+    EXPECT_FALSE(cobcm.earlyOtp);
+    EXPECT_FALSE(cobcm.earlyBmt);
+    EXPECT_FALSE(cobcm.earlyCiphertext);
+    EXPECT_FALSE(cobcm.earlyMac);
+
+    // OBCM: update counter.
+    EXPECT_TRUE(schemeTraits(Scheme::Obcm).earlyCounter);
+    EXPECT_FALSE(schemeTraits(Scheme::Obcm).earlyOtp);
+
+    // BCM: counter + OTP.
+    EXPECT_TRUE(schemeTraits(Scheme::Bcm).earlyOtp);
+    EXPECT_FALSE(schemeTraits(Scheme::Bcm).earlyBmt);
+
+    // CM: counter + OTP + BMT root.
+    EXPECT_TRUE(schemeTraits(Scheme::Cm).earlyBmt);
+    EXPECT_FALSE(schemeTraits(Scheme::Cm).earlyCiphertext);
+
+    // M: everything but the MAC.
+    EXPECT_TRUE(schemeTraits(Scheme::M).earlyCiphertext);
+    EXPECT_FALSE(schemeTraits(Scheme::M).earlyMac);
+
+    // NoGap: everything.
+    EXPECT_TRUE(schemeTraits(Scheme::NoGap).earlyMac);
+
+    // BBB: no security at all.
+    EXPECT_FALSE(schemeTraits(Scheme::Bbb).secure);
+}
+
+TEST(Scheme, LazinessIsMonotone)
+{
+    // Walking the spectrum from COBCM to NoGap only ever turns early
+    // bits ON (this is what makes it a spectrum).
+    const Scheme order[] = {Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
+                            Scheme::Cm, Scheme::M, Scheme::NoGap};
+    auto count_early = [](Scheme s) {
+        const SchemeTraits t = schemeTraits(s);
+        return int(t.earlyCounter) + int(t.earlyOtp) + int(t.earlyBmt) +
+               int(t.earlyCiphertext) + int(t.earlyMac);
+    };
+    for (unsigned i = 0; i + 1 < std::size(order); ++i)
+        EXPECT_EQ(count_early(order[i]) + 1, count_early(order[i + 1]));
+}
+
+TEST(Scheme, DependencyOrderRespected)
+{
+    // The dependency graph (Fig. 4): anything early implies everything
+    // it depends on is early. OTP needs the counter; ciphertext needs
+    // the OTP; MAC needs the ciphertext; BMT needs the counter.
+    for (Scheme s : {Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm, Scheme::Cm,
+                     Scheme::M, Scheme::NoGap}) {
+        const SchemeTraits t = schemeTraits(s);
+        if (t.earlyOtp) {
+            EXPECT_TRUE(t.earlyCounter) << schemeName(s);
+        }
+        if (t.earlyBmt) {
+            EXPECT_TRUE(t.earlyCounter) << schemeName(s);
+        }
+        if (t.earlyCiphertext) {
+            EXPECT_TRUE(t.earlyOtp) << schemeName(s);
+        }
+        if (t.earlyMac) {
+            EXPECT_TRUE(t.earlyCiphertext) << schemeName(s);
+        }
+    }
+}
+
+TEST(Scheme, OnlySecWtSkipsCoalescing)
+{
+    for (Scheme s : {Scheme::Bbb, Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
+                     Scheme::Cm, Scheme::M, Scheme::NoGap})
+        EXPECT_TRUE(schemeTraits(s).coalesceValueIndependent)
+            << schemeName(s);
+    EXPECT_FALSE(schemeTraits(Scheme::SecWt).coalesceValueIndependent);
+}
+
+TEST(Scheme, NamesRoundTrip)
+{
+    for (Scheme s : {Scheme::Bbb, Scheme::Sp, Scheme::SecWt, Scheme::Cobcm,
+                     Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M,
+                     Scheme::NoGap})
+        EXPECT_EQ(parseScheme(schemeName(s)), s);
+}
+
+TEST(Scheme, ParseUnknownIsFatal)
+{
+    EXPECT_DEATH(parseScheme("banana"), "unknown scheme");
+}
+
+TEST(Scheme, SweepListCoversAllSixLaziestFirst)
+{
+    ASSERT_EQ(std::size(SecPbSchemes), 6u);
+    EXPECT_EQ(SecPbSchemes[0], Scheme::Cobcm);
+    EXPECT_EQ(SecPbSchemes[5], Scheme::NoGap);
+}

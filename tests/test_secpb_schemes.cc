@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Parameterized tests over the whole scheme spectrum: every scheme must
+ * preserve the crash-recovery invariants and expose its documented
+ * early/late split. TEST_P sweeps all six SecPB schemes plus SP and
+ * sec_wt where applicable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "workload/scripted.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+SystemConfig
+cfgFor(Scheme scheme, unsigned entries = 8)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.secpb.numEntries = entries;
+    cfg.pmDataBytes = 1ULL << 30;
+    return cfg;
+}
+
+class AllSchemes : public ::testing::TestWithParam<Scheme>
+{};
+
+class SecureSchemes : public ::testing::TestWithParam<Scheme>
+{};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Spectrum, AllSchemes,
+    ::testing::Values(Scheme::Bbb, Scheme::Sp, Scheme::SecWt,
+                      Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm, Scheme::Cm,
+                      Scheme::M, Scheme::NoGap),
+    [](const auto &info) { return std::string(schemeName(info.param)); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Spectrum, SecureSchemes,
+    ::testing::Values(Scheme::Sp, Scheme::SecWt, Scheme::Cobcm,
+                      Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M,
+                      Scheme::NoGap),
+    [](const auto &info) { return std::string(schemeName(info.param)); });
+
+TEST_P(AllSchemes, RunsScriptedWorkloadToCompletion)
+{
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 20 * BlockSize; a += BlockSize)
+        gen.store(a, a + 1).instr(10).load();
+    SimulationResult r = sys.run(gen);
+    EXPECT_EQ(r.persists, 20u);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+TEST_P(AllSchemes, CrashRecoveryMatchesOracle)
+{
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    for (int i = 0; i < 40; ++i)
+        gen.store((i % 12) * BlockSize + 8 * (i % 8),
+                  0x1000u + static_cast<std::uint64_t>(i));
+    sys.run(gen);
+    CrashReport cr = sys.crashNow();
+    EXPECT_TRUE(cr.recovered) << schemeName(GetParam());
+    EXPECT_EQ(cr.recovery.plaintextMismatches, 0u);
+    EXPECT_EQ(cr.recovery.macFailures, 0u);
+    EXPECT_EQ(cr.recovery.bmtFailures, 0u);
+}
+
+TEST_P(SecureSchemes, TupleConsistentMidExecutionCrash)
+{
+    // Crash at several points mid-run; recovery must always verify.
+    for (Tick crash_at : {500u, 2'000u, 10'000u, 50'000u}) {
+        SecPbSystem sys(cfgFor(GetParam()));
+        const BenchmarkProfile &p = profileByName("gcc");
+        SyntheticGenerator gen(p, 20'000, /*seed=*/3);
+        sys.start(gen);
+        sys.runUntil(crash_at);
+        CrashReport cr = sys.crashNow();
+        EXPECT_TRUE(cr.recovered)
+            << schemeName(GetParam()) << " @ " << crash_at;
+    }
+}
+
+TEST_P(SecureSchemes, ActualCrashEnergyWithinProvisioned)
+{
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 8 * BlockSize; a += BlockSize)
+        gen.store(a, a);
+    sys.run(gen);
+    CrashReport cr = sys.crashNow();
+    // SP holds no entries; others must have used positive energy.
+    if (GetParam() != Scheme::Sp) {
+        EXPECT_GT(cr.actualEnergyJ, 0.0);
+    }
+    EXPECT_LE(cr.actualEnergyJ, cr.provisionedEnergyJ * 1.05)
+        << schemeName(GetParam());
+}
+
+TEST_P(SecureSchemes, EarlyBitsMatchTraits)
+{
+    // After the early phase completes, the entry's valid bits must match
+    // the scheme's early set (Figure 5's per-design field table).
+    const Scheme s = GetParam();
+    if (s == Scheme::Sp)
+        GTEST_SKIP() << "SP keeps no SecPB entries";
+    const SchemeTraits t = schemeTraits(s);
+    SecPbSystem sys(cfgFor(s));
+    ScriptedGenerator gen;
+    gen.store(0x5000, 0xFEED);
+    sys.run(gen);
+
+    // Inspect the functional state through side effects: counter
+    // increments and crypto-engine op counts.
+    const BlockCounter c = sys.counters().counterFor(0x5000);
+    EXPECT_EQ(c.minor, t.earlyCounter ? 1u : 0u);
+
+    // BMT root moved only for early-BMT schemes.
+    BonsaiMerkleTree fresh(sys.layout().numPages(),
+                           sys.config().keys.macKey ^ 0xb037);
+    if (t.earlyBmt)
+        EXPECT_NE(sys.tree().root(), fresh.root());
+    else
+        EXPECT_EQ(sys.tree().root(), fresh.root());
+}
+
+TEST_P(SecureSchemes, PersistOrderInvariantUnderCrash)
+{
+    // Persist-order invariant (PLP invariant 2): if store A precedes
+    // store B and B is recovered, A must be too. We run a sequence of
+    // stores with strictly increasing values to distinct words and crash
+    // mid-way; the recovered prefix must be exactly the oracle state.
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    const int n = 30;
+    for (int i = 0; i < n; ++i)
+        gen.store(static_cast<Addr>(i) * BlockSize, 100u + i);
+    sys.start(gen);
+    sys.runUntil(700);  // some stores accepted, some not
+    CrashReport cr = sys.crashNow();
+    ASSERT_TRUE(cr.recovered);
+
+    // Every block the oracle saw must decrypt to the oracle's value;
+    // no block beyond the oracle's persist point may appear "newer".
+    const std::uint64_t persisted = sys.oracle().numPersists();
+    EXPECT_LE(persisted, static_cast<std::uint64_t>(n));
+    // Prefix property: blocks 0..persisted-1 are exactly the ones the
+    // oracle saw (stores go in program order through the store buffer).
+    for (std::uint64_t i = 0; i < persisted; ++i)
+        EXPECT_TRUE(sys.oracle().touched(i * BlockSize));
+    for (std::uint64_t i = persisted; i < n; ++i)
+        EXPECT_FALSE(sys.oracle().touched(i * BlockSize));
+}
+
+TEST_P(SecureSchemes, TamperedDataFailsRecovery)
+{
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 10 * BlockSize; a += BlockSize)
+        gen.store(a, a + 7);
+    sys.run(gen);
+    sys.crashNow();  // clean battery drain
+
+    // Physical attacker flips one ciphertext bit after power-off.
+    sys.pm().tamperData(0x000, 3, 0x40);
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport report =
+        verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
+    EXPECT_GT(report.macFailures + report.plaintextMismatches, 0u);
+}
+
+TEST_P(SecureSchemes, TamperedCounterFailsBmtVerification)
+{
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 10 * BlockSize; a += BlockSize)
+        gen.store(a, a + 7);
+    sys.run(gen);
+    sys.crashNow();
+
+    sys.pm().tamperCounter(sys.layout().pageIndex(0x000),
+                           sys.layout().blockInPage(0x000));
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport report =
+        verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
+    EXPECT_GT(report.bmtFailures, 0u);
+}
+
+TEST_P(SecureSchemes, ReplayedTupleFailsBmtVerification)
+{
+    // Full-tuple replay: capture an old consistent (ct, ctr, mac) triple,
+    // let the system persist a newer version, then roll the PM back.
+    // Data, counter, and MAC are mutually consistent, so only the BMT
+    // root (in the on-chip register) can expose the rollback.
+    SecPbSystem sys(cfgFor(GetParam()));
+    ScriptedGenerator gen1;
+    gen1.store(0x000, 0xAAAA);
+    sys.run(gen1);
+    sys.secpb().drainAll(nullptr);
+    sys.runUntil(sys.eventQueue().curTick() + 1'000'000);
+
+    const BlockData old_ct = sys.pm().readData(0x000);
+    const CounterBlock old_cb = sys.pm().readCounterBlock(0);
+    const MacValue old_mac = sys.pm().readMac(0x000);
+
+    // Newer version persists (fresh residency, counter bumps again).
+    ScriptedGenerator gen2;
+    gen2.store(0x000, 0xBBBB);
+    // Reuse the same system: drive the store buffer directly.
+    bool done = false;
+    sys.storeBuffer().tryPush(0x000, 0xBBBB);
+    sys.storeBuffer().notifyWhenEmpty([&] { done = true; });
+    sys.runUntil(sys.eventQueue().curTick() + 1'000'000);
+    ASSERT_TRUE(done);
+    CrashReport cr = sys.crashNow();
+    ASSERT_TRUE(cr.recovered);
+
+    sys.pm().replayTuple(0x000, old_ct, old_cb, old_mac, 0);
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport report =
+        verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
+    EXPECT_GT(report.bmtFailures + report.plaintextMismatches, 0u)
+        << schemeName(GetParam());
+}

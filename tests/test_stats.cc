@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace secpb;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup g("g");
+    Scalar s(g, "s", "a scalar");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 10.0;
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    StatGroup g("g");
+    Average a(g, "a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBucketsAndMoments)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "a distribution", 0.0, 100.0, 10);
+    d.sample(5.0);    // bucket 0
+    d.sample(15.0);   // bucket 1
+    d.sample(15.5);   // bucket 1
+    d.sample(-1.0);   // underflow
+    d.sample(250.0);  // overflow
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSeen(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 250.0);
+}
+
+TEST(Stats, GroupFullNameNests)
+{
+    StatGroup parent("system");
+    StatGroup child("cache", &parent);
+    EXPECT_EQ(child.fullName(), "system.cache");
+}
+
+TEST(Stats, DumpContainsAllStats)
+{
+    StatGroup parent("sys");
+    StatGroup child("sub", &parent);
+    Scalar s1(parent, "top_counter", "top");
+    Scalar s2(child, "sub_counter", "sub");
+    s1 += 7;
+    s2 += 9;
+    std::ostringstream os;
+    parent.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sys.top_counter"), std::string::npos);
+    EXPECT_NE(text.find("sys.sub.sub_counter"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("9"), std::string::npos);
+}
+
+TEST(Stats, CsvDumpIsParsable)
+{
+    StatGroup g("g");
+    Scalar s(g, "x", "x");
+    s += 42;
+    std::ostringstream os;
+    g.dumpCsv(os);
+    EXPECT_EQ(os.str(), "g.x,42\n");
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup parent("p");
+    StatGroup child("c", &parent);
+    Scalar s1(parent, "a", "");
+    Average s2(child, "b", "");
+    s1 += 5;
+    s2.sample(3.0);
+    parent.resetAll();
+    EXPECT_DOUBLE_EQ(s1.value(), 0.0);
+    EXPECT_EQ(s2.count(), 0u);
+}
+
+TEST(Stats, FindLocatesByName)
+{
+    StatGroup g("g");
+    Scalar s(g, "needle", "");
+    EXPECT_EQ(g.find("needle"), &s);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Integration tests over the assembled system: the paper's headline
+ * orderings must emerge from end-to-end runs, statistics must be
+ * self-consistent, and runs must be reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "workload/scripted.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+SimulationResult
+runProfile(Scheme scheme, const char *bench, std::uint64_t instr = 40'000,
+           unsigned entries = 32, std::uint64_t seed = 7)
+{
+    const BenchmarkProfile &p = profileByName(bench);
+    SystemConfig cfg = SecPbSystem::configFor(scheme, p);
+    cfg.secpb.numEntries = entries;
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(p, instr, seed);
+    return sys.run(gen);
+}
+
+} // namespace
+
+TEST(System, SchemeOrderingOnWriteHeavyWorkload)
+{
+    // Table IV's ordering: BBB <= COBCM <= OBCM <= BCM <= CM <= M <= NoGap
+    // (allow tiny noise between adjacent lazy schemes).
+    const char *bench = "gamess";
+    const auto bbb = runProfile(Scheme::Bbb, bench).execTicks;
+    const auto cobcm = runProfile(Scheme::Cobcm, bench).execTicks;
+    const auto obcm = runProfile(Scheme::Obcm, bench).execTicks;
+    const auto bcm = runProfile(Scheme::Bcm, bench).execTicks;
+    const auto cm = runProfile(Scheme::Cm, bench).execTicks;
+    const auto m = runProfile(Scheme::M, bench).execTicks;
+    const auto nogap = runProfile(Scheme::NoGap, bench).execTicks;
+
+    EXPECT_LE(bbb, cobcm);
+    EXPECT_LE(static_cast<double>(cobcm), obcm * 1.05);
+    EXPECT_LE(static_cast<double>(obcm), bcm * 1.02);
+    EXPECT_LT(bcm, cm);     // the big BMT-on-critical-path jump
+    EXPECT_LE(static_cast<double>(cm), m * 1.02);
+    EXPECT_LT(m, nogap);    // per-store MAC
+    // The BCM -> CM jump dwarfs the CM -> M one (Section VI-A).
+    EXPECT_GT(cm - bcm, (m - cm) * 4);
+}
+
+TEST(System, CobcmNearlyMatchesBbb)
+{
+    // The headline result: COBCM within a few percent of insecure BBB.
+    for (const char *bench : {"sjeng", "omnetpp", "h264ref"}) {
+        const auto bbb = runProfile(Scheme::Bbb, bench).execTicks;
+        const auto cobcm = runProfile(Scheme::Cobcm, bench).execTicks;
+        EXPECT_LT(static_cast<double>(cobcm) / bbb, 1.05) << bench;
+    }
+}
+
+TEST(System, GamessAnchorsReproduce)
+{
+    // Section VI-B: gamess PPTI ~47.4, NWPE ~2.1, NoGap IPC ~0.13.
+    SimulationResult r = runProfile(Scheme::NoGap, "gamess", 100'000);
+    EXPECT_NEAR(r.ppti, 47.4, 8.0);
+    EXPECT_NEAR(r.nwpe, 2.1, 0.6);
+    EXPECT_NEAR(r.ipc, 0.12, 0.05);
+}
+
+TEST(System, PovrayNwpeAnchor)
+{
+    SimulationResult r = runProfile(Scheme::Cm, "povray", 100'000);
+    EXPECT_NEAR(r.nwpe, 17.6, 6.0);
+}
+
+TEST(System, RunsAreReproducible)
+{
+    const auto a = runProfile(Scheme::Cm, "gcc", 30'000, 32, 9);
+    const auto b = runProfile(Scheme::Cm, "gcc", 30'000, 32, 9);
+    EXPECT_EQ(a.execTicks, b.execTicks);
+    EXPECT_EQ(a.persists, b.persists);
+    EXPECT_EQ(a.bmtRootUpdates, b.bmtRootUpdates);
+}
+
+TEST(System, LargerSecPbReducesCmOverhead)
+{
+    // Figure 7's shape on a capacity-sensitive workload.
+    const auto small = runProfile(Scheme::Cm, "gobmk", 60'000, 8);
+    const auto big = runProfile(Scheme::Cm, "gobmk", 60'000, 128);
+    const auto base_small = runProfile(Scheme::Bbb, "gobmk", 60'000, 8);
+    const auto base_big = runProfile(Scheme::Bbb, "gobmk", 60'000, 128);
+    const double r_small =
+        static_cast<double>(small.execTicks) / base_small.execTicks;
+    const double r_big =
+        static_cast<double>(big.execTicks) / base_big.execTicks;
+    EXPECT_LT(r_big, r_small);
+}
+
+TEST(System, CoalescingReducesBmtUpdatesVsWriteThrough)
+{
+    // Figure 8: all SecPB schemes perform far fewer root updates than
+    // sec_wt, which updates per store.
+    const auto wt = runProfile(Scheme::SecWt, "gcc", 40'000);
+    const auto cm = runProfile(Scheme::Cm, "gcc", 40'000);
+    EXPECT_LT(cm.bmtRootUpdates, wt.bmtRootUpdates / 3);
+}
+
+TEST(System, BmfReducesCmOverhead)
+{
+    // Figure 9: height reduction helps the eager CM scheme.
+    const BenchmarkProfile &p = profileByName("gamess");
+    auto run_bmf = [&p](BmfMode bmf) {
+        SystemConfig cfg = SecPbSystem::configFor(Scheme::Cm, p);
+        cfg.walker.bmfMode = bmf;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(p, 40'000, 7);
+        return sys.run(gen).execTicks;
+    };
+    const auto full = run_bmf(BmfMode::None);
+    const auto dbmf = run_bmf(BmfMode::Dbmf);
+    const auto sbmf = run_bmf(BmfMode::Sbmf);
+    EXPECT_LT(dbmf, full);
+    EXPECT_LT(sbmf, full);
+    EXPECT_LT(dbmf, sbmf);  // 2 levels beat 5
+}
+
+TEST(System, StatsAreSelfConsistent)
+{
+    SimulationResult r = runProfile(Scheme::Cobcm, "astar", 50'000);
+    EXPECT_GT(r.instructions, 49'000u);
+    EXPECT_GT(r.persists, 0u);
+    EXPECT_GE(r.persists, r.allocations);
+    EXPECT_NEAR(r.ppti, 1000.0 * r.persists / r.instructions, 1e-9);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0);
+    EXPECT_GE(r.ctrCacheHitRate, 0.0);
+    EXPECT_LE(r.ctrCacheHitRate, 1.0);
+}
+
+TEST(System, StatsDumpMentionsAllSubsystems)
+{
+    SecPbSystem sys;
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const std::string text = os.str();
+    for (const char *needle :
+         {"system.secpb.", "system.pcm.", "system.wpq.", "system.bmt.",
+          "system.cpu.", "system.crypto.", "system.ctr_cache.",
+          "system.store_buffer."})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(System, SpIsSlowerThanAnySecPbScheme)
+{
+    const auto sp = runProfile(Scheme::Sp, "gcc", 40'000).execTicks;
+    const auto cm = runProfile(Scheme::Cm, "gcc", 40'000).execTicks;
+    const auto cobcm = runProfile(Scheme::Cobcm, "gcc", 40'000).execTicks;
+    EXPECT_GT(sp, cm);
+    EXPECT_GT(sp, cobcm);
+}
+
+TEST(System, DeadlockDetectionPanicsInsteadOfHanging)
+{
+    // A system with a generator that was never started has no events;
+    // run() must panic rather than spin.
+    SecPbSystem sys;
+    ScriptedGenerator empty_gen;
+    // An empty generator finishes immediately -- not a deadlock.
+    SimulationResult r = sys.run(empty_gen);
+    EXPECT_EQ(r.instructions, 0u);
+}
