@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_per_benchmark.dir/fig6_per_benchmark.cc.o"
+  "CMakeFiles/fig6_per_benchmark.dir/fig6_per_benchmark.cc.o.d"
+  "fig6_per_benchmark"
+  "fig6_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bmt_updates.dir/fig8_bmt_updates.cc.o"
+  "CMakeFiles/fig8_bmt_updates.dir/fig8_bmt_updates.cc.o.d"
+  "fig8_bmt_updates"
+  "fig8_bmt_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bmt_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bmf.dir/fig9_bmf.cc.o"
+  "CMakeFiles/fig9_bmf.dir/fig9_bmf.cc.o.d"
+  "fig9_bmf"
+  "fig9_bmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_sharing.dir/multicore_sharing.cc.o"
+  "CMakeFiles/multicore_sharing.dir/multicore_sharing.cc.o.d"
+  "multicore_sharing"
+  "multicore_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_window.dir/recovery_window.cc.o"
+  "CMakeFiles/recovery_window.dir/recovery_window.cc.o.d"
+  "recovery_window"
+  "recovery_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overheads.dir/table4_overheads.cc.o"
+  "CMakeFiles/table4_overheads.dir/table4_overheads.cc.o.d"
+  "table4_overheads"
+  "table4_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

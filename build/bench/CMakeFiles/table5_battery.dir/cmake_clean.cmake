@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_battery.dir/table5_battery.cc.o"
+  "CMakeFiles/table5_battery.dir/table5_battery.cc.o.d"
+  "table5_battery"
+  "table5_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

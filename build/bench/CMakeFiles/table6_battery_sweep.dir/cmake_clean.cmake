@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_battery_sweep.dir/table6_battery_sweep.cc.o"
+  "CMakeFiles/table6_battery_sweep.dir/table6_battery_sweep.cc.o.d"
+  "table6_battery_sweep"
+  "table6_battery_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_battery_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

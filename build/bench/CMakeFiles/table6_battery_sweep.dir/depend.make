@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_battery_sweep.
+# This may be replaced when dependencies are built.

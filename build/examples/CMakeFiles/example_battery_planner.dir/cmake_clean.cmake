@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_battery_planner.dir/battery_planner.cpp.o"
+  "CMakeFiles/example_battery_planner.dir/battery_planner.cpp.o.d"
+  "example_battery_planner"
+  "example_battery_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_battery_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/example_kvstore.dir/kvstore.cpp.o.d"
+  "example_kvstore"
+  "example_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

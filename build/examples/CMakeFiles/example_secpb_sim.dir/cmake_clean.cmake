@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secpb_sim.dir/secpb_sim.cpp.o"
+  "CMakeFiles/example_secpb_sim.dir/secpb_sim.cpp.o.d"
+  "example_secpb_sim"
+  "example_secpb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secpb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

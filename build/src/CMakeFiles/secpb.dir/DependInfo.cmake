@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/multicore.cc" "src/CMakeFiles/secpb.dir/core/multicore.cc.o" "gcc" "src/CMakeFiles/secpb.dir/core/multicore.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/secpb.dir/core/system.cc.o" "gcc" "src/CMakeFiles/secpb.dir/core/system.cc.o.d"
+  "/root/repo/src/crypto/counters.cc" "src/CMakeFiles/secpb.dir/crypto/counters.cc.o" "gcc" "src/CMakeFiles/secpb.dir/crypto/counters.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/secpb.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/secpb.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/metadata/bmt.cc" "src/CMakeFiles/secpb.dir/metadata/bmt.cc.o" "gcc" "src/CMakeFiles/secpb.dir/metadata/bmt.cc.o.d"
+  "/root/repo/src/secpb/secpb.cc" "src/CMakeFiles/secpb.dir/secpb/secpb.cc.o" "gcc" "src/CMakeFiles/secpb.dir/secpb/secpb.cc.o.d"
+  "/root/repo/src/sim/debug.cc" "src/CMakeFiles/secpb.dir/sim/debug.cc.o" "gcc" "src/CMakeFiles/secpb.dir/sim/debug.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/secpb.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/secpb.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/secpb.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/secpb.dir/stats/stats.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/secpb.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/secpb.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/secpb.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/secpb.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secpb.dir/core/multicore.cc.o"
+  "CMakeFiles/secpb.dir/core/multicore.cc.o.d"
+  "CMakeFiles/secpb.dir/core/system.cc.o"
+  "CMakeFiles/secpb.dir/core/system.cc.o.d"
+  "CMakeFiles/secpb.dir/crypto/counters.cc.o"
+  "CMakeFiles/secpb.dir/crypto/counters.cc.o.d"
+  "CMakeFiles/secpb.dir/energy/energy_model.cc.o"
+  "CMakeFiles/secpb.dir/energy/energy_model.cc.o.d"
+  "CMakeFiles/secpb.dir/metadata/bmt.cc.o"
+  "CMakeFiles/secpb.dir/metadata/bmt.cc.o.d"
+  "CMakeFiles/secpb.dir/secpb/secpb.cc.o"
+  "CMakeFiles/secpb.dir/secpb/secpb.cc.o.d"
+  "CMakeFiles/secpb.dir/sim/debug.cc.o"
+  "CMakeFiles/secpb.dir/sim/debug.cc.o.d"
+  "CMakeFiles/secpb.dir/sim/logging.cc.o"
+  "CMakeFiles/secpb.dir/sim/logging.cc.o.d"
+  "CMakeFiles/secpb.dir/stats/stats.cc.o"
+  "CMakeFiles/secpb.dir/stats/stats.cc.o.d"
+  "CMakeFiles/secpb.dir/workload/profile.cc.o"
+  "CMakeFiles/secpb.dir/workload/profile.cc.o.d"
+  "CMakeFiles/secpb.dir/workload/synthetic.cc.o"
+  "CMakeFiles/secpb.dir/workload/synthetic.cc.o.d"
+  "libsecpb.a"
+  "libsecpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secpb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablations.cc" "tests/CMakeFiles/secpb_tests.dir/test_ablations.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_ablations.cc.o.d"
+  "/root/repo/tests/test_app_crash.cc" "tests/CMakeFiles/secpb_tests.dir/test_app_crash.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_app_crash.cc.o.d"
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/secpb_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_battery_backed_sb.cc" "tests/CMakeFiles/secpb_tests.dir/test_battery_backed_sb.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_battery_backed_sb.cc.o.d"
+  "/root/repo/tests/test_bmt.cc" "tests/CMakeFiles/secpb_tests.dir/test_bmt.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_bmt.cc.o.d"
+  "/root/repo/tests/test_cipher.cc" "tests/CMakeFiles/secpb_tests.dir/test_cipher.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_cipher.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/secpb_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_counters.cc" "tests/CMakeFiles/secpb_tests.dir/test_counters.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_counters.cc.o.d"
+  "/root/repo/tests/test_data_hierarchy.cc" "tests/CMakeFiles/secpb_tests.dir/test_data_hierarchy.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_data_hierarchy.cc.o.d"
+  "/root/repo/tests/test_debug.cc" "tests/CMakeFiles/secpb_tests.dir/test_debug.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_debug.cc.o.d"
+  "/root/repo/tests/test_drain_integration.cc" "tests/CMakeFiles/secpb_tests.dir/test_drain_integration.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_drain_integration.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/secpb_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/secpb_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/secpb_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_metadata_cache.cc" "tests/CMakeFiles/secpb_tests.dir/test_metadata_cache.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_metadata_cache.cc.o.d"
+  "/root/repo/tests/test_multicore.cc" "tests/CMakeFiles/secpb_tests.dir/test_multicore.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_multicore.cc.o.d"
+  "/root/repo/tests/test_pcm_wpq.cc" "tests/CMakeFiles/secpb_tests.dir/test_pcm_wpq.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_pcm_wpq.cc.o.d"
+  "/root/repo/tests/test_pm_state.cc" "tests/CMakeFiles/secpb_tests.dir/test_pm_state.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_pm_state.cc.o.d"
+  "/root/repo/tests/test_recovery.cc" "tests/CMakeFiles/secpb_tests.dir/test_recovery.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_recovery.cc.o.d"
+  "/root/repo/tests/test_resource.cc" "tests/CMakeFiles/secpb_tests.dir/test_resource.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_resource.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/secpb_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scheme.cc" "tests/CMakeFiles/secpb_tests.dir/test_scheme.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_scheme.cc.o.d"
+  "/root/repo/tests/test_secpb.cc" "tests/CMakeFiles/secpb_tests.dir/test_secpb.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_secpb.cc.o.d"
+  "/root/repo/tests/test_secpb_schemes.cc" "tests/CMakeFiles/secpb_tests.dir/test_secpb_schemes.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_secpb_schemes.cc.o.d"
+  "/root/repo/tests/test_set_assoc.cc" "tests/CMakeFiles/secpb_tests.dir/test_set_assoc.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_set_assoc.cc.o.d"
+  "/root/repo/tests/test_sp_baseline.cc" "tests/CMakeFiles/secpb_tests.dir/test_sp_baseline.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_sp_baseline.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/secpb_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_store_buffer.cc" "tests/CMakeFiles/secpb_tests.dir/test_store_buffer.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_store_buffer.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/secpb_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace_cpu.cc" "tests/CMakeFiles/secpb_tests.dir/test_trace_cpu.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_trace_cpu.cc.o.d"
+  "/root/repo/tests/test_walker.cc" "tests/CMakeFiles/secpb_tests.dir/test_walker.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_walker.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/secpb_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/secpb_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/secpb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
