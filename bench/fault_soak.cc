@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Standalone randomized crash-consistency soak driver.
+ *
+ * A larger, reportier sibling of tests/test_fault_soak.cc: sweeps all six
+ * SecPB schemes through randomized crash points, bounded battery budgets,
+ * and post-crash tamper attacks, fully deterministic from one seed, and
+ * prints a per-scheme summary of what the sweep exercised. Exits nonzero
+ * on the first-ever inconsistent recovery or silently accepted tamper,
+ * printing a one-line reproducer.
+ *
+ * Knobs: SECPB_SOAK_TRIALS (default 300), SECPB_SOAK_SEED (default 2026),
+ * SECPB_SOAK_TRIAL (replay exactly one trial index from a reproducer).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hh"
+#include "fault/injector.hh"
+
+using namespace secpb;
+using bench::envU64;
+
+namespace
+{
+
+constexpr const char *SoakProfiles[] = {
+    "gamess", "omnetpp", "lbm", "mcf", "libquantum",
+};
+
+struct SchemeTally
+{
+    std::uint64_t trials = 0;
+    std::uint64_t midRunCrashes = 0;
+    std::uint64_t boundedDrains = 0;
+    std::uint64_t exhausted = 0;
+    std::uint64_t abandonedEntries = 0;
+    std::uint64_t tornDetected = 0;
+    std::uint64_t staleConsistent = 0;
+    std::uint64_t tampers = 0;
+    std::uint64_t failures = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t seed = envU64("SECPB_SOAK_SEED", 2026);
+    // Trial streams are independent (seeded by trial index), so one
+    // reproducer's trial can be replayed without its predecessors.
+    const std::uint64_t first = envU64("SECPB_SOAK_TRIAL", 0);
+    const std::uint64_t trials =
+        std::getenv("SECPB_SOAK_TRIAL")
+            ? first + 1
+            : envU64("SECPB_SOAK_TRIALS", 300);
+    SchemeTally tally[std::size(SecPbSchemes)];
+    int exit_code = 0;
+
+    std::printf("fault soak: trials [%llu, %llu), seed %llu\n\n",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(seed));
+
+    for (std::uint64_t trial = first; trial < trials; ++trial) {
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
+        const std::uint64_t scheme_idx =
+            rng.below(std::size(SecPbSchemes));
+        const Scheme scheme = SecPbSchemes[scheme_idx];
+        const char *profile =
+            SoakProfiles[rng.below(std::size(SoakProfiles))];
+        const std::uint64_t instructions = 8'000 + rng.below(8'000);
+        const std::uint64_t wseed = rng.next();
+
+        FaultPlan plan;
+        if (rng.chance(0.5))
+            plan.crashAtPersist = 1 + rng.below(220);
+        else
+            plan.crashAtTick = 100 + rng.below(40'000);
+        if (!rng.chance(1.0 / 3.0))
+            plan.batteryFraction = rng.uniform();
+        plan.tamperCount = static_cast<unsigned>(rng.below(4));
+        plan.tamperSeed = rng.next();
+
+        SystemConfig cfg;
+        cfg.scheme = scheme;
+        cfg.pmDataBytes = 1ULL << 30;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(profileByName(profile), instructions,
+                               wseed);
+        const FaultReport r = FaultInjector(sys, plan).run(gen);
+
+        SchemeTally &t = tally[scheme_idx];
+        ++t.trials;
+        t.midRunCrashes += r.crashedMidRun;
+        t.boundedDrains += plan.boundedBattery();
+        t.exhausted += r.crash.work.batteryExhausted;
+        t.abandonedEntries += r.crash.work.abandoned.size();
+        t.tornDetected += r.crash.recovery.tornDetected;
+        t.staleConsistent += r.crash.recovery.staleConsistent;
+        t.tampers += r.tampers.size();
+
+        if (!r.ok()) {
+            ++t.failures;
+            exit_code = 1;
+            std::printf("FAIL: SECPB_SOAK_SEED=%llu trial=%llu scheme=%s "
+                        "profile=%s instrs=%llu wseed=%llu %s (%s)\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(trial),
+                        schemeName(scheme), profile,
+                        static_cast<unsigned long long>(instructions),
+                        static_cast<unsigned long long>(wseed),
+                        plan.describe().c_str(),
+                        !r.crash.recovered ? "inconsistent recovery"
+                                           : "undetected tamper");
+        }
+    }
+
+    std::printf("%-8s %7s %8s %8s %10s %10s %6s %7s %8s %9s\n", "scheme",
+                "trials", "mid-run", "bounded", "exhausted", "abandoned",
+                "torn", "stale", "tampers", "failures");
+    for (std::size_t i = 0; i < std::size(SecPbSchemes); ++i) {
+        const SchemeTally &t = tally[i];
+        std::printf("%-8s %7llu %8llu %8llu %10llu %10llu %6llu %7llu "
+                    "%8llu %9llu\n",
+                    schemeName(SecPbSchemes[i]),
+                    static_cast<unsigned long long>(t.trials),
+                    static_cast<unsigned long long>(t.midRunCrashes),
+                    static_cast<unsigned long long>(t.boundedDrains),
+                    static_cast<unsigned long long>(t.exhausted),
+                    static_cast<unsigned long long>(t.abandonedEntries),
+                    static_cast<unsigned long long>(t.tornDetected),
+                    static_cast<unsigned long long>(t.staleConsistent),
+                    static_cast<unsigned long long>(t.tampers),
+                    static_cast<unsigned long long>(t.failures));
+    }
+    std::printf("\n%s\n", exit_code ? "SOAK FAILED" : "soak clean");
+    return exit_code;
+}

@@ -1,5 +1,8 @@
 #include "core/system.hh"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "recovery/drain_latency.hh"
 
 namespace secpb
@@ -128,42 +131,68 @@ SecPbSystem::result() const
 }
 
 CrashReport
-SecPbSystem::crashNow()
+SecPbSystem::crashNow(const CrashOptions &opts)
 {
     CrashReport cr;
     DrainLatencyModel latency(_cfg.crypto, _cfg.pcm);
+    CrashDrainBudget budget;
+    if (opts.bounded()) {
+        budget.energyJ = opts.batteryEnergyJ;
+        budget.pricing = &_energy;
+    }
     cr.work = _secpb->crashDrainAll(
         _cfg.batteryBackedStoreBuffer
             ? _sb->pendingStores()
-            : std::vector<std::pair<Addr, std::uint64_t>>{});
+            : std::vector<std::pair<Addr, std::uint64_t>>{},
+        budget);
     cr.actualEnergyJ = _energy.actualCrashEnergy(cr.work);
     cr.drainLatency = latency.estimate(cr.work);
     cr.drainLatencyNs = latency.estimateNs(cr.work, _cfg.clock);
-    if (_cfg.scheme == Scheme::Sp) {
-        cr.provisionedEnergyJ = _energy.spAdrEnergy(_cfg.wpqEntries);
-    } else if (schemeTraits(_cfg.scheme).secure) {
-        cr.provisionedEnergyJ =
-            _energy.secPbBatteryEnergy(_cfg.scheme, _cfg.secpb.numEntries);
-    } else {
-        cr.provisionedEnergyJ =
-            _energy.bbbBatteryEnergy(_cfg.secpb.numEntries);
-    }
+    cr.provisionedEnergyJ = provisionedCrashEnergy();
 
+    const bool partial =
+        cr.work.batteryExhausted || !cr.work.abandoned.empty();
     if (schemeTraits(_cfg.scheme).secure) {
         RecoveryVerifier verifier(_layout, _cfg.keys);
-        cr.recovery = verifier.verifyAll(_pm, *_tree, _oracle);
+        cr.recovery = partial
+            ? verifier.verifyPartial(_pm, *_tree, _oracle,
+                                     cr.work.abandoned)
+            : verifier.verifyAll(_pm, *_tree, _oracle);
         cr.recovered = cr.recovery.ok();
     } else {
-        // BBB stores plaintext; recovery is a plain comparison.
+        // BBB stores plaintext; recovery is a plain comparison. An
+        // abandoned block may legitimately sit at its pre-residency
+        // version (or its final one, if the drain raced completion);
+        // anything else is a prefix violation.
+        std::unordered_map<Addr, std::uint64_t> pending;
+        for (const AbandonedResidency &a : cr.work.abandoned)
+            pending[blockAlign(a.addr)] = a.pendingWrites;
         cr.recovery.blocksChecked = 0;
-        cr.recovered = true;
         for (Addr addr : _oracle.touchedBlocks()) {
             ++cr.recovery.blocksChecked;
-            if (_pm.readData(addr) != _oracle.blockContent(addr)) {
-                ++cr.recovery.plaintextMismatches;
-                cr.recovered = false;
+            auto it = pending.find(addr);
+            if (it == pending.end()) {
+                if (_pm.readData(addr) != _oracle.blockContent(addr)) {
+                    ++cr.recovery.plaintextMismatches;
+                    cr.recovery.faults.push_back(
+                        {addr, BlockFaultKind::PlaintextMismatch});
+                }
+                continue;
+            }
+            const std::uint64_t total = _oracle.storeCount(addr);
+            const std::uint64_t pre =
+                total - std::min(total, it->second);
+            const BlockData got = _pm.readData(addr);
+            if (got == _oracle.blockVersion(addr, pre) ||
+                got == _oracle.blockContent(addr)) {
+                ++cr.recovery.staleConsistent;
+            } else {
+                ++cr.recovery.prefixViolations;
+                cr.recovery.faults.push_back(
+                    {addr, BlockFaultKind::PrefixViolation});
             }
         }
+        cr.recovered = cr.recovery.ok();
     }
     return cr;
 }

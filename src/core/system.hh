@@ -27,6 +27,7 @@
 #ifndef SECPB_CORE_SYSTEM_HH
 #define SECPB_CORE_SYSTEM_HH
 
+#include <limits>
 #include <memory>
 #include <ostream>
 
@@ -51,6 +52,24 @@
 
 namespace secpb
 {
+
+/** Knobs for a crash experiment (see SecPbSystem::crashNow). */
+struct CrashOptions
+{
+    /**
+     * Battery energy available for the crash drain, in joules. The
+     * default is unbounded (the classic correctly-provisioned battery);
+     * fault experiments scale this down from provisionedCrashEnergy()
+     * to model an under-provisioned or partially-discharged battery.
+     */
+    double batteryEnergyJ = std::numeric_limits<double>::infinity();
+
+    bool
+    bounded() const
+    {
+        return batteryEnergyJ != std::numeric_limits<double>::infinity();
+    }
+};
 
 /** The assembled simulated machine. */
 class SecPbSystem
@@ -82,7 +101,26 @@ class SecPbSystem
      * Crash now: battery-drain the SecPB, then run recovery verification
      * against the persist oracle. Simulated time does not advance.
      */
-    CrashReport crashNow();
+    CrashReport crashNow() { return crashNow(CrashOptions{}); }
+
+    /**
+     * Crash with explicit options. A bounded battery budget makes the
+     * drain stop once the energy runs out; recovery then verifies that
+     * the drained entries form an in-order prefix of the persist order
+     * and classifies every abandoned block.
+     */
+    CrashReport crashNow(const CrashOptions &opts);
+
+    /**
+     * The worst-case battery energy this configuration provisions
+     * (the ceiling that CrashOptions::batteryEnergyJ scales down from).
+     */
+    double
+    provisionedCrashEnergy() const
+    {
+        return _energy.provisionedEnergy(_cfg.scheme, _cfg.secpb.numEntries,
+                                         _cfg.wpqEntries);
+    }
 
     /** Result snapshot of the current/finished run. */
     SimulationResult result() const;

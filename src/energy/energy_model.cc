@@ -95,6 +95,17 @@ EnergyModel::spAdrEnergy(unsigned wpq_entries) const
 }
 
 double
+EnergyModel::provisionedEnergy(Scheme scheme, unsigned secpb_entries,
+                               unsigned wpq_entries) const
+{
+    if (scheme == Scheme::Sp)
+        return spAdrEnergy(wpq_entries);
+    if (schemeTraits(scheme).secure)
+        return secPbBatteryEnergy(scheme, secpb_entries);
+    return bbbBatteryEnergy(secpb_entries);
+}
+
+double
 EnergyModel::eadrBatteryEnergy(const HierarchyFootprint &h) const
 {
     const double l1_lines = static_cast<double>(h.l1Bytes) / BlockSize;

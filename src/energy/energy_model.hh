@@ -115,6 +115,14 @@ class EnergyModel
      */
     double spAdrEnergy(unsigned wpq_entries) const;
 
+    /**
+     * Worst-case battery provisioning for @p scheme: dispatches to the
+     * SecPB, BBB, or SP(ADR) sizing rule. This is the budget ceiling that
+     * bounded-battery fault experiments scale down from.
+     */
+    double provisionedEnergy(Scheme scheme, unsigned secpb_entries,
+                             unsigned wpq_entries) const;
+
     /** Battery energy for insecure eADR (flush all caches). */
     double eadrBatteryEnergy(const HierarchyFootprint &h = {}) const;
 

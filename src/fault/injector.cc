@@ -1,0 +1,109 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace secpb
+{
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out;
+    char buf[96];
+    if (crashAtTick) {
+        std::snprintf(buf, sizeof(buf), "crash@tick=%llu",
+                      static_cast<unsigned long long>(*crashAtTick));
+        out += buf;
+    }
+    if (crashAtPersist) {
+        std::snprintf(buf, sizeof(buf), "%scrash@persist=%llu",
+                      out.empty() ? "" : " ",
+                      static_cast<unsigned long long>(*crashAtPersist));
+        out += buf;
+    }
+    if (out.empty())
+        out = "crash@end";
+    if (boundedBattery()) {
+        std::snprintf(buf, sizeof(buf), " battery=%.4f", batteryFraction);
+        out += buf;
+    }
+    if (tamperCount) {
+        std::snprintf(buf, sizeof(buf), " tampers=%u tamper_seed=%llu",
+                      tamperCount,
+                      static_cast<unsigned long long>(tamperSeed));
+        out += buf;
+    }
+    return out;
+}
+
+FaultReport
+FaultInjector::run(WorkloadGenerator &gen)
+{
+    FaultReport report;
+    EventQueue &eq = _sys.eventQueue();
+
+    _sys.start(gen);
+
+    if (_plan.crashAtPersist) {
+        const std::uint64_t target = *_plan.crashAtPersist;
+        eq.setPostEventHook([this, &eq, target] {
+            if (_sys.oracle().numPersists() >= target)
+                eq.requestStop();
+        });
+    }
+
+    const Tick limit = _plan.crashAtTick.value_or(MaxTick);
+    eq.run(limit);
+    eq.clearPostEventHook();
+    eq.clearStop();
+
+    report.crashTick = eq.curTick();
+    report.persistsAtCrash = _sys.oracle().numPersists();
+    report.crashedMidRun = !_sys.finished();
+
+    CrashOptions opts;
+    if (_plan.boundedBattery())
+        opts.batteryEnergyJ =
+            _plan.batteryFraction * _sys.provisionedCrashEnergy();
+    report.crash = _sys.crashNow(opts);
+
+    // Tamper phase: corrupt the post-drain image, then re-verify and
+    // demand that every mutation is flagged. Only meaningful for secure
+    // schemes -- BBB plaintext carries no integrity metadata.
+    if (_plan.tamperCount > 0 &&
+        schemeTraits(_sys.config().scheme).secure) {
+        std::unordered_set<Addr> abandoned;
+        for (const AbandonedResidency &a : report.crash.work.abandoned)
+            abandoned.insert(blockAlign(a.addr));
+
+        // Victims: blocks fully persisted and actually present in PM.
+        // Tampering an abandoned block would conflate attacker damage
+        // with battery loss and make detection attribution ambiguous.
+        std::vector<Addr> candidates;
+        for (Addr addr : _sys.oracle().touchedBlocks())
+            if (!abandoned.count(addr) && _sys.pm().hasData(addr))
+                candidates.push_back(addr);
+        std::sort(candidates.begin(), candidates.end());
+
+        TamperInjector injector(_plan.tamperSeed);
+        report.tampers =
+            injector.inject(_sys.pm(), _sys.tree(), _sys.layout(),
+                            candidates, _plan.tamperCount);
+
+        RecoveryVerifier verifier(_sys.layout(), _sys.config().keys);
+        const bool partial = report.crash.work.batteryExhausted ||
+                             !report.crash.work.abandoned.empty();
+        report.postTamper = partial
+            ? verifier.verifyPartial(_sys.pm(), _sys.tree(), _sys.oracle(),
+                                     report.crash.work.abandoned)
+            : verifier.verifyAll(_sys.pm(), _sys.tree(), _sys.oracle());
+        report.tampersAllDetected = TamperInjector::allDetected(
+            report.tampers, report.postTamper, _sys.layout(), _sys.tree());
+    }
+
+    return report;
+}
+
+} // namespace secpb

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fault-injection driver: crash a run at an arbitrary point, drain on a
+ * bounded battery, tamper with the PM image, verify recovery.
+ *
+ * A FaultPlan names the experiment: *when* to crash (an absolute cycle,
+ * a persist count, or end-of-run if neither triggers), *how much* battery
+ * energy the drain gets (a fraction of the worst-case provisioning), and
+ * *what* an attacker corrupts afterwards. FaultInjector executes the plan
+ * against one SecPbSystem via the event queue's post-event hook -- the
+ * only boundaries where model state is consistent -- so a crash can land
+ * between any two events of the simulation, not just at quiescence.
+ *
+ * The resulting FaultReport composes the crash-drain accounting, the
+ * recovery verification (prefix-consistency under a bounded battery), the
+ * injected tamper records, and the post-tamper re-verification with the
+ * zero-silent-acceptance check.
+ */
+
+#ifndef SECPB_FAULT_INJECTOR_HH
+#define SECPB_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "fault/tamper.hh"
+
+namespace secpb
+{
+
+/** One fault-injection experiment. */
+struct FaultPlan
+{
+    /** Crash once simulated time reaches this cycle. */
+    std::optional<Tick> crashAtTick;
+
+    /** Crash once this many stores have reached the PoP. */
+    std::optional<std::uint64_t> crashAtPersist;
+
+    /**
+     * Battery energy as a fraction of the configuration's worst-case
+     * provisioning (SecPbSystem::provisionedCrashEnergy). Infinity (the
+     * default) models the correctly-provisioned battery; values < 1
+     * model an under-provisioned or partially-discharged one and force
+     * prefix verification. Values >= 1 can never exhaust (provisioning
+     * is worst-case by construction).
+     */
+    double batteryFraction = std::numeric_limits<double>::infinity();
+
+    /** Number of post-crash tampers to inject (secure schemes only). */
+    unsigned tamperCount = 0;
+
+    /** Seed for the tamper injector's RNG. */
+    std::uint64_t tamperSeed = 1;
+
+    bool
+    boundedBattery() const
+    {
+        return batteryFraction != std::numeric_limits<double>::infinity();
+    }
+
+    /** One-line description for reproducer output. */
+    std::string describe() const;
+};
+
+/** Outcome of one fault-injection experiment. */
+struct FaultReport
+{
+    /** True if the crash interrupted the run (vs. end-of-workload). */
+    bool crashedMidRun = false;
+
+    Tick crashTick = 0;
+    std::uint64_t persistsAtCrash = 0;
+
+    /** Drain accounting + recovery verification at the crash point. */
+    CrashReport crash;
+
+    /** Tampers injected after the drain (empty if none requested). */
+    std::vector<TamperRecord> tampers;
+
+    /** Re-verification of the tampered image. */
+    RecoveryReport postTamper;
+
+    /** Every injected tamper surfaced as a classified fault. */
+    bool tampersAllDetected = true;
+
+    /**
+     * The experiment's pass condition: recovery of the (possibly
+     * partial) drain is consistent, and no tamper went undetected.
+     * The tampered image itself is *expected* to fail verification --
+     * that failure is the detection.
+     */
+    bool
+    ok() const
+    {
+        return crash.recovered && tampersAllDetected;
+    }
+};
+
+/** Executes one FaultPlan against one system. */
+class FaultInjector
+{
+  public:
+    FaultInjector(SecPbSystem &sys, const FaultPlan &plan)
+        : _sys(sys), _plan(plan)
+    {}
+
+    /** Run @p gen under the plan: crash, drain, tamper, verify. */
+    FaultReport run(WorkloadGenerator &gen);
+
+  private:
+    SecPbSystem &_sys;
+    FaultPlan _plan;
+};
+
+} // namespace secpb
+
+#endif // SECPB_FAULT_INJECTOR_HH

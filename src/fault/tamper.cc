@@ -1,0 +1,170 @@
+#include "fault/tamper.hh"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace secpb
+{
+
+std::string
+TamperRecord::describe() const
+{
+    char buf[128];
+    switch (region) {
+      case TamperRegion::Data:
+        std::snprintf(buf, sizeof(buf), "data@%#llx^%#llx",
+                      static_cast<unsigned long long>(blockAddr),
+                      static_cast<unsigned long long>(mask));
+        break;
+      case TamperRegion::Counter:
+        std::snprintf(buf, sizeof(buf), "counter@page%llu",
+                      static_cast<unsigned long long>(page));
+        break;
+      case TamperRegion::Mac:
+        std::snprintf(buf, sizeof(buf), "mac@%#llx^%#llx",
+                      static_cast<unsigned long long>(blockAddr),
+                      static_cast<unsigned long long>(mask));
+        break;
+      case TamperRegion::BmtNode:
+        std::snprintf(buf, sizeof(buf), "bmt@L%u[%llu]^%#llx",
+                      level, static_cast<unsigned long long>(nodeIndex),
+                      static_cast<unsigned long long>(mask));
+        break;
+    }
+    return buf;
+}
+
+std::vector<TamperRecord>
+TamperInjector::inject(PmImage &pm, BonsaiMerkleTree &tree,
+                       const MetadataLayout &layout,
+                       const std::vector<Addr> &candidates, unsigned count)
+{
+    std::vector<TamperRecord> records;
+    if (candidates.empty())
+        return records;
+
+    // Net XOR applied so far per tampered location. Two random tampers
+    // landing on the same spot with the same mask would restore the
+    // original bits -- PM identical to the untampered image, so "every
+    // tamper detected" would be unsatisfiable. When a draw would zero a
+    // location's net mask, nudge it (stays odd, stays nonzero).
+    std::map<std::tuple<int, std::uint64_t, std::uint64_t, std::uint64_t>,
+             std::uint64_t>
+        net;
+    const auto effective = [&net](int region, std::uint64_t a,
+                                  std::uint64_t b, std::uint64_t c,
+                                  std::uint64_t mask) {
+        std::uint64_t &n = net[{region, a, b, c}];
+        if ((n ^ mask) == 0)
+            mask ^= 2;
+        n ^= mask;
+        return mask;
+    };
+
+    for (unsigned i = 0; i < count; ++i) {
+        TamperRecord rec;
+        rec.blockAddr = candidates[_rng.below(candidates.size())];
+        rec.page = layout.pageIndex(rec.blockAddr);
+        rec.mask = (_rng.next() & 0xff) | 1;
+
+        switch (_rng.below(4)) {
+          case 0: {
+            rec.region = TamperRegion::Data;
+            const auto byte = _rng.below(BlockSize);
+            rec.mask = effective(0, blockAlign(rec.blockAddr), byte, 0,
+                                 rec.mask);
+            pm.tamperData(rec.blockAddr, static_cast<unsigned>(byte),
+                          static_cast<std::uint8_t>(rec.mask));
+            break;
+          }
+          case 1: {
+            rec.region = TamperRegion::Counter;
+            const unsigned slot = layout.blockInPage(rec.blockAddr);
+            rec.mask = effective(1, rec.page, slot, 0, rec.mask);
+            pm.tamperCounter(rec.page, slot,
+                             static_cast<std::uint8_t>(rec.mask));
+            break;
+          }
+          case 2:
+            rec.region = TamperRegion::Mac;
+            rec.mask = effective(2, blockAlign(rec.blockAddr), 0, 0,
+                                 rec.mask);
+            pm.tamperMac(rec.blockAddr, rec.mask);
+            break;
+          case 3: {
+            rec.region = TamperRegion::BmtNode;
+            const auto path = tree.pathIndices(rec.page);
+            rec.level = static_cast<unsigned>(_rng.below(path.size()));
+            rec.nodeIndex = path[rec.level];
+            // Flip the on-path child slot so the forgery sits on the
+            // verification path of the victim block's page.
+            const unsigned slot = static_cast<unsigned>(
+                rec.level == 0 ? rec.page % 8 : path[rec.level - 1] % 8);
+            BmtNode forged = tree.node(rec.level, rec.nodeIndex);
+            if (!tree.hasNode(rec.level, rec.nodeIndex)) {
+                // Node never materialized (cannot happen for a persisted
+                // page, but stay deterministic): fall back to the MAC.
+                rec.region = TamperRegion::Mac;
+                rec.mask = effective(2, blockAlign(rec.blockAddr), 0, 0,
+                                     rec.mask);
+                pm.tamperMac(rec.blockAddr, rec.mask);
+                break;
+            }
+            rec.mask = effective(3, rec.level, rec.nodeIndex, slot,
+                                 rec.mask);
+            forged.child[slot] ^= rec.mask;
+            tree.tamperNode(rec.level, rec.nodeIndex, forged);
+            break;
+          }
+        }
+        records.push_back(rec);
+    }
+    return records;
+}
+
+bool
+TamperInjector::detected(const TamperRecord &rec,
+                         const RecoveryReport &report,
+                         const MetadataLayout &layout,
+                         const BonsaiMerkleTree &tree)
+{
+    for (const BlockFault &f : report.faults) {
+        switch (rec.region) {
+          case TamperRegion::Data:
+          case TamperRegion::Mac:
+            if (blockAlign(f.addr) == blockAlign(rec.blockAddr))
+                return true;
+            break;
+          case TamperRegion::Counter:
+            if (layout.pageIndex(f.addr) == rec.page)
+                return true;
+            break;
+          case TamperRegion::BmtNode: {
+            if (f.kind != BlockFaultKind::BmtMismatch &&
+                f.kind != BlockFaultKind::TornResidency)
+                break;
+            const auto path = tree.pathIndices(layout.pageIndex(f.addr));
+            if (rec.level < path.size() &&
+                path[rec.level] == rec.nodeIndex)
+                return true;
+            break;
+          }
+        }
+    }
+    return false;
+}
+
+bool
+TamperInjector::allDetected(const std::vector<TamperRecord> &recs,
+                            const RecoveryReport &report,
+                            const MetadataLayout &layout,
+                            const BonsaiMerkleTree &tree)
+{
+    for (const TamperRecord &rec : recs)
+        if (!detected(rec, report, layout, tree))
+            return false;
+    return true;
+}
+
+} // namespace secpb

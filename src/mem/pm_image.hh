@@ -106,10 +106,11 @@ class PmImage
     }
 
     void
-    tamperCounter(std::uint64_t page_idx, unsigned minor_idx)
+    tamperCounter(std::uint64_t page_idx, unsigned minor_idx,
+                  std::uint8_t xor_mask = 1)
     {
         CounterBlock cb = readCounterBlock(page_idx);
-        cb.minors[minor_idx % BlocksPerPage] ^= 1;
+        cb.minors[minor_idx % BlocksPerPage] ^= xor_mask;
         _counters[page_idx] = cb;
     }
 

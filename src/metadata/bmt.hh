@@ -120,6 +120,13 @@ class BonsaiMerkleTree
     bool tamperNode(unsigned level, std::uint64_t index,
                     const BmtNode &forged);
 
+    /** Whether node (@p level, @p index) was ever explicitly stored. */
+    bool
+    hasNode(unsigned level, std::uint64_t index) const
+    {
+        return _nodes.count(key(level, index)) != 0;
+    }
+
     /** Overwrite the root register -- test hook for rollback attacks. */
     void setRoot(Digest d) { _root = d; }
 

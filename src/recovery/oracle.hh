@@ -13,6 +13,7 @@
 #ifndef SECPB_RECOVERY_ORACLE_HH
 #define SECPB_RECOVERY_ORACLE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,18 @@
 namespace secpb
 {
 
+/**
+ * A SecPB residency the battery abandoned when its energy budget ran
+ * out: the block's recovered content must be its pre-residency version
+ * (the @p pendingWrites coalesced stores of the final residency are
+ * lost together, never torn apart).
+ */
+struct AbandonedResidency
+{
+    Addr addr = InvalidAddr;          ///< Block-aligned data address.
+    std::uint64_t pendingWrites = 0;  ///< Stores coalesced in the entry.
+};
+
 /** Plaintext shadow of all persisted stores, in persist order. */
 class PersistOracle
 {
@@ -31,8 +44,12 @@ class PersistOracle
     void
     applyStore(Addr addr, std::uint64_t value)
     {
-        BlockData &b = _blocks[blockAlign(addr)];
-        setBlockWord(b, blockOffset(addr) / 8, value);
+        const Addr block = blockAlign(addr);
+        BlockData &b = _blocks[block];
+        const unsigned word = blockOffset(addr) / 8;
+        setBlockWord(b, word, value);
+        _log[block].push_back(
+            StoreRecord{static_cast<std::uint8_t>(word), value});
         ++_numPersists;
     }
 
@@ -65,8 +82,64 @@ class PersistOracle
     std::uint64_t numPersists() const { return _numPersists; }
     std::size_t numBlocks() const { return _blocks.size(); }
 
+    /**
+     * @name Per-block version history
+     * Bounded-battery crash drains can legitimately recover a block at an
+     * *older* version (its content before the abandoned final residency).
+     * The per-block store log lets the verifier reconstruct any
+     * historical version and decide whether a recovered image is a
+     * persist-order-consistent prefix or silent corruption.
+     * @{
+     */
+
+    /** Number of stores ever persisted to the block containing @p addr. */
+    std::uint64_t
+    storeCount(Addr addr) const
+    {
+        auto it = _log.find(blockAlign(addr));
+        return it != _log.end() ? it->second.size() : 0;
+    }
+
+    /**
+     * Plaintext of the block containing @p addr after its first
+     * @p version stores (version 0 = the pristine zero block).
+     */
+    BlockData
+    blockVersion(Addr addr, std::uint64_t version) const
+    {
+        BlockData b = zeroBlock();
+        auto it = _log.find(blockAlign(addr));
+        if (it == _log.end())
+            return b;
+        const auto &records = it->second;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(version, records.size());
+        for (std::uint64_t i = 0; i < n; ++i)
+            setBlockWord(b, records[i].word, records[i].value);
+        return b;
+    }
+
+    /** True if @p content matches some historical version of the block. */
+    bool
+    isHistoricalVersion(Addr addr, const BlockData &content) const
+    {
+        const std::uint64_t n = storeCount(addr);
+        for (std::uint64_t v = 0; v <= n; ++v)
+            if (blockVersion(addr, v) == content)
+                return true;
+        return false;
+    }
+    /** @} */
+
   private:
+    struct StoreRecord
+    {
+        std::uint8_t word;    ///< Word index within the block.
+        std::uint64_t value;
+    };
+
     std::unordered_map<Addr, BlockData> _blocks;
+    std::unordered_map<Addr, std::vector<StoreRecord>> _log;
     std::uint64_t _numPersists = 0;
 };
 

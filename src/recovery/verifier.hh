@@ -14,12 +14,26 @@
  *  - persist order: the oracle applies stores in acceptance order, so a
  *    recovered state missing an older store but containing a newer one
  *    diverges from the oracle.
+ *
+ * Two additional scan modes exist for fault-injection experiments:
+ *
+ *  - the spurious-block scan flags PM blocks that the oracle never saw
+ *    persisted (an attacker-planted or wild write must be reported, not
+ *    silently ignored);
+ *  - verifyPartial() checks a *bounded-battery* drain: a battery that
+ *    exhausted its energy budget abandons an in-order suffix of SecPB
+ *    entries, so each abandoned block must either be flagged by the
+ *    integrity checks (a detected torn residency) or decrypt exactly to
+ *    its pre-residency version -- anything else is silent corruption.
  */
 
 #ifndef SECPB_RECOVERY_VERIFIER_HH
 #define SECPB_RECOVERY_VERIFIER_HH
 
 #include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "crypto/cipher.hh"
 #include "mem/pm_image.hh"
@@ -30,6 +44,45 @@
 namespace secpb
 {
 
+/** Classification of a per-block recovery anomaly. */
+enum class BlockFaultKind
+{
+    MacMismatch,        ///< Stored MAC does not match (ct, addr, ctr).
+    BmtMismatch,        ///< Counter block fails the BMT root check.
+    PlaintextMismatch,  ///< Decrypts, but not to the oracle plaintext.
+    SpuriousBlock,      ///< Present in PM yet never persisted per oracle.
+    MissingBlock,       ///< Persisted per oracle yet absent from PM.
+    TornResidency,      ///< Abandoned entry flagged by integrity checks
+                        ///< (detected data loss -- expected when the
+                        ///< battery budget ran out mid-drain).
+    PrefixViolation,    ///< Abandoned entry passes integrity but holds
+                        ///< content that is no valid version of the
+                        ///< block: silent corruption.
+};
+
+/** Human-readable fault-kind name (reproducer lines, reports). */
+inline const char *
+blockFaultName(BlockFaultKind k)
+{
+    switch (k) {
+      case BlockFaultKind::MacMismatch:       return "mac_mismatch";
+      case BlockFaultKind::BmtMismatch:       return "bmt_mismatch";
+      case BlockFaultKind::PlaintextMismatch: return "plaintext_mismatch";
+      case BlockFaultKind::SpuriousBlock:     return "spurious_block";
+      case BlockFaultKind::MissingBlock:      return "missing_block";
+      case BlockFaultKind::TornResidency:     return "torn_residency";
+      case BlockFaultKind::PrefixViolation:   return "prefix_violation";
+    }
+    return "?";
+}
+
+/** One classified per-block anomaly. */
+struct BlockFault
+{
+    Addr addr = InvalidAddr;
+    BlockFaultKind kind = BlockFaultKind::MacMismatch;
+};
+
 /** Result of a recovery pass. */
 struct RecoveryReport
 {
@@ -37,12 +90,25 @@ struct RecoveryReport
     std::uint64_t macFailures = 0;
     std::uint64_t bmtFailures = 0;
     std::uint64_t plaintextMismatches = 0;
+    std::uint64_t spuriousBlocks = 0;
+    std::uint64_t missingBlocks = 0;
+    std::uint64_t prefixViolations = 0;
+
+    /** Abandoned residencies the integrity checks flagged (detected). */
+    std::uint64_t tornDetected = 0;
+    /** Abandoned residencies intact at their pre-residency version. */
+    std::uint64_t staleConsistent = 0;
+
+    /** Every anomaly, classified per block (includes detected torn
+     *  residencies, which do not fail ok()). */
+    std::vector<BlockFault> faults;
 
     bool
     ok() const
     {
         return macFailures == 0 && bmtFailures == 0 &&
-               plaintextMismatches == 0;
+               plaintextMismatches == 0 && spuriousBlocks == 0 &&
+               missingBlocks == 0 && prefixViolations == 0;
     }
 };
 
@@ -71,24 +137,35 @@ class RecoveryVerifier
         const BlockData ct = pm.readData(block_addr);
 
         // Integrity of the counter: leaf digest must chain to the root.
-        if (!tree.verifyLeaf(page, tree.leafDigest(cb)))
+        if (!tree.verifyLeaf(page, tree.leafDigest(cb))) {
             ++report.bmtFailures;
+            report.faults.push_back(
+                {block_addr, BlockFaultKind::BmtMismatch});
+        }
 
         // Integrity of the data: stored MAC must match (ct, addr, ctr).
         const MacValue mac = computeMac(_keys, block_addr, ct, ctr);
-        if (mac != pm.readMac(block_addr))
+        if (mac != pm.readMac(block_addr)) {
             ++report.macFailures;
+            report.faults.push_back(
+                {block_addr, BlockFaultKind::MacMismatch});
+        }
 
         if (expected) {
             const BlockData pad = generatePad(_keys, block_addr, ctr);
-            if (decryptBlock(ct, pad) != *expected)
+            if (decryptBlock(ct, pad) != *expected) {
                 ++report.plaintextMismatches;
+                report.faults.push_back(
+                    {block_addr, BlockFaultKind::PlaintextMismatch});
+            }
         }
     }
 
     /**
      * Full recovery scan: verify every block the oracle saw persisted and
-     * compare the decrypted plaintext against the oracle state.
+     * compare the decrypted plaintext against the oracle state. Blocks
+     * present in the PM image but absent from the oracle are reported as
+     * spurious -- an extra write must never be silently accepted.
      */
     RecoveryReport
     verifyAll(const PmImage &pm, const BonsaiMerkleTree &tree,
@@ -99,6 +176,69 @@ class RecoveryVerifier
             const BlockData expected = oracle.blockContent(addr);
             verifyBlock(pm, tree, addr, &expected, report);
         }
+        scanSpurious(pm, oracle, report);
+        return report;
+    }
+
+    /**
+     * Recovery scan after a *bounded-battery* crash drain. Entries the
+     * battery abandoned (an in-order suffix of the persist order) may
+     * legitimately be recovered at their pre-residency version; every
+     * other block must verify exactly as in verifyAll(). For each
+     * abandoned block, one of three outcomes is acceptable:
+     *
+     *  - never persisted before the abandoned residency and still absent
+     *    from PM (nothing to recover, nothing fabricated);
+     *  - flagged by the MAC/BMT integrity checks (torn residency --
+     *    counted in tornDetected, not an error: the loss is *detected*);
+     *  - intact and decrypting to its pre-residency version, or to its
+     *    final version (the entry's drain had already reached PM when
+     *    the budget died).
+     *
+     * Intact content matching neither version is silent corruption and
+     * is reported as a prefix violation.
+     */
+    RecoveryReport
+    verifyPartial(const PmImage &pm, const BonsaiMerkleTree &tree,
+                  const PersistOracle &oracle,
+                  const std::vector<AbandonedResidency> &abandoned) const
+    {
+        RecoveryReport report;
+        std::unordered_map<Addr, std::uint64_t> pending;
+        std::unordered_set<std::uint64_t> abandonedPages;
+        for (const AbandonedResidency &a : abandoned) {
+            pending[blockAlign(a.addr)] = a.pendingWrites;
+            abandonedPages.insert(_layout.pageIndex(a.addr));
+        }
+
+        for (Addr addr : oracle.touchedBlocks()) {
+            auto it = pending.find(addr);
+            if (it == pending.end()) {
+                const BlockData expected = oracle.blockContent(addr);
+                if (!pm.hasData(addr)) {
+                    ++report.blocksChecked;
+                    ++report.missingBlocks;
+                    report.faults.push_back(
+                        {addr, BlockFaultKind::MissingBlock});
+                    continue;
+                }
+                if (abandonedPages.count(_layout.pageIndex(addr))) {
+                    // An abandoned residency can leave its whole page's
+                    // counter block and the durable BMT root covering
+                    // different counter versions (the abandoned minor
+                    // increment made it into one but not the other).
+                    // Sibling blocks then fail the BMT check even though
+                    // their own MAC and plaintext are exact -- detected
+                    // collateral of the dead battery, not corruption.
+                    verifyCollateral(pm, tree, addr, expected, report);
+                    continue;
+                }
+                verifyBlock(pm, tree, addr, &expected, report);
+                continue;
+            }
+            verifyAbandoned(pm, tree, oracle, addr, it->second, report);
+        }
+        scanSpurious(pm, oracle, report);
         return report;
     }
 
@@ -113,6 +253,119 @@ class RecoveryVerifier
     }
 
   private:
+    /** Flag PM data blocks the oracle never saw persisted. */
+    void
+    scanSpurious(const PmImage &pm, const PersistOracle &oracle,
+                 RecoveryReport &report) const
+    {
+        for (Addr addr : pm.dataBlockAddrs()) {
+            if (!oracle.touched(addr)) {
+                ++report.spuriousBlocks;
+                report.faults.push_back(
+                    {addr, BlockFaultKind::SpuriousBlock});
+            }
+        }
+    }
+
+    /**
+     * Verify a drained block that shares its page with an abandoned
+     * residency: a BMT-only failure with MAC and plaintext intact is
+     * counted as detected torn collateral, everything else verifies
+     * exactly as usual (tampering must still surface as hard faults).
+     */
+    void
+    verifyCollateral(const PmImage &pm, const BonsaiMerkleTree &tree,
+                     Addr addr, const BlockData &expected,
+                     RecoveryReport &report) const
+    {
+        ++report.blocksChecked;
+        const std::uint64_t page = _layout.pageIndex(addr);
+        const CounterBlock cb = pm.readCounterBlock(page);
+        const BlockCounter ctr = cb.counterFor(_layout.blockInPage(addr));
+        const BlockData ct = pm.readData(addr);
+
+        const bool bmt_ok = tree.verifyLeaf(page, tree.leafDigest(cb));
+        const bool mac_ok =
+            computeMac(_keys, addr, ct, ctr) == pm.readMac(addr);
+        const BlockData pad = generatePad(_keys, addr, ctr);
+        const bool pt_ok = decryptBlock(ct, pad) == expected;
+
+        if (!bmt_ok && mac_ok && pt_ok) {
+            ++report.tornDetected;
+            report.faults.push_back({addr, BlockFaultKind::TornResidency});
+            return;
+        }
+        if (!bmt_ok) {
+            ++report.bmtFailures;
+            report.faults.push_back({addr, BlockFaultKind::BmtMismatch});
+        }
+        if (!mac_ok) {
+            ++report.macFailures;
+            report.faults.push_back({addr, BlockFaultKind::MacMismatch});
+        }
+        if (!pt_ok) {
+            ++report.plaintextMismatches;
+            report.faults.push_back(
+                {addr, BlockFaultKind::PlaintextMismatch});
+        }
+    }
+
+    /** Classify one abandoned-residency block (see verifyPartial). */
+    void
+    verifyAbandoned(const PmImage &pm, const BonsaiMerkleTree &tree,
+                    const PersistOracle &oracle, Addr addr,
+                    std::uint64_t pending_writes,
+                    RecoveryReport &report) const
+    {
+        ++report.blocksChecked;
+        const std::uint64_t total = oracle.storeCount(addr);
+        const std::uint64_t pre_version =
+            total - std::min(total, pending_writes);
+
+        if (!pm.hasData(addr)) {
+            if (pre_version == 0) {
+                // First-ever residency abandoned: the block never
+                // reached PM, and recovery has nothing to hand out.
+                ++report.staleConsistent;
+            } else {
+                ++report.missingBlocks;
+                report.faults.push_back(
+                    {addr, BlockFaultKind::MissingBlock});
+            }
+            return;
+        }
+
+        const std::uint64_t page = _layout.pageIndex(addr);
+        const CounterBlock cb = pm.readCounterBlock(page);
+        const BlockCounter ctr = cb.counterFor(_layout.blockInPage(addr));
+        const BlockData ct = pm.readData(addr);
+
+        const bool bmt_ok = tree.verifyLeaf(page, tree.leafDigest(cb));
+        const bool mac_ok =
+            computeMac(_keys, addr, ct, ctr) == pm.readMac(addr);
+        if (!bmt_ok || !mac_ok) {
+            // The abandoned residency left a detectably inconsistent
+            // tuple (e.g. an eager scheme's durable BMT root already
+            // covers the lost counter update). Loss is flagged, not
+            // silently served -- exactly what the threat model requires.
+            ++report.tornDetected;
+            report.faults.push_back(
+                {addr, BlockFaultKind::TornResidency});
+            return;
+        }
+
+        const BlockData pad = generatePad(_keys, addr, ctr);
+        const BlockData pt = decryptBlock(ct, pad);
+        if (pt == oracle.blockVersion(addr, pre_version) ||
+            pt == oracle.blockContent(addr)) {
+            ++report.staleConsistent;
+        } else {
+            ++report.prefixViolations;
+            report.faults.push_back(
+                {addr, BlockFaultKind::PrefixViolation});
+        }
+    }
+
     const MetadataLayout &_layout;
     SecurityKeys _keys;
 };

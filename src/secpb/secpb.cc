@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "energy/energy_model.hh"
 #include "sim/debug.hh"
 
 namespace secpb
@@ -888,31 +889,73 @@ SecPb::applicationCrash(std::uint32_t asid, AppCrashPolicy policy)
 }
 
 CrashWork
+SecPb::predictEntryWork(const PbEntry &e) const
+{
+    CrashWork d;
+    ++d.entriesDrained;
+    if (!_traits.secure) {
+        ++d.pmBlockWrites;
+        return d;
+    }
+    if (!e.ctrIncremented) {
+        if (!_ctrCache.contains(_layout.counterAddr(e.addr)))
+            ++d.counterFetches;
+        ++d.countersIncremented;
+    }
+    if (!e.vOtp)
+        ++d.otpsGenerated;
+    if (!e.vCt)
+        ++d.ciphertexts;
+    if (!e.vMac)
+        ++d.macsComputed;
+    if (!e.vBmt) {
+        ++d.bmtRootUpdates;
+        d.bmtLevelsWalked += _walker.tree().numLevels();
+    }
+    d.pmBlockWrites += 3;
+    return d;
+}
+
+CrashWork
 SecPb::crashDrainAll(
-    const std::vector<std::pair<Addr, std::uint64_t>> &absorbed_stores)
+    const std::vector<std::pair<Addr, std::uint64_t>> &absorbed_stores,
+    const CrashDrainBudget &budget)
 {
     CrashWork work;
+    panic_if(budget.bounded() && budget.pricing == nullptr,
+             "bounded crash-drain budget needs a pricing model");
+
+    const auto price = [&budget](const CrashWork &w) {
+        return budget.pricing ? budget.pricing->actualCrashEnergy(w) : 0.0;
+    };
 
     if (_dbg)
         DPRINTF("SecPb", "crash drain: %zu resident, %zu sb-absorbed",
                 _index.size(), absorbed_stores.size());
 
     // Battery-backed store buffer: absorb its stores in program order.
-    // Stores to resident blocks fold into the entry (stale value-
-    // dependent fields are invalidated); others are completed as
-    // one-off tuples after the resident pass.
+    // With an unbounded battery, stores to resident blocks fold into the
+    // entry (stale value-dependent fields are invalidated) and the rest
+    // complete as one-off tuples after the resident pass. Under a
+    // bounded budget, absorbed stores -- the *newest* stores in the
+    // persist order -- are instead deferred until every resident entry
+    // has drained, so an exhausted battery always loses an in-order
+    // suffix rather than tearing the middle of the order.
     std::vector<Addr> absorbed_blocks;
-    for (const auto &[addr, value] : absorbed_stores) {
-        _oracle.applyStore(addr, value);
-        if (PbEntry *e = find(addr)) {
-            setBlockWord(e->plaintext, blockOffset(addr) / 8, value);
-            e->vCt = false;
-            e->vMac = false;
-        } else {
-            const Addr block = blockAlign(addr);
-            if (std::find(absorbed_blocks.begin(), absorbed_blocks.end(),
-                          block) == absorbed_blocks.end())
-                absorbed_blocks.push_back(block);
+    if (!budget.bounded()) {
+        for (const auto &[addr, value] : absorbed_stores) {
+            _oracle.applyStore(addr, value);
+            if (PbEntry *e = find(addr)) {
+                setBlockWord(e->plaintext, blockOffset(addr) / 8, value);
+                e->vCt = false;
+                e->vMac = false;
+            } else {
+                const Addr block = blockAlign(addr);
+                if (std::find(absorbed_blocks.begin(),
+                              absorbed_blocks.end(),
+                              block) == absorbed_blocks.end())
+                    absorbed_blocks.push_back(block);
+            }
         }
     }
 
@@ -932,7 +975,25 @@ SecPb::crashDrainAll(
     }
     _spPending.clear();
 
-    // Persist order: complete entries oldest-first.
+    // Reserve the metadata-cache flush up front: the persistent copies
+    // of counters and MACs for *already drained* blocks live dirty in
+    // the MDCs (assumptions (2) and (4) of the battery sizing), so their
+    // flush outranks draining further entries. It is mandatory, charged
+    // even when it alone exceeds a tiny budget (those functional writes
+    // happened at drain time and cannot be torn in this model), so
+    // energySpentJ can exceed the budget by at most this fixed floor.
+    // The flush itself runs after the entry pass so the cache contents
+    // still inform the per-entry predictions.
+    if (_traits.secure) {
+        work.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
+                               _macCache.dirtyBlocks().size();
+        work.pmBlockWrites += work.mdcBlockFlushes;
+    }
+
+    // Persist order: complete entries oldest-first. A bounded battery
+    // prices each entry before committing to it and stops at the first
+    // entry that no longer fits -- the drained set is an in-order prefix
+    // and the abandoned suffix is reported for prefix verification.
     std::vector<PbEntry *> resident;
     for (auto &kv : _index)
         resident.push_back(&_entries[kv.second]);
@@ -940,35 +1001,73 @@ SecPb::crashDrainAll(
               [](const PbEntry *a, const PbEntry *b)
               { return a->allocSeq < b->allocSeq; });
 
-    for (PbEntry *ep : resident)
+    std::vector<PbEntry *> drained;
+    drained.reserve(resident.size());
+    for (PbEntry *ep : resident) {
+        if (work.batteryExhausted) {
+            work.abandoned.push_back({ep->addr, ep->numWrites});
+            continue;
+        }
+        if (budget.bounded() &&
+            price(work) + price(predictEntryWork(*ep)) > budget.energyJ) {
+            work.batteryExhausted = true;
+            work.abandoned.push_back({ep->addr, ep->numWrites});
+            continue;
+        }
         completeEntryFunctionally(*ep, work);
-
-    // Complete the absorbed stores that had no resident entry.
-    for (Addr block : absorbed_blocks) {
-        PbEntry tmp;
-        tmp.valid = true;
-        tmp.addr = block;
-        tmp.plaintext = _oracle.blockContent(block);
-        tmp.vData = true;
-        completeEntryFunctionally(tmp, work);
+        work.drainedBlocks.push_back(ep->addr);
+        drained.push_back(ep);
     }
 
-    // Flush dirty metadata-cache blocks: the persistent copies of counters
-    // and MACs for already-drained entries live there (assumptions (2) and
-    // (4) of the battery sizing). Functionally they were applied at drain
-    // time; here we account the flush work.
+    // Complete the absorbed stores. Unbounded: the deduplicated blocks
+    // that had no resident entry. Bounded: every store, in program
+    // order, each priced as a full one-off tuple; the battery stops
+    // mid-list when the budget dies, losing only newer stores.
+    if (!budget.bounded()) {
+        for (Addr block : absorbed_blocks) {
+            PbEntry tmp;
+            tmp.valid = true;
+            tmp.addr = block;
+            tmp.plaintext = _oracle.blockContent(block);
+            tmp.vData = true;
+            completeEntryFunctionally(tmp, work);
+            work.absorbedApplied += 1;
+        }
+    } else {
+        for (const auto &[addr, value] : absorbed_stores) {
+            if (work.batteryExhausted) {
+                ++work.absorbedLost;
+                continue;
+            }
+            const Addr block = blockAlign(addr);
+            PbEntry tmp;
+            tmp.valid = true;
+            tmp.addr = block;
+            if (price(work) + price(predictEntryWork(tmp)) >
+                budget.energyJ) {
+                work.batteryExhausted = true;
+                ++work.absorbedLost;
+                continue;
+            }
+            _oracle.applyStore(addr, value);
+            tmp.plaintext = _oracle.blockContent(block);
+            tmp.vData = true;
+            completeEntryFunctionally(tmp, work);
+            ++work.absorbedApplied;
+        }
+    }
+
+    // The MDC flush reserved above (accounting only; see comment there).
     if (_traits.secure) {
-        const auto ctr_dirty = _ctrCache.dirtyBlocks();
-        const auto mac_dirty = _macCache.dirtyBlocks();
-        work.mdcBlockFlushes = ctr_dirty.size() + mac_dirty.size();
-        work.pmBlockWrites += work.mdcBlockFlushes;
         _ctrCache.flushAll();
         _macCache.flushAll();
     }
 
-    // Clear the buffer (the WPQ content was already functionally applied
-    // when pushed -- ADR guarantees it reaches the cell array).
-    for (PbEntry *ep : resident) {
+    // Clear the drained entries (the WPQ content was already
+    // functionally applied when pushed -- ADR guarantees it reaches the
+    // cell array). Abandoned entries stay resident: their state was
+    // never persisted and simply dies with the machine.
+    for (PbEntry *ep : drained) {
         if (_dir && _dir->owner(ep->addr) == _coreId)
             _dir->drained(_coreId, ep->addr);
         const std::uint64_t idx = _index.at(ep->addr);
@@ -978,6 +1077,7 @@ SecPb::crashDrainAll(
     }
     _drainsActive = 0;
 
+    work.energySpentJ = price(work);
     return work;
 }
 

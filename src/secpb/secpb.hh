@@ -29,6 +29,7 @@
 #define SECPB_SECPB_SECPB_HH
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,8 @@
 
 namespace secpb
 {
+
+class EnergyModel;
 
 /** SecPB structural configuration (Table I defaults). */
 struct SecPbConfig
@@ -81,6 +84,41 @@ struct CrashWork
     std::uint64_t ciphertexts = 0;
     std::uint64_t pmBlockWrites = 0;
     std::uint64_t mdcBlockFlushes = 0;  ///< Dirty metadata-cache blocks.
+
+    /** @name Bounded-battery accounting (fault injection). */
+    /** @{ */
+    /** True if the energy budget ran out before the drain finished. */
+    bool batteryExhausted = false;
+    /** Energy actually consumed, priced when a budget was supplied. */
+    double energySpentJ = 0.0;
+    /** Resident entries completed, in drain (persist) order. */
+    std::vector<Addr> drainedBlocks;
+    /** In-order suffix of resident entries the battery abandoned. */
+    std::vector<AbandonedResidency> abandoned;
+    /** Battery-backed store-buffer stores applied / lost to the budget. */
+    std::uint64_t absorbedApplied = 0;
+    std::uint64_t absorbedLost = 0;
+    /** @} */
+};
+
+/**
+ * Energy budget for a battery-powered crash drain. The default is an
+ * unbounded (ideally provisioned) battery; fault experiments pass a
+ * finite budget priced by the energy model, and the drain stops -- at an
+ * entry boundary, preserving the persist-order prefix -- once the next
+ * entry no longer fits.
+ */
+struct CrashDrainBudget
+{
+    double energyJ = std::numeric_limits<double>::infinity();
+    /** Pricing model; required when energyJ is finite. */
+    const EnergyModel *pricing = nullptr;
+
+    bool
+    bounded() const
+    {
+        return energyJ != std::numeric_limits<double>::infinity();
+    }
 };
 
 /**
@@ -120,6 +158,15 @@ class SecPb
      * Battery-powered crash drain: functionally complete and persist every
      * resident entry, in persist (allocation) order. Simulated time does
      * not advance -- the battery works while the clock is dead.
+     *
+     * With a bounded @p budget the drain stops at the first entry whose
+     * completion no longer fits: the completed entries form an in-order
+     * *prefix* of the persist order and the abandoned suffix is recorded
+     * so the recovery verifier can check prefix consistency. Under a
+     * bounded budget, battery-backed store-buffer stores (newest in the
+     * persist order) are applied strictly after every resident entry,
+     * rather than coalesced into them.
+     *
      * @param absorbed_stores stores still in a battery-backed store
      *        buffer at crash time (Section IV-C(b)): the battery applies
      *        them, in program order, before draining.
@@ -127,7 +174,8 @@ class SecPb
      */
     CrashWork crashDrainAll(
         const std::vector<std::pair<Addr, std::uint64_t>>
-            &absorbed_stores = {});
+            &absorbed_stores = {},
+        const CrashDrainBudget &budget = {});
 
     /** Application-crash handling policies (paper Section III-B). */
     enum class AppCrashPolicy
@@ -229,6 +277,12 @@ class SecPb
 
     /** Functionally complete + persist one entry (crash-drain helper). */
     void completeEntryFunctionally(PbEntry &e, CrashWork &work);
+
+    /**
+     * Predict (without side effects) the work completing @p e would add,
+     * so a bounded battery can price the entry before committing to it.
+     */
+    CrashWork predictEntryWork(const PbEntry &e) const;
 
     /** Functional counter increment + page re-encryption on overflow. */
     BlockCounter incrementCounter(Addr addr);

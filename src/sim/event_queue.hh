@@ -25,6 +25,9 @@ namespace secpb
 /** Callback type fired when an event reaches the head of the queue. */
 using EventCallback = std::function<void()>;
 
+/** Hook invoked after every executed event (fault injection, probes). */
+using PostEventHook = std::function<void()>;
+
 /**
  * A time-ordered event queue; the heart of the simulator.
  *
@@ -68,6 +71,22 @@ class EventQueue
     /** True when no events remain. */
     bool empty() const { return _events.empty(); }
 
+    /**
+     * @name Execution interposition (fault injection)
+     * A post-event hook observes the simulation after every executed
+     * event -- the only points where model state is consistent -- and may
+     * call requestStop() to interrupt run() at an arbitrary event
+     * boundary (e.g. to crash the machine mid-run at a chosen cycle or
+     * persist count). The stop request is sticky until clearStop().
+     * @{
+     */
+    void setPostEventHook(PostEventHook hook) { _postHook = std::move(hook); }
+    void clearPostEventHook() { _postHook = nullptr; }
+    void requestStop() { _stopRequested = true; }
+    void clearStop() { _stopRequested = false; }
+    bool stopRequested() const { return _stopRequested; }
+    /** @} */
+
     /** Tick of the earliest pending event; MaxTick when empty. */
     Tick
     nextTick() const
@@ -82,7 +101,7 @@ class EventQueue
     Tick
     run(Tick limit = MaxTick)
     {
-        while (!_events.empty()) {
+        while (!_events.empty() && !_stopRequested) {
             const PendingEvent &top = _events.top();
             if (top.when > limit) {
                 _curTick = limit;
@@ -93,6 +112,8 @@ class EventQueue
             _events.pop();
             ++_numExecuted;
             cb();
+            if (_postHook)
+                _postHook();
         }
         return _curTick;
     }
@@ -109,6 +130,8 @@ class EventQueue
         _events.pop();
         ++_numExecuted;
         cb();
+        if (_postHook)
+            _postHook();
         return true;
     }
 
@@ -119,6 +142,8 @@ class EventQueue
         _curTick = 0;
         _numExecuted = 0;
         _nextSeq = 0;
+        _stopRequested = false;
+        _postHook = nullptr;
         while (!_events.empty())
             _events.pop();
     }
@@ -147,6 +172,8 @@ class EventQueue
     Tick _curTick = 0;
     std::uint64_t _numExecuted = 0;
     std::uint64_t _nextSeq = 0;
+    PostEventHook _postHook;
+    bool _stopRequested = false;
 };
 
 } // namespace secpb

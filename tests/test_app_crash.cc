@@ -131,3 +131,92 @@ TEST(AppCrash, UnknownAsidDrainsNothing)
     EXPECT_EQ(w.entriesDrained, 0u);
     EXPECT_EQ(sys.secpb().occupancy(), 10u);
 }
+
+TEST(AppCrash, CrossAsidCoalescingKeepsAllocatorTag)
+{
+    // A block allocated by process 1 and later written by process 2
+    // coalesces into the same entry, which keeps the allocator's ASID:
+    // process 2's crash does not drain it, process 1's does -- and the
+    // drain carries process 2's coalesced value with it.
+    SecPbSystem sys(smallCfg());
+    ScriptedGenerator gen;
+    gen.store(0x0, 0xAAAA, /*asid=*/1);
+    gen.store(0x8, 0xBBBB, /*asid=*/2);  // same block, different process
+    sys.run(gen);
+    ASSERT_EQ(sys.secpb().occupancy(), 1u);
+
+    CrashWork w2 = sys.secpb().applicationCrash(
+        2, SecPb::AppCrashPolicy::DrainProcess);
+    EXPECT_EQ(w2.entriesDrained, 0u);
+    EXPECT_EQ(sys.secpb().occupancy(), 1u);
+
+    CrashWork w1 = sys.secpb().applicationCrash(
+        1, SecPb::AppCrashPolicy::DrainProcess);
+    EXPECT_EQ(w1.entriesDrained, 1u);
+    EXPECT_TRUE(sys.secpb().empty());
+    ASSERT_TRUE(sys.pm().hasData(0x0));
+
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport report;
+    const BlockData expected = sys.oracle().blockContent(0x0);
+    verifier.verifyBlock(sys.pm(), sys.tree(), 0x0, &expected, report);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(blockWord(expected, 1), 0xBBBBu);
+}
+
+TEST(AppCrash, SequentialProcessCrashesEmptyTheBuffer)
+{
+    // Three processes with resident entries; crash them one by one with
+    // DrainProcess. Each crash drains exactly its own entries, and the
+    // buffer ends empty with every block recoverable.
+    SecPbSystem sys(smallCfg());
+    ScriptedGenerator gen;
+    for (int i = 0; i < 3; ++i)
+        for (std::uint32_t asid = 1; asid <= 3; ++asid)
+            gen.store((asid * 0x100000ULL) +
+                          static_cast<Addr>(i) * BlockSize,
+                      asid * 0x1000 + i, asid);
+    sys.run(gen);
+    ASSERT_EQ(sys.secpb().occupancy(), 9u);
+
+    for (std::uint32_t asid = 1; asid <= 3; ++asid) {
+        CrashWork w = sys.secpb().applicationCrash(
+            asid, SecPb::AppCrashPolicy::DrainProcess);
+        EXPECT_EQ(w.entriesDrained, 3u) << "asid " << asid;
+        EXPECT_EQ(sys.secpb().occupancy(), 3u * (3 - asid));
+    }
+    EXPECT_TRUE(sys.secpb().empty());
+
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport r =
+        verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.blocksChecked, 9u);
+}
+
+TEST(AppCrash, DrainAllWithManyAsidsRecoversEverything)
+{
+    // 5 ASIDs x 2 blocks = 10 residents, below the 12-entry high
+    // watermark so no background drain steals entries mid-test.
+    SecPbSystem sys(smallCfg());
+    ScriptedGenerator gen;
+    for (std::uint32_t asid = 1; asid <= 5; ++asid)
+        for (int i = 0; i < 2; ++i)
+            gen.store((asid * 0x200000ULL) +
+                          static_cast<Addr>(i) * BlockSize,
+                      asid + i, asid);
+    sys.run(gen);
+    const std::size_t resident = sys.secpb().occupancy();
+    ASSERT_GT(resident, 0u);
+
+    CrashWork w = sys.secpb().applicationCrash(
+        3, SecPb::AppCrashPolicy::DrainAll);
+    EXPECT_EQ(w.entriesDrained, resident);
+    EXPECT_TRUE(sys.secpb().empty());
+
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport r =
+        verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.blocksChecked, 10u);
+}

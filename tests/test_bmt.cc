@@ -108,6 +108,55 @@ TEST(Bmt, InteriorNodeTamperDetected)
     }
 }
 
+TEST(Bmt, TamperUntouchedNodeRefused)
+{
+    // tamperNode only overwrites stored nodes; untouched subtrees hold
+    // no forgeable state (their digests are implicit defaults).
+    BonsaiMerkleTree tree(1ULL << 12);
+    EXPECT_FALSE(tree.tamperNode(0, 5, BmtNode{}));
+    tree.updateLeaf(77, 0xabc);
+    const auto path = tree.pathIndices(77);
+    EXPECT_TRUE(tree.tamperNode(0, path[0], tree.node(0, path[0])));
+    // A node off the touched path is still untouched.
+    EXPECT_FALSE(tree.tamperNode(0, path[0] + 1, BmtNode{}));
+}
+
+TEST(Bmt, OffPathSlotTamperStillDetected)
+{
+    // Flipping a child slot the victim leaf does NOT route through still
+    // changes the node's digest, which the parent (or root) stores -- the
+    // digest chain catches forgeries anywhere in a stored node.
+    BonsaiMerkleTree tree(1ULL << 12);
+    tree.updateLeaf(77, 0xabc);
+    const auto path = tree.pathIndices(77);
+    for (unsigned lvl = 0; lvl < tree.numLevels(); ++lvl) {
+        BonsaiMerkleTree fresh(1ULL << 12);
+        fresh.updateLeaf(77, 0xabc);
+        const unsigned on_path_slot = static_cast<unsigned>(
+            lvl == 0 ? 77 % 8 : path[lvl - 1] % 8);
+        const unsigned off_slot = (on_path_slot + 1) % 8;
+        BmtNode forged = fresh.node(lvl, path[lvl]);
+        forged.child[off_slot] ^= 0xf0;
+        ASSERT_TRUE(fresh.tamperNode(lvl, path[lvl], forged));
+        EXPECT_FALSE(fresh.verifyLeaf(77, 0xabc)) << "level " << lvl;
+    }
+}
+
+TEST(Bmt, TamperOneNodeLeavesOtherSubtreesVerifiable)
+{
+    // Detection is path-scoped: a forged node breaks verification for
+    // leaves routing through it, while disjoint subtrees still verify.
+    BonsaiMerkleTree tree(1ULL << 12);
+    tree.updateLeaf(8, 0x111);   // node path 1, 0, 0 ...
+    tree.updateLeaf(64, 0x222);  // node path 8, 1, 0 ...
+    const auto path = tree.pathIndices(8);
+    BmtNode forged = tree.node(0, path[0]);
+    forged.child[0] ^= 1;
+    ASSERT_TRUE(tree.tamperNode(0, path[0], forged));
+    EXPECT_FALSE(tree.verifyLeaf(8, 0x111));
+    EXPECT_TRUE(tree.verifyLeaf(64, 0x222));
+}
+
 TEST(Bmt, PathIndicesShrinkByArity)
 {
     BonsaiMerkleTree tree(1ULL << 21);
