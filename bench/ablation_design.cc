@@ -13,6 +13,9 @@
  *                        coalescing.
  *  4. Store buffer    -- depth absorbs NoGap's per-store MAC latency
  *                        bursts.
+ *
+ * Every (variant, baseline) pair is two experiment points whose free-form
+ * `configure` override applies the ablated knob (recorded in tags).
  */
 
 #include "bench_common.hh"
@@ -23,80 +26,143 @@ using namespace secpb::bench;
 namespace
 {
 
-double
-slowdown(const BenchmarkProfile &p, std::uint64_t instr,
-         const SystemConfig &cfg, const SystemConfig &base_cfg)
+struct Pair
 {
-    SecPbSystem base(base_cfg);
-    SyntheticGenerator bg(p, instr, benchSeed());
-    const double base_ticks =
-        static_cast<double>(base.run(bg).execTicks);
-    SecPbSystem sys(cfg);
-    SyntheticGenerator g(p, instr, benchSeed());
-    return sys.run(g).execTicks / base_ticks;
-}
+    std::size_t variant;
+    std::size_t base;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    const std::uint64_t instr = benchInstructions();
-    const BenchmarkProfile &gamess = profileByName("gamess");
-    const BenchmarkProfile &gcc = profileByName("gcc");
+    const BenchCli cli = BenchCli::parse(argc, argv, "ablation_design");
+    const std::uint64_t instr = cli.instructions;
 
-    std::printf("Design ablations (%llu instructions/run)\n",
-                static_cast<unsigned long long>(instr));
+    Sweep sweep(cli);
+    auto point = [&](Scheme s, const std::string &profile,
+                     const std::string &knob, const std::string &value,
+                     std::function<void(SystemConfig &)> configure) {
+        ExperimentPoint p;
+        p.label = profile + "/" + schemeName(s) + "/" + knob + "=" + value;
+        p.scheme = s;
+        p.profile = profile;
+        p.instructions = instr;
+        p.seed = cli.seed;
+        p.tag(knob, value);
+        p.configure = std::move(configure);
+        return sweep.add(std::move(p));
+    };
 
     // --- 1. Drain width --------------------------------------------------
-    std::printf("\n[1] COBCM slowdown vs BBB on gamess, by drain width\n");
-    for (unsigned width : {1u, 2u, 4u, 8u, 16u}) {
-        SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, gamess);
-        cfg.secpb.drainWidth = width;
-        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
-        base.secpb.drainWidth = width;
-        std::printf("    width %2u: %.3fx\n", width,
-                    slowdown(gamess, instr, cfg, base));
+    const unsigned widths[] = {1, 2, 4, 8, 16};
+    std::vector<Pair> width_pairs;
+    for (unsigned width : widths) {
+        auto knob = [width](SystemConfig &cfg) {
+            cfg.secpb.drainWidth = width;
+        };
+        width_pairs.push_back(
+            {point(Scheme::Cobcm, "gamess", "drain_width",
+                   std::to_string(width), knob),
+             point(Scheme::Bbb, "gamess", "drain_width",
+                   std::to_string(width), knob)});
     }
 
     // --- 2. Walker merging -----------------------------------------------
-    std::printf("\n[2] BMT-update merging on gamess (merge on vs off)\n");
-    for (Scheme s : {Scheme::Cobcm, Scheme::Cm}) {
+    const Scheme merge_schemes[] = {Scheme::Cobcm, Scheme::Cm};
+    std::vector<Pair> merge_pairs;
+    for (Scheme s : merge_schemes) {
         for (bool merge : {true, false}) {
-            SystemConfig cfg = SecPbSystem::configFor(s, gamess);
-            cfg.walker.enableMerging = merge;
-            SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
-            std::printf("    %-6s merging %-3s: %.3fx\n", schemeName(s),
-                        merge ? "on" : "off",
-                        slowdown(gamess, instr, cfg, base));
+            merge_pairs.push_back(
+                {point(s, "gamess", "merging", merge ? "on" : "off",
+                       [merge](SystemConfig &cfg) {
+                           cfg.walker.enableMerging = merge;
+                       }),
+                 point(Scheme::Bbb, "gamess", "merging", "baseline", {})});
         }
     }
 
     // --- 3. Watermarks ---------------------------------------------------
+    const double highs[] = {0.50, 0.625, 0.75, 0.875, 0.96875};
+    std::vector<Pair> mark_pairs;
+    for (double high : highs) {
+        auto knob = [high](SystemConfig &cfg) {
+            cfg.secpb.highWatermark = high;
+            cfg.secpb.lowWatermark = high - 0.25;
+        };
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", high);
+        mark_pairs.push_back(
+            {point(Scheme::Cobcm, "gamess", "high_watermark", buf, knob),
+             point(Scheme::Bbb, "gamess", "high_watermark", buf, knob)});
+    }
+
+    // --- 4. Store buffer depth -------------------------------------------
+    const unsigned sbs[] = {8, 16, 32, 56, 112};
+    std::vector<Pair> sb_pairs;
+    for (unsigned sb : sbs) {
+        auto knob = [sb](SystemConfig &cfg) {
+            cfg.storeBufferEntries = sb;
+        };
+        sb_pairs.push_back(
+            {point(Scheme::NoGap, "gcc", "sb_entries", std::to_string(sb),
+                   knob),
+             point(Scheme::Bbb, "gcc", "sb_entries", std::to_string(sb),
+                   knob)});
+    }
+
+    sweep.run();
+
+    auto ratio = [&](const Pair &pr) {
+        return static_cast<double>(sweep.at(pr.variant).sim.execTicks) /
+               sweep.at(pr.base).sim.execTicks;
+    };
+
+    std::printf("Design ablations (%llu instructions/run)\n",
+                static_cast<unsigned long long>(instr));
+
+    std::printf("\n[1] COBCM slowdown vs BBB on gamess, by drain width\n");
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+        const double r = ratio(width_pairs[i]);
+        sweep.derive("drain_width_slowdown",
+                     "width=" + std::to_string(widths[i]), r);
+        std::printf("    width %2u: %.3fx\n", widths[i], r);
+    }
+
+    std::printf("\n[2] BMT-update merging on gamess (merge on vs off)\n");
+    std::size_t mi = 0;
+    for (Scheme s : merge_schemes) {
+        for (bool merge : {true, false}) {
+            const double r = ratio(merge_pairs[mi++]);
+            sweep.derive("merging_slowdown",
+                         std::string(schemeName(s)) + "/" +
+                             (merge ? "on" : "off"),
+                         r);
+            std::printf("    %-6s merging %-3s: %.3fx\n", schemeName(s),
+                        merge ? "on" : "off", r);
+        }
+    }
+
     std::printf("\n[3] COBCM slowdown on gamess, by high watermark "
                 "(low = high - 0.25)\n");
-    for (double high : {0.50, 0.625, 0.75, 0.875, 0.96875}) {
-        SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, gamess);
-        cfg.secpb.highWatermark = high;
-        cfg.secpb.lowWatermark = high - 0.25;
-        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gamess);
-        base.secpb.highWatermark = high;
-        base.secpb.lowWatermark = high - 0.25;
-        std::printf("    high %.3f: %.3fx\n", high,
-                    slowdown(gamess, instr, cfg, base));
+    for (std::size_t i = 0; i < std::size(highs); ++i) {
+        const double r = ratio(mark_pairs[i]);
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", highs[i]);
+        sweep.derive("watermark_slowdown", std::string("high=") + buf, r);
+        std::printf("    high %.3f: %.3fx\n", highs[i], r);
     }
 
-    // --- 4. Store buffer depth --------------------------------------------
     std::printf("\n[4] NoGap slowdown on gcc, by store buffer entries\n");
-    for (unsigned sb : {8u, 16u, 32u, 56u, 112u}) {
-        SystemConfig cfg = SecPbSystem::configFor(Scheme::NoGap, gcc);
-        cfg.storeBufferEntries = sb;
-        SystemConfig base = SecPbSystem::configFor(Scheme::Bbb, gcc);
-        base.storeBufferEntries = sb;
-        std::printf("    entries %3u: %.3fx\n", sb,
-                    slowdown(gcc, instr, cfg, base));
+    for (std::size_t i = 0; i < std::size(sbs); ++i) {
+        const double r = ratio(sb_pairs[i]);
+        sweep.derive("sb_depth_slowdown",
+                     "entries=" + std::to_string(sbs[i]), r);
+        std::printf("    entries %3u: %.3fx\n", sbs[i], r);
     }
 
+    sweep.writeJson();
     return 0;
 }

@@ -1,34 +1,73 @@
 /**
  * @file
- * Shared harness code for the table/figure reproduction benches.
+ * Shared harness for the table/figure reproduction benches.
  *
- * Every evaluation binary runs (scheme x benchmark) points through a fresh
- * SecPbSystem and prints paper-style rows. Trace length is controlled by
- * SECPB_BENCH_INSTR (default 300k instructions -- the paper simulates 250M
- * on gem5; the synthetic workloads reach steady state within tens of
- * thousands), and the seed by SECPB_BENCH_SEED.
+ * Every evaluation binary declares its slice of the paper's evaluation
+ * cross-product as a vector of ExperimentPoints, hands it to the
+ * experiment engine (src/exp/), and prints paper-style rows from the
+ * aggregated results. The engine runs points concurrently under `--jobs`
+ * with per-point deterministic seeding, so `--jobs 1` and `--jobs N`
+ * produce bit-identical results, and `--json` serializes every point plus
+ * derived rows to the schema-versioned sweep document.
+ *
+ * Common CLI (BenchCli::parse; env fallbacks in parentheses):
+ *   --jobs N            concurrent points        (SECPB_BENCH_JOBS, 1)
+ *   --json PATH         write sweep JSON         (SECPB_BENCH_JSON)
+ *   --scheme A[,B...]   keep matching schemes    (repeatable)
+ *   --profile A[,B...]  keep matching profiles   (repeatable)
+ *   --instr N           instructions per point   (SECPB_BENCH_INSTR, 300k;
+ *                       the paper simulates 250M on gem5 -- the synthetic
+ *                       workloads reach steady state within tens of
+ *                       thousands)
+ *   --seed N            base workload seed       (SECPB_BENCH_SEED, 7)
+ *   --no-progress       suppress the stderr progress/ETA line
  */
 
 #ifndef SECPB_BENCH_BENCH_COMMON_HH
 #define SECPB_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/system.hh"
+#include "exp/report.hh"
+#include "exp/sweep.hh"
 #include "workload/synthetic.hh"
 
 namespace secpb::bench
 {
 
+/**
+ * Strict env-var parse: the whole value must be one non-negative decimal
+ * integer that fits in 64 bits; anything else (trailing garbage, sign,
+ * overflow) is a fatal misconfiguration, never a silent truncation.
+ */
 inline std::uint64_t
 envU64(const char *name, std::uint64_t fallback)
 {
     const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : fallback;
+    if (!v || !*v)
+        return fallback;
+    fatal_if(v[0] == '-' || v[0] == '+',
+             "%s='%s': must be a plain non-negative decimal integer",
+             name, v);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    fatal_if(end == v || *end != '\0',
+             "%s='%s': not a decimal integer (trailing garbage at '%s')",
+             name, v, end);
+    fatal_if(errno == ERANGE, "%s='%s': out of range for a 64-bit value",
+             name, v);
+    return parsed;
 }
 
 inline std::uint64_t
@@ -43,7 +82,214 @@ benchSeed()
     return envU64("SECPB_BENCH_SEED", 7);
 }
 
-/** Run one (scheme, profile) point on a fresh system. */
+/** Parsed shared command line of one bench binary. */
+struct BenchCli
+{
+    std::string bench;               ///< Binary name ("fig6").
+    unsigned jobs = 1;
+    std::string jsonPath;            ///< Empty = no JSON output.
+    std::vector<Scheme> schemes;     ///< Empty = no scheme filter.
+    std::vector<std::string> profiles;  ///< Empty = no profile filter.
+    std::uint64_t instructions = 300'000;
+    std::uint64_t seed = 7;
+    bool progress = true;
+
+    /** Parse argv; prints usage and exits on unknown flags. */
+    static BenchCli
+    parse(int argc, char **argv, const char *bench_name)
+    {
+        BenchCli cli;
+        cli.bench = bench_name;
+        cli.jobs = static_cast<unsigned>(
+            std::max<std::uint64_t>(1, envU64("SECPB_BENCH_JOBS", 1)));
+        if (const char *p = std::getenv("SECPB_BENCH_JSON"))
+            cli.jsonPath = p;
+        cli.instructions = benchInstructions();
+        cli.seed = benchSeed();
+
+        auto need = [&](int i) -> const char * {
+            fatal_if(i + 1 >= argc, "%s: flag %s needs a value",
+                     bench_name, argv[i]);
+            return argv[i + 1];
+        };
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--jobs") {
+                cli.jobs = static_cast<unsigned>(
+                    std::max(1L, std::atol(need(i))));
+                ++i;
+            } else if (a == "--json") {
+                cli.jsonPath = need(i);
+                ++i;
+            } else if (a == "--scheme") {
+                for (const std::string &name : splitCommas(need(i)))
+                    cli.schemes.push_back(parseScheme(name));
+                ++i;
+            } else if (a == "--profile") {
+                for (const std::string &name : splitCommas(need(i)))
+                    cli.profiles.push_back(name);
+                ++i;
+            } else if (a == "--instr") {
+                cli.instructions = std::strtoull(need(i), nullptr, 10);
+                ++i;
+            } else if (a == "--seed") {
+                cli.seed = std::strtoull(need(i), nullptr, 10);
+                ++i;
+            } else if (a == "--no-progress") {
+                cli.progress = false;
+            } else if (a == "--help" || a == "-h") {
+                std::printf(
+                    "usage: %s [--jobs N] [--json PATH] [--scheme A[,B]]\n"
+                    "          [--profile A[,B]] [--instr N] [--seed N]\n"
+                    "          [--no-progress]\n",
+                    bench_name);
+                std::exit(0);
+            } else {
+                fatal("%s: unknown flag '%s' (try --help)", bench_name,
+                      a.c_str());
+            }
+        }
+        // Validate profile filters eagerly: typos fail before a sweep.
+        for (const std::string &p : cli.profiles)
+            profileByName(p);
+        return cli;
+    }
+
+    /** True if @p s passes the scheme filter (empty filter = all). */
+    bool
+    wantScheme(Scheme s) const
+    {
+        return schemes.empty() ||
+               std::find(schemes.begin(), schemes.end(), s) !=
+                   schemes.end();
+    }
+
+    /** True if @p name passes the profile filter. */
+    bool
+    wantProfile(const std::string &name) const
+    {
+        return profiles.empty() ||
+               std::find(profiles.begin(), profiles.end(), name) !=
+                   profiles.end();
+    }
+
+    /** spec2006Profiles() restricted to the profile filter. */
+    std::vector<BenchmarkProfile>
+    profilesToRun() const
+    {
+        std::vector<BenchmarkProfile> out;
+        for (const BenchmarkProfile &p : spec2006Profiles())
+            if (wantProfile(p.name))
+                out.push_back(p);
+        return out;
+    }
+
+    static std::vector<std::string>
+    splitCommas(const std::string &s)
+    {
+        std::vector<std::string> out;
+        std::size_t start = 0;
+        while (start <= s.size()) {
+            const std::size_t comma = s.find(',', start);
+            const std::size_t end =
+                comma == std::string::npos ? s.size() : comma;
+            if (end > start)
+                out.push_back(s.substr(start, end - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        return out;
+    }
+};
+
+/**
+ * One bench's sweep: collect points, run them through the engine, look
+ * results up by index, record derived rows, write the JSON document.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(const BenchCli &cli) : _cli(cli) {}
+
+    /** Queue @p point; returns its index for post-run lookup. */
+    std::size_t
+    add(ExperimentPoint point)
+    {
+        _points.push_back(std::move(point));
+        return _points.size() - 1;
+    }
+
+    /** Execute every queued point (respecting --jobs). */
+    void
+    run()
+    {
+        SweepOptions opts;
+        opts.jobs = _cli.jobs;
+        opts.progress = _cli.progress;
+        opts.name = _cli.bench;
+        const auto start = std::chrono::steady_clock::now();
+        _results = SweepRunner(opts).run(_points);
+        _hostSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+    }
+
+    const ExperimentResult &
+    at(std::size_t index) const
+    {
+        return _results.at(index);
+    }
+
+    const std::vector<ExperimentPoint> &points() const { return _points; }
+    double hostSeconds() const { return _hostSeconds; }
+
+    /** Record a derived aggregate row (also serialized to JSON). */
+    void
+    derive(std::string name, std::string group, double value)
+    {
+        _derived.push_back({std::move(name), std::move(group), value});
+    }
+
+    /** Build the full report document (JSON serialization input). */
+    SweepReport
+    report() const
+    {
+        SweepReport r;
+        r.bench = _cli.bench;
+        r.jobs = _cli.jobs;
+        r.hostSeconds = _hostSeconds;
+        r.points = _points;
+        r.results = _results;
+        r.derived = _derived;
+        return r;
+    }
+
+    /** Write the JSON document if --json was given. */
+    void
+    writeJson() const
+    {
+        if (_cli.jsonPath.empty())
+            return;
+        std::ofstream out(_cli.jsonPath);
+        fatal_if(!out, "%s: cannot open --json path '%s'",
+                 _cli.bench.c_str(), _cli.jsonPath.c_str());
+        writeSweepJson(out, report());
+        std::fprintf(stderr, "%s: wrote %s\n", _cli.bench.c_str(),
+                     _cli.jsonPath.c_str());
+    }
+
+  private:
+    BenchCli _cli;
+    std::vector<ExperimentPoint> _points;
+    std::vector<ExperimentResult> _results;
+    std::vector<DerivedRow> _derived;
+    double _hostSeconds = 0.0;
+};
+
+/** Run one (scheme, profile) point on a fresh system (direct API; the
+ *  sweeps go through ExperimentPoint instead). */
 inline SimulationResult
 runOne(Scheme scheme, const BenchmarkProfile &profile,
        std::uint64_t instructions, unsigned secpb_entries = 32,

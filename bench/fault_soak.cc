@@ -9,8 +9,14 @@
  * on the first-ever inconsistent recovery or silently accepted tamper,
  * printing a one-line reproducer.
  *
+ * Each trial's parameter draw is seeded by (seed, trial index) alone, so
+ * trials are independent experiment points: the engine runs them on
+ * --jobs threads and the tallies are identical at any job count, and a
+ * reproducer's trial can be replayed without its predecessors.
+ *
  * Knobs: SECPB_SOAK_TRIALS (default 300), SECPB_SOAK_SEED (default 2026),
- * SECPB_SOAK_TRIAL (replay exactly one trial index from a reproducer).
+ * SECPB_SOAK_TRIAL (replay exactly one trial index from a reproducer),
+ * plus the shared bench CLI (--jobs, --json, ...).
  */
 
 #include <cstdio>
@@ -43,11 +49,44 @@ struct SchemeTally
     std::uint64_t failures = 0;
 };
 
+/** Deterministic per-trial parameter draw, from (seed, trial) only. */
+struct TrialParams
+{
+    std::uint64_t schemeIdx;
+    const char *profile;
+    std::uint64_t instructions;
+    std::uint64_t wseed;
+    FaultPlan plan;
+};
+
+TrialParams
+drawTrial(std::uint64_t seed, std::uint64_t trial)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
+    TrialParams t;
+    t.schemeIdx = rng.below(std::size(SecPbSchemes));
+    t.profile = SoakProfiles[rng.below(std::size(SoakProfiles))];
+    t.instructions = 8'000 + rng.below(8'000);
+    t.wseed = rng.next();
+    if (rng.chance(0.5))
+        t.plan.crashAtPersist = 1 + rng.below(220);
+    else
+        t.plan.crashAtTick = 100 + rng.below(40'000);
+    if (!rng.chance(1.0 / 3.0))
+        t.plan.batteryFraction = rng.uniform();
+    t.plan.tamperCount = static_cast<unsigned>(rng.below(4));
+    t.plan.tamperSeed = rng.next();
+    return t;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    setQuietLogging(true);
+    const bench::BenchCli cli =
+        bench::BenchCli::parse(argc, argv, "fault_soak");
     const std::uint64_t seed = envU64("SECPB_SOAK_SEED", 2026);
     // Trial streams are independent (seeded by trial index), so one
     // reproducer's trial can be replayed without its predecessors.
@@ -56,65 +95,90 @@ main()
         std::getenv("SECPB_SOAK_TRIAL")
             ? first + 1
             : envU64("SECPB_SOAK_TRIALS", 300);
-    SchemeTally tally[std::size(SecPbSchemes)];
-    int exit_code = 0;
 
-    std::printf("fault soak: trials [%llu, %llu), seed %llu\n\n",
+    std::printf("fault soak: trials [%llu, %llu), seed %llu, jobs %u\n\n",
                 static_cast<unsigned long long>(first),
                 static_cast<unsigned long long>(trials),
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed), cli.jobs);
 
+    bench::Sweep sweep(cli);
+    std::vector<std::size_t> idx;
+    std::vector<TrialParams> params;
     for (std::uint64_t trial = first; trial < trials; ++trial) {
-        Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
-        const std::uint64_t scheme_idx =
-            rng.below(std::size(SecPbSchemes));
-        const Scheme scheme = SecPbSchemes[scheme_idx];
-        const char *profile =
-            SoakProfiles[rng.below(std::size(SoakProfiles))];
-        const std::uint64_t instructions = 8'000 + rng.below(8'000);
-        const std::uint64_t wseed = rng.next();
+        const TrialParams t = drawTrial(seed, trial);
+        params.push_back(t);
 
-        FaultPlan plan;
-        if (rng.chance(0.5))
-            plan.crashAtPersist = 1 + rng.below(220);
-        else
-            plan.crashAtTick = 100 + rng.below(40'000);
-        if (!rng.chance(1.0 / 3.0))
-            plan.batteryFraction = rng.uniform();
-        plan.tamperCount = static_cast<unsigned>(rng.below(4));
-        plan.tamperSeed = rng.next();
+        ExperimentPoint p;
+        p.label = "trial=" + std::to_string(trial);
+        p.scheme = SecPbSchemes[t.schemeIdx];
+        p.profile = t.profile;
+        p.instructions = t.instructions;
+        p.seed = t.wseed;
+        p.tag("plan", t.plan.describe());
+        p.custom = [t](const ExperimentPoint &pt) {
+            SystemConfig cfg;
+            cfg.scheme = pt.scheme;
+            cfg.pmDataBytes = 1ULL << 30;
+            SecPbSystem sys(cfg);
+            SyntheticGenerator gen(profileByName(pt.profile),
+                                   pt.instructions, pt.seed);
+            const FaultReport r = FaultInjector(sys, t.plan).run(gen);
+            ExperimentResult res;
+            res.extra = {
+                {"ok", r.ok() ? 1.0 : 0.0},
+                {"recovered", r.crash.recovered ? 1.0 : 0.0},
+                {"mid_run_crash", r.crashedMidRun ? 1.0 : 0.0},
+                {"battery_exhausted",
+                 r.crash.work.batteryExhausted ? 1.0 : 0.0},
+                {"abandoned_entries",
+                 static_cast<double>(r.crash.work.abandoned.size())},
+                {"torn_detected",
+                 static_cast<double>(r.crash.recovery.tornDetected)},
+                {"stale_consistent",
+                 static_cast<double>(r.crash.recovery.staleConsistent)},
+                {"tampers", static_cast<double>(r.tampers.size())},
+            };
+            return res;
+        };
+        idx.push_back(sweep.add(std::move(p)));
+    }
 
-        SystemConfig cfg;
-        cfg.scheme = scheme;
-        cfg.pmDataBytes = 1ULL << 30;
-        SecPbSystem sys(cfg);
-        SyntheticGenerator gen(profileByName(profile), instructions,
-                               wseed);
-        const FaultReport r = FaultInjector(sys, plan).run(gen);
+    sweep.run();
 
-        SchemeTally &t = tally[scheme_idx];
-        ++t.trials;
-        t.midRunCrashes += r.crashedMidRun;
-        t.boundedDrains += plan.boundedBattery();
-        t.exhausted += r.crash.work.batteryExhausted;
-        t.abandonedEntries += r.crash.work.abandoned.size();
-        t.tornDetected += r.crash.recovery.tornDetected;
-        t.staleConsistent += r.crash.recovery.staleConsistent;
-        t.tampers += r.tampers.size();
+    SchemeTally tally[std::size(SecPbSchemes)];
+    int exit_code = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        const TrialParams &t = params[i];
+        const ExperimentResult &r = sweep.at(idx[i]);
+        SchemeTally &st = tally[t.schemeIdx];
+        ++st.trials;
+        st.midRunCrashes +=
+            static_cast<std::uint64_t>(r.extraValue("mid_run_crash"));
+        st.boundedDrains += t.plan.boundedBattery();
+        st.exhausted +=
+            static_cast<std::uint64_t>(r.extraValue("battery_exhausted"));
+        st.abandonedEntries +=
+            static_cast<std::uint64_t>(r.extraValue("abandoned_entries"));
+        st.tornDetected +=
+            static_cast<std::uint64_t>(r.extraValue("torn_detected"));
+        st.staleConsistent +=
+            static_cast<std::uint64_t>(r.extraValue("stale_consistent"));
+        st.tampers += static_cast<std::uint64_t>(r.extraValue("tampers"));
 
-        if (!r.ok()) {
-            ++t.failures;
+        if (r.extraValue("ok") == 0.0) {
+            ++st.failures;
             exit_code = 1;
             std::printf("FAIL: SECPB_SOAK_SEED=%llu trial=%llu scheme=%s "
                         "profile=%s instrs=%llu wseed=%llu %s (%s)\n",
                         static_cast<unsigned long long>(seed),
-                        static_cast<unsigned long long>(trial),
-                        schemeName(scheme), profile,
-                        static_cast<unsigned long long>(instructions),
-                        static_cast<unsigned long long>(wseed),
-                        plan.describe().c_str(),
-                        !r.crash.recovered ? "inconsistent recovery"
-                                           : "undetected tamper");
+                        static_cast<unsigned long long>(first + i),
+                        schemeName(SecPbSchemes[t.schemeIdx]), t.profile,
+                        static_cast<unsigned long long>(t.instructions),
+                        static_cast<unsigned long long>(t.wseed),
+                        t.plan.describe().c_str(),
+                        r.extraValue("recovered") == 0.0
+                            ? "inconsistent recovery"
+                            : "undetected tamper");
         }
     }
 
@@ -135,7 +199,11 @@ main()
                     static_cast<unsigned long long>(t.staleConsistent),
                     static_cast<unsigned long long>(t.tampers),
                     static_cast<unsigned long long>(t.failures));
+        sweep.derive("failures", schemeName(SecPbSchemes[i]),
+                     static_cast<double>(t.failures));
     }
     std::printf("\n%s\n", exit_code ? "SOAK FAILED" : "soak clean");
+
+    sweep.writeJson();
     return exit_code;
 }

@@ -17,10 +17,11 @@ using namespace secpb;
 using namespace secpb::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    const std::uint64_t instr = benchInstructions();
+    const BenchCli cli = BenchCli::parse(argc, argv, "fig9");
+    const std::uint64_t instr = cli.instructions;
 
     struct Variant
     {
@@ -28,13 +29,46 @@ main()
         Scheme scheme;
         BmfMode bmf;
     };
-    const Variant variants[] = {
+    const Variant all_variants[] = {
         {"cm", Scheme::Cm, BmfMode::None},
         {"sp_dbmf", Scheme::Sp, BmfMode::Dbmf},
         {"cm_dbmf", Scheme::Cm, BmfMode::Dbmf},
         {"sp_sbmf", Scheme::Sp, BmfMode::Sbmf},
         {"cm_sbmf", Scheme::Cm, BmfMode::Sbmf},
     };
+    std::vector<Variant> variants;
+    for (const Variant &v : all_variants)
+        if (cli.wantScheme(v.scheme))
+            variants.push_back(v);
+    const std::vector<BenchmarkProfile> profiles = cli.profilesToRun();
+
+    Sweep sweep(cli);
+    std::vector<std::size_t> base_idx;
+    std::vector<std::vector<std::size_t>> cell_idx;
+    for (const BenchmarkProfile &p : profiles) {
+        ExperimentPoint base;
+        base.label = p.name + "/bbb";
+        base.scheme = Scheme::Bbb;
+        base.profile = p.name;
+        base.instructions = instr;
+        base.seed = cli.seed;
+        base_idx.push_back(sweep.add(std::move(base)));
+
+        cell_idx.emplace_back();
+        for (const Variant &v : variants) {
+            ExperimentPoint pt;
+            pt.label = p.name + "/" + v.name;
+            pt.scheme = v.scheme;
+            pt.profile = p.name;
+            pt.instructions = instr;
+            pt.bmf = v.bmf;
+            pt.seed = cli.seed;
+            pt.tag("variant", v.name);
+            cell_idx.back().push_back(sweep.add(std::move(pt)));
+        }
+    }
+
+    sweep.run();
 
     std::printf("Figure 9: CM with BMT height reduction (DBMF/SBMF) vs "
                 "SP with the same, normalized to BBB "
@@ -45,27 +79,29 @@ main()
         std::printf(" %8s", v.name);
     std::printf("\n");
 
-    std::vector<std::vector<double>> ratios(std::size(variants));
-    for (const BenchmarkProfile &p : spec2006Profiles()) {
-        const double base = static_cast<double>(
-            runOne(Scheme::Bbb, p, instr).execTicks);
-        std::printf("%-12s |", p.name.c_str());
-        unsigned vi = 0;
-        for (const Variant &v : variants) {
-            SimulationResult r = runOne(v.scheme, p, instr, 32, v.bmf);
+    std::vector<std::vector<double>> ratios(variants.size());
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        const double base =
+            static_cast<double>(sweep.at(base_idx[pi]).sim.execTicks);
+        std::printf("%-12s |", profiles[pi].name.c_str());
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const SimulationResult &r = sweep.at(cell_idx[pi][vi]).sim;
             const double ratio = r.execTicks / base;
             ratios[vi].push_back(ratio);
             std::printf(" %8.3f", ratio);
-            ++vi;
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
 
     std::printf("\n%-12s |", "geomean");
-    for (unsigned vi = 0; vi < std::size(variants); ++vi)
-        std::printf(" %8.3f", geomean(ratios[vi]));
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const double g = geomean(ratios[vi]);
+        sweep.derive("geomean_exec_ratio", variants[vi].name, g);
+        std::printf(" %8.3f", g);
+    }
     std::printf("\n\npaper: sp_dbmf 1.889, cm_dbmf 1.333, sp_sbmf 3.43x "
                 "total, cm_sbmf 1.566\n");
+
+    sweep.writeJson();
     return 0;
 }

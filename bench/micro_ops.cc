@@ -6,7 +6,18 @@
  * the simulator's own throughput (host-side), which is what determines
  * how many simulated instructions per second the table/figure harnesses
  * can sustain.
+ *
+ * This binary stays on google-benchmark (its timing loop is the right
+ * tool for host-side microbenchmarks), but it honors the shared bench
+ * CLI's `--json PATH` (and SECPB_BENCH_JSON) by mapping it to
+ * --benchmark_out=PATH --benchmark_out_format=json, so every binary in
+ * bench/ takes the same flag for machine-readable results.
  */
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -114,4 +125,35 @@ BENCHMARK(BM_EventQueueScheduleRun);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate the shared bench CLI's --json into google-benchmark's
+    // output flags; pass everything else through untouched.
+    std::string json_path;
+    if (const char *env = std::getenv("SECPB_BENCH_JSON"))
+        json_path = env;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            args.push_back(argv[i]);
+    }
+    std::string out_flag, fmt_flag;
+    if (!json_path.empty()) {
+        out_flag = "--benchmark_out=" + json_path;
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

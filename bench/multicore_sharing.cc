@@ -7,7 +7,8 @@
  * with probability `share` and a private region otherwise. As sharing
  * grows, entries ping-pong between SecPBs; migration keeps the
  * no-replication invariant while forwarding value-independent metadata,
- * and the cost shows up as extra acceptance latency.
+ * and the cost shows up as extra acceptance latency. Each (scheme, share)
+ * cell is one custom experiment point building its own MultiCoreSystem.
  */
 
 #include <memory>
@@ -66,53 +67,99 @@ class SharingGenerator : public WorkloadGenerator
     Rng _rng;
 };
 
+/** One (scheme, share) cell: build, run, crash, account. */
+ExperimentResult
+runSharingPoint(const ExperimentPoint &pt, double share)
+{
+    MultiCoreConfig cfg;
+    cfg.numCores = 4;
+    cfg.base.scheme = pt.scheme;
+    MultiCoreSystem sys(cfg);
+    std::vector<std::unique_ptr<SharingGenerator>> gens;
+    std::vector<WorkloadGenerator *> raw;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        gens.push_back(std::make_unique<SharingGenerator>(
+            pt.instructions, share, 0x1000000ULL * (c + 1), pt.seed + c));
+        raw.push_back(gens.back().get());
+    }
+    const MultiCoreResult mr = sys.run(raw);
+    std::uint64_t stores = 0;
+    for (const auto &pc : mr.perCore)
+        stores += pc.persists;
+    const CrashReport cr = sys.crashNow();
+
+    ExperimentResult r;
+    r.extra = {
+        {"share", share},
+        {"exec_ticks", static_cast<double>(mr.execTicks)},
+        {"migrations", static_cast<double>(mr.migrations)},
+        {"remote_read_flushes",
+         static_cast<double>(mr.remoteReadFlushes)},
+        {"migr_per_kstore",
+         1000.0 * mr.migrations /
+             std::max<std::uint64_t>(1, stores)},
+        {"recovered", cr.recovered ? 1.0 : 0.0},
+    };
+    return r;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    const std::uint64_t instr = benchInstructions() / 4;
+    const BenchCli cli = BenchCli::parse(argc, argv, "multicore_sharing");
+    const std::uint64_t instr = cli.instructions / 4;
+    const double shares[] = {0.0, 0.05, 0.10, 0.25, 0.50, 1.0};
+
+    std::vector<Scheme> schemes;
+    for (Scheme s : {Scheme::Cobcm, Scheme::NoGap})
+        if (cli.wantScheme(s))
+            schemes.push_back(s);
+
+    Sweep sweep(cli);
+    std::vector<std::vector<std::size_t>> idx(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        for (double share : shares) {
+            ExperimentPoint p;
+            p.label = std::string(schemeName(schemes[si])) + "/share=" +
+                      std::to_string(share);
+            p.scheme = schemes[si];
+            p.instructions = instr;
+            p.seed = cli.seed;
+            p.tag("cores", "4");
+            p.custom = [share](const ExperimentPoint &pt) {
+                return runSharingPoint(pt, share);
+            };
+            idx[si].push_back(sweep.add(std::move(p)));
+        }
+    }
+
+    sweep.run();
 
     std::printf("Multi-core SecPB sharing sweep (4 cores, "
                 "%llu instructions/core)\n",
                 static_cast<unsigned long long>(instr));
-
-    for (Scheme scheme : {Scheme::Cobcm, Scheme::NoGap}) {
-    std::printf("\n[%s]\n%8s %14s %14s %16s %10s\n", schemeName(scheme),
-                "share", "exec cycles", "migrations", "migr/1k stores",
-                "recovery");
-
-    for (double share : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0}) {
-        MultiCoreConfig cfg;
-        cfg.numCores = 4;
-        cfg.base.scheme = scheme;
-        MultiCoreSystem sys(cfg);
-        std::vector<std::unique_ptr<SharingGenerator>> gens;
-        std::vector<WorkloadGenerator *> raw;
-        for (unsigned c = 0; c < 4; ++c) {
-            gens.push_back(std::make_unique<SharingGenerator>(
-                instr, share, 0x1000000ULL * (c + 1), benchSeed() + c));
-            raw.push_back(gens.back().get());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        std::printf("\n[%s]\n%8s %14s %14s %16s %10s\n",
+                    schemeName(schemes[si]), "share", "exec cycles",
+                    "migrations", "migr/1k stores", "recovery");
+        for (std::size_t ci = 0; ci < std::size(shares); ++ci) {
+            const ExperimentResult &r = sweep.at(idx[si][ci]);
+            std::printf("%7.0f%% %14.0f %14.0f %16.2f %10s\n",
+                        shares[ci] * 100.0, r.extraValue("exec_ticks"),
+                        r.extraValue("migrations"),
+                        r.extraValue("migr_per_kstore"),
+                        r.extraValue("recovered") != 0.0 ? "OK" : "FAILED");
         }
-        MultiCoreResult r = sys.run(raw);
-        std::uint64_t stores = 0;
-        for (const auto &pc : r.perCore)
-            stores += pc.persists;
-        CrashReport cr = sys.crashNow();
-        std::printf("%7.0f%% %14llu %14llu %16.2f %10s\n", share * 100.0,
-                    static_cast<unsigned long long>(r.execTicks),
-                    static_cast<unsigned long long>(r.migrations),
-                    1000.0 * r.migrations / std::max<std::uint64_t>(1,
-                                                                    stores),
-                    cr.recovered ? "OK" : "FAILED");
-        std::fflush(stdout);
-    }
     }
 
     std::printf("\nmigrations scale with sharing and recovery verifies at "
                 "every point (no-replication\ninvariant). For lazy schemes "
                 "the store buffer absorbs the migration latency; eager\n"
                 "schemes expose it on the acceptance path.\n");
+
+    sweep.writeJson();
     return 0;
 }

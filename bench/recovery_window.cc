@@ -7,7 +7,8 @@
  * draining + sec-sync gaps. This bench crashes each scheme mid-run on a
  * write-heavy workload and prints the estimated observer-blocked window
  * and the battery energy actually spent -- the "cost of laziness" at
- * recovery time, complementing Table V's provisioning cost.
+ * recovery time, complementing Table V's provisioning cost. Each scheme
+ * is a custom experiment point (crash mid-run instead of run-to-end).
  */
 
 #include "bench_common.hh"
@@ -17,37 +18,79 @@ using namespace secpb;
 using namespace secpb::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    const std::uint64_t instr = benchInstructions();
-    const BenchmarkProfile &p = profileByName("gamess");
+    const BenchCli cli = BenchCli::parse(argc, argv, "recovery_window");
+    const std::uint64_t instr = cli.instructions;
+    const std::string profile = "gamess";
+
+    const Scheme all_schemes[] = {Scheme::Bbb,  Scheme::Cobcm, Scheme::Obcm,
+                                  Scheme::Bcm,  Scheme::Cm,    Scheme::M,
+                                  Scheme::NoGap};
+    std::vector<Scheme> schemes;
+    for (Scheme s : all_schemes)
+        if (cli.wantScheme(s))
+            schemes.push_back(s);
+
+    Sweep sweep(cli);
+    std::vector<std::size_t> idx;
+    for (Scheme s : schemes) {
+        ExperimentPoint p;
+        p.label = std::string(schemeName(s)) + "/crash@quarter";
+        p.scheme = s;
+        p.profile = profile;
+        p.instructions = instr;
+        p.seed = cli.seed;
+        p.tag("crash_at", "instr/4");
+        p.custom = [instr](const ExperimentPoint &pt) {
+            const BenchmarkProfile &prof = profileByName(pt.profile);
+            SystemConfig cfg = SecPbSystem::configFor(pt.scheme, prof);
+            cfg.secpb.numEntries = pt.secpbEntries;
+            SecPbSystem sys(cfg);
+            SyntheticGenerator gen(prof, pt.instructions, pt.seed);
+            sys.start(gen);
+            sys.runUntil(instr / 4);
+            const CrashReport cr = sys.crashNow();
+            ExperimentResult r;
+            r.sim = sys.result();
+            r.extra = {
+                {"entries_drained",
+                 static_cast<double>(cr.work.entriesDrained)},
+                {"late_bmt_updates",
+                 static_cast<double>(cr.work.bmtRootUpdates)},
+                {"window_cycles", static_cast<double>(cr.drainLatency)},
+                {"window_ns", cr.drainLatencyNs},
+                {"energy_uj", cr.actualEnergyJ * 1e6},
+                {"recovered", cr.recovered ? 1.0 : 0.0},
+            };
+            return r;
+        };
+        idx.push_back(sweep.add(std::move(p)));
+    }
+
+    sweep.run();
 
     std::printf("Recovery window after a crash at mid-run (gamess, "
                 "32-entry SecPB)\n\n");
     std::printf("%-8s %10s %12s %14s %14s %12s\n", "scheme", "entries",
                 "late BMT", "window (cyc)", "window (ns)", "energy uJ");
-
-    const Scheme schemes[] = {Scheme::Bbb,  Scheme::Cobcm, Scheme::Obcm,
-                              Scheme::Bcm,  Scheme::Cm,    Scheme::M,
-                              Scheme::NoGap};
-    for (Scheme s : schemes) {
-        SystemConfig cfg = SecPbSystem::configFor(s, p);
-        SecPbSystem sys(cfg);
-        SyntheticGenerator gen(p, instr, benchSeed());
-        sys.start(gen);
-        sys.runUntil(instr / 4);
-        CrashReport cr = sys.crashNow();
-        std::printf("%-8s %10llu %12llu %14llu %14.1f %12.2f   %s\n",
-                    schemeName(s),
-                    static_cast<unsigned long long>(cr.work.entriesDrained),
-                    static_cast<unsigned long long>(cr.work.bmtRootUpdates),
-                    static_cast<unsigned long long>(cr.drainLatency),
-                    cr.drainLatencyNs, cr.actualEnergyJ * 1e6,
-                    cr.recovered ? "recovered" : "RECOVERY FAILED");
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const ExperimentResult &r = sweep.at(idx[i]);
+        std::printf("%-8s %10.0f %12.0f %14.0f %14.1f %12.2f   %s\n",
+                    schemeName(schemes[i]), r.extraValue("entries_drained"),
+                    r.extraValue("late_bmt_updates"),
+                    r.extraValue("window_cycles"), r.extraValue("window_ns"),
+                    r.extraValue("energy_uj"),
+                    r.extraValue("recovered") != 0.0 ? "recovered"
+                                                     : "RECOVERY FAILED");
+        sweep.derive("window_ns", schemeName(schemes[i]),
+                     r.extraValue("window_ns"));
     }
     std::printf("\nlazier schemes block the crash observer longer: the "
                 "other face of the\nperformance/battery trade-off "
                 "(Fig. 3's sec-sync gap).\n");
+
+    sweep.writeJson();
     return 0;
 }

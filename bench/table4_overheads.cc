@@ -17,46 +17,72 @@ using namespace secpb;
 using namespace secpb::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
-    const std::uint64_t instr = benchInstructions();
+    const BenchCli cli = BenchCli::parse(argc, argv, "table4");
+    const std::uint64_t instr = cli.instructions;
 
     struct Row
     {
         Scheme scheme;
         double paperPct;  ///< Table IV "Slowdown(%)".
     };
-    const Row rows[] = {
+    const Row all_rows[] = {
         {Scheme::Cobcm, 1.3},  {Scheme::Obcm, 1.5}, {Scheme::Bcm, 14.8},
         {Scheme::Cm, 71.3},    {Scheme::M, 73.8},   {Scheme::NoGap, 118.4},
     };
+    std::vector<Row> rows;
+    for (const Row &r : all_rows)
+        if (cli.wantScheme(r.scheme))
+            rows.push_back(r);
+    const std::vector<BenchmarkProfile> profiles = cli.profilesToRun();
+
+    Sweep sweep(cli);
+    auto point = [&](Scheme s, const std::string &profile) {
+        ExperimentPoint p;
+        p.label = profile + "/" + schemeName(s);
+        p.scheme = s;
+        p.profile = profile;
+        p.instructions = instr;
+        p.seed = cli.seed;
+        return sweep.add(std::move(p));
+    };
+
+    std::vector<std::size_t> base_idx;
+    std::vector<std::vector<std::size_t>> cell_idx(rows.size());
+    for (const BenchmarkProfile &p : profiles)
+        base_idx.push_back(point(Scheme::Bbb, p.name));
+    for (std::size_t ri = 0; ri < rows.size(); ++ri)
+        for (const BenchmarkProfile &p : profiles)
+            cell_idx[ri].push_back(point(rows[ri].scheme, p.name));
+
+    sweep.run();
 
     std::printf("Table IV: performance overheads, 32-entry SecPB "
                 "(%llu instructions/run, %zu benchmarks)\n\n",
-                static_cast<unsigned long long>(instr),
-                spec2006Profiles().size());
-
-    // Baselines first.
-    std::vector<double> base_ticks;
-    for (const BenchmarkProfile &p : spec2006Profiles())
-        base_ticks.push_back(static_cast<double>(
-            runOne(Scheme::Bbb, p, instr).execTicks));
-
+                static_cast<unsigned long long>(instr), profiles.size());
     std::printf("%-8s %18s %18s %14s\n", "Model", "geomean slowdown",
                 "arith slowdown", "paper");
-    for (const Row &row : rows) {
+    for (std::size_t ri = 0; ri < rows.size(); ++ri) {
         std::vector<double> ratios;
-        unsigned i = 0;
-        for (const BenchmarkProfile &p : spec2006Profiles()) {
-            SimulationResult r = runOne(row.scheme, p, instr);
-            ratios.push_back(r.execTicks / base_ticks[i]);
-            ++i;
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            const double base =
+                static_cast<double>(sweep.at(base_idx[pi]).sim.execTicks);
+            ratios.push_back(sweep.at(cell_idx[ri][pi]).sim.execTicks /
+                             base);
         }
+        const double geo_pct = (geomean(ratios) - 1.0) * 100.0;
+        const double arith_pct = (mean(ratios) - 1.0) * 100.0;
+        sweep.derive("geomean_slowdown_pct", schemeName(rows[ri].scheme),
+                     geo_pct);
+        sweep.derive("arith_slowdown_pct", schemeName(rows[ri].scheme),
+                     arith_pct);
         std::printf("%-8s %17.1f%% %17.1f%% %13.1f%%\n",
-                    schemeName(row.scheme), (geomean(ratios) - 1.0) * 100.0,
-                    (mean(ratios) - 1.0) * 100.0, row.paperPct);
-        std::fflush(stdout);
+                    schemeName(rows[ri].scheme), geo_pct, arith_pct,
+                    rows[ri].paperPct);
     }
+
+    sweep.writeJson();
     return 0;
 }

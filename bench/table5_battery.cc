@@ -4,36 +4,84 @@
  * Li-thin-film battery) required to support each SecPB scheme with a
  * 32-entry SecPB, compared with BBB, eADR, and secure eADR, and the
  * footprint ratio of that energy source to a 5.37 mm^2 client-class core.
+ *
+ * No simulation runs here -- each point evaluates the energy model -- but
+ * the rows still go through the experiment engine so --json captures them
+ * in the same sweep schema as every other bench.
  */
 
-#include <cstdio>
-
+#include "bench_common.hh"
 #include "energy/energy_model.hh"
 
 using namespace secpb;
+using namespace secpb::bench;
 
 namespace
 {
 
-void
-printRow(const char *name, const EnergyModel &em, double energy_j,
-         double paper_sc, double paper_li)
+/** Battery-sizing point: pure energy-model evaluation. */
+ExperimentResult
+sizePoint(double energy_j)
 {
+    const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
     const BatteryEstimate sc = em.size(energy_j, superCapTech());
     const BatteryEstimate li = em.size(energy_j, liThinTech());
-    std::printf("%-8s %12.3f %12.4f %10.1f%% %9.2f%% | paper: %9.2f %9.3f\n",
-                name, sc.volumeMm3, li.volumeMm3,
-                sc.areaRatioToCore * 100.0, li.areaRatioToCore * 100.0,
-                paper_sc, paper_li);
+    ExperimentResult r;
+    r.extra = {
+        {"energy_j", energy_j},
+        {"supercap_mm3", sc.volumeMm3},
+        {"lithin_mm3", li.volumeMm3},
+        {"supercap_core_ratio", sc.areaRatioToCore},
+        {"lithin_core_ratio", li.areaRatioToCore},
+    };
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    setQuietLogging(true);
+    const BenchCli cli = BenchCli::parse(argc, argv, "table5");
     const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
     constexpr unsigned entries = 32;
+
+    struct Row
+    {
+        const char *name;
+        double energyJ;
+        double paperSc;
+        double paperLi;
+    };
+    const Row rows[] = {
+        {"COBCM", em.secPbBatteryEnergy(Scheme::Cobcm, entries), 4.89, 0.049},
+        {"OBCM", em.secPbBatteryEnergy(Scheme::Obcm, entries), 4.82, 0.048},
+        {"BCM", em.secPbBatteryEnergy(Scheme::Bcm, entries), 4.72, 0.047},
+        {"CM", em.secPbBatteryEnergy(Scheme::Cm, entries), 0.73, 0.007},
+        {"M", em.secPbBatteryEnergy(Scheme::M, entries), 0.67, 0.006},
+        {"NoGap", em.secPbBatteryEnergy(Scheme::NoGap, entries), 0.28, 0.003},
+        {"s_eADR", em.sEadrBatteryEnergy(), 3706.00, 37.060},
+        {"BBB", em.bbbBatteryEnergy(entries), 0.07, 0.001},
+        {"eADR", em.eadrBatteryEnergy(), 149.32, 1.490},
+    };
+
+    Sweep sweep(cli);
+    std::vector<std::size_t> idx;
+    for (const Row &r : rows) {
+        ExperimentPoint p;
+        p.label = r.name;
+        p.instructions = 0;
+        p.secpbEntries = entries;
+        p.tag("kind", "battery_sizing");
+        const double energy = r.energyJ;
+        p.custom = [energy](const ExperimentPoint &) {
+            return sizePoint(energy);
+        };
+        idx.push_back(sweep.add(std::move(p)));
+    }
+
+    sweep.run();
 
     std::printf("Table V: energy-source size for a %u-entry SecPB "
                 "(volume mm^3 and footprint ratio to a 5.37 mm^2 core)\n\n",
@@ -41,37 +89,28 @@ main()
     std::printf("%-8s %12s %12s %11s %10s | %s\n", "System",
                 "SuperCap mm3", "Li-Thin mm3", "SC/core", "Li/core",
                 "paper volumes (SC, Li)");
-
-    struct Row
-    {
-        const char *name;
-        Scheme scheme;
-        double paperSc;
-        double paperLi;
-    };
-    const Row rows[] = {
-        {"COBCM", Scheme::Cobcm, 4.89, 0.049},
-        {"OBCM", Scheme::Obcm, 4.82, 0.048},
-        {"BCM", Scheme::Bcm, 4.72, 0.047},
-        {"CM", Scheme::Cm, 0.73, 0.007},
-        {"M", Scheme::M, 0.67, 0.006},
-        {"NoGap", Scheme::NoGap, 0.28, 0.003},
-    };
-    for (const Row &r : rows)
-        printRow(r.name, em, em.secPbBatteryEnergy(r.scheme, entries),
-                 r.paperSc, r.paperLi);
-
-    printRow("s_eADR", em, em.sEadrBatteryEnergy(), 3706.00, 37.060);
-    printRow("BBB", em, em.bbbBatteryEnergy(entries), 0.07, 0.001);
-    printRow("eADR", em, em.eadrBatteryEnergy(), 149.32, 1.490);
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const ExperimentResult &r = sweep.at(idx[i]);
+        std::printf("%-8s %12.3f %12.4f %10.1f%% %9.2f%% | "
+                    "paper: %9.2f %9.3f\n",
+                    rows[i].name, r.extraValue("supercap_mm3"),
+                    r.extraValue("lithin_mm3"),
+                    r.extraValue("supercap_core_ratio") * 100.0,
+                    r.extraValue("lithin_core_ratio") * 100.0,
+                    rows[i].paperSc, rows[i].paperLi);
+    }
 
     const double ratio = em.sEadrBatteryEnergy() /
                          em.secPbBatteryEnergy(Scheme::Cobcm, entries);
     std::printf("\ns_eADR / COBCM battery ratio: %.0fx "
                 "(paper reports 753x)\n", ratio);
+    sweep.derive("battery_ratio", "s_eADR/COBCM", ratio);
     const double eadr_bbb =
         em.eadrBatteryEnergy() / em.bbbBatteryEnergy(entries);
     std::printf("eADR / BBB battery ratio:     %.0fx "
                 "(paper reports ~2500x)\n", eadr_bbb);
+    sweep.derive("battery_ratio", "eADR/BBB", eadr_bbb);
+
+    sweep.writeJson();
     return 0;
 }

@@ -2,19 +2,52 @@
  * @file
  * Reproduces Table VI: estimated supercapacitor / battery capacity for
  * varying SecPB sizes (8..512 entries) under the COBCM (largest) and
- * NoGap (smallest) models.
+ * NoGap (smallest) models. Energy-model-only points run through the
+ * experiment engine so --json captures the sweep.
  */
 
-#include <cstdio>
-
+#include "bench_common.hh"
 #include "energy/energy_model.hh"
 
 using namespace secpb;
+using namespace secpb::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
+    setQuietLogging(true);
+    const BenchCli cli = BenchCli::parse(argc, argv, "table6");
+    const unsigned sizes[] = {8, 16, 32, 64, 128, 256, 512};
+    const Scheme schemes[] = {Scheme::Cobcm, Scheme::NoGap};
+
+    Sweep sweep(cli);
+    std::vector<std::vector<std::size_t>> idx(std::size(schemes));
+    for (std::size_t si = 0; si < std::size(schemes); ++si) {
+        for (unsigned entries : sizes) {
+            const Scheme scheme = schemes[si];
+            ExperimentPoint p;
+            p.label = std::string(schemeName(scheme)) + "/entries=" +
+                      std::to_string(entries);
+            p.scheme = scheme;
+            p.instructions = 0;
+            p.secpbEntries = entries;
+            p.tag("kind", "battery_sizing");
+            p.custom = [scheme, entries](const ExperimentPoint &) {
+                const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
+                const double e = em.secPbBatteryEnergy(scheme, entries);
+                ExperimentResult r;
+                r.extra = {
+                    {"energy_j", e},
+                    {"supercap_mm3", em.size(e, superCapTech()).volumeMm3},
+                    {"lithin_mm3", em.size(e, liThinTech()).volumeMm3},
+                };
+                return r;
+            };
+            idx[si].push_back(sweep.add(std::move(p)));
+        }
+    }
+
+    sweep.run();
 
     std::printf("Table VI: battery capacity (mm^3) vs SecPB size\n\n");
     std::printf("%8s | %12s %12s | %12s %12s\n", "entries",
@@ -28,19 +61,18 @@ main()
     const double paper_nogap_sc[] = {0.08, 0.14, 0.28, 0.55,
                                      1.10, 2.18, 4.35};
 
-    unsigned i = 0;
-    for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-        const double e_cobcm = em.secPbBatteryEnergy(Scheme::Cobcm, entries);
-        const double e_nogap = em.secPbBatteryEnergy(Scheme::NoGap, entries);
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const ExperimentResult &cobcm = sweep.at(idx[0][i]);
+        const ExperimentResult &nogap = sweep.at(idx[1][i]);
         std::printf("%8u | %12.2f %12.4f | %12.3f %12.5f   "
                     "(paper SC: %5.2f / %4.2f)\n",
-                    entries,
-                    em.size(e_cobcm, superCapTech()).volumeMm3,
-                    em.size(e_cobcm, liThinTech()).volumeMm3,
-                    em.size(e_nogap, superCapTech()).volumeMm3,
-                    em.size(e_nogap, liThinTech()).volumeMm3,
+                    sizes[i], cobcm.extraValue("supercap_mm3"),
+                    cobcm.extraValue("lithin_mm3"),
+                    nogap.extraValue("supercap_mm3"),
+                    nogap.extraValue("lithin_mm3"),
                     paper_cobcm_sc[i], paper_nogap_sc[i]);
-        ++i;
     }
+
+    sweep.writeJson();
     return 0;
 }

@@ -1,0 +1,16 @@
+#include "core/results.hh"
+
+#include "stats/json.hh"
+
+namespace secpb
+{
+
+void
+SimulationResult::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    visitFields([&w](const char *name, auto v) { w.field(name, v); });
+    w.endObject();
+}
+
+} // namespace secpb

@@ -14,6 +14,8 @@
 namespace secpb
 {
 
+class JsonWriter;
+
 /** Summary of one timed execution. */
 struct SimulationResult
 {
@@ -35,6 +37,37 @@ struct SimulationResult
     double ctrCacheHitRate = 0.0;
     double bmtCacheHitRate = 0.0;
     double meanUnblockLatency = 0.0;
+
+    /**
+     * Visit every field as (name, value). The single source of truth for
+     * serializing a result: toJson() and any tabular dumper iterate this
+     * list, so adding a field here is the whole change.
+     */
+    template <typename F>
+    void
+    visitFields(F &&f) const
+    {
+        f("exec_ticks", execTicks);
+        f("instructions", instructions);
+        f("ipc", ipc);
+        f("persists", persists);
+        f("allocations", allocations);
+        f("ppti", ppti);
+        f("nwpe", nwpe);
+        f("bmt_root_updates", bmtRootUpdates);
+        f("page_reencryptions", pageReencryptions);
+        f("drained_entries", drainedEntries);
+        f("sb_full_stalls", sbFullStalls);
+        f("pb_full_rejects", pbFullRejects);
+        f("pcm_reads", pcmReads);
+        f("pcm_writes", pcmWrites);
+        f("ctr_cache_hit_rate", ctrCacheHitRate);
+        f("bmt_cache_hit_rate", bmtCacheHitRate);
+        f("mean_unblock_latency", meanUnblockLatency);
+    }
+
+    /** Serialize as one JSON object via the field visitor. */
+    void toJson(JsonWriter &w) const;
 };
 
 /** Outcome of a crash + battery-drain + recovery experiment. */

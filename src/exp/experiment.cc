@@ -1,0 +1,45 @@
+#include "exp/experiment.hh"
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace secpb
+{
+
+const char *
+bmfModeName(BmfMode mode)
+{
+    switch (mode) {
+      case BmfMode::None: return "none";
+      case BmfMode::Dbmf: return "dbmf";
+      case BmfMode::Sbmf: return "sbmf";
+    }
+    return "?";
+}
+
+ExperimentResult
+runExperimentPoint(const ExperimentPoint &point)
+{
+    if (point.custom)
+        return point.custom(point);
+
+    fatal_if(point.profile.empty(),
+             "experiment point '%s' has no profile and no custom runner",
+             point.label.c_str());
+
+    const BenchmarkProfile &profile = profileByName(point.profile);
+    SystemConfig cfg = SecPbSystem::configFor(point.scheme, profile);
+    cfg.secpb.numEntries = point.secpbEntries;
+    cfg.walker.bmfMode = point.bmf;
+    if (point.configure)
+        point.configure(cfg);
+
+    SecPbSystem sys(cfg);
+    SyntheticGenerator gen(profile, point.instructions, point.seed);
+    ExperimentResult res;
+    res.sim = sys.run(gen);
+    return res;
+}
+
+} // namespace secpb

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ExperimentPoint: one cell of the evaluation cross-product.
+ *
+ * The paper's evaluation space is (persistency scheme x benchmark profile
+ * x SecPB size x BMF mode x battery budget x ...); a point pins one
+ * coordinate of it. Points are self-contained and deterministic: the seed
+ * lives in the point, every simulation object is constructed fresh by the
+ * runner, and no state is shared between points -- which is what lets the
+ * SweepRunner execute them on any number of threads with bit-identical
+ * results.
+ *
+ * Two escape hatches keep the descriptor generic:
+ *  - `configure` applies free-form SystemConfig overrides (ablation knobs
+ *    like drain width or watermarks) after the scheme/profile defaults;
+ *    `tags` records what the override did, so the JSON stays
+ *    self-describing even though a closure is not serializable.
+ *  - `custom` replaces the default run-to-completion runner entirely, for
+ *    points that crash mid-run, drive a MultiCoreSystem, or only evaluate
+ *    the energy model.
+ */
+
+#ifndef SECPB_EXP_EXPERIMENT_HH
+#define SECPB_EXP_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/results.hh"
+#include "metadata/walker.hh"
+#include "secpb/scheme.hh"
+
+namespace secpb
+{
+
+struct SystemConfig;
+
+/** What one executed point reports back. */
+struct ExperimentResult
+{
+    /** Timing/coalescing summary (default-constructed for points whose
+     *  custom runner measures something else entirely). */
+    SimulationResult sim;
+
+    /** Bench-specific named metrics (crash windows, battery volumes,
+     *  migration counts, ...), serialized under "extra". */
+    std::vector<std::pair<std::string, double>> extra;
+
+    /** Host wall-clock seconds this point took. Excluded from the
+     *  determinism contract (the only non-deterministic field). */
+    double hostSeconds = 0.0;
+
+    double
+    extraValue(const std::string &name, double fallback = 0.0) const
+    {
+        for (const auto &[k, v] : extra)
+            if (k == name)
+                return v;
+        return fallback;
+    }
+};
+
+/** One cell of the sweep cross-product. */
+struct ExperimentPoint
+{
+    /** Row/column label in the bench's printed table ("gamess/CM"). */
+    std::string label;
+
+    Scheme scheme = Scheme::Bbb;
+
+    /** Synthetic profile name; "" for points that don't run one. */
+    std::string profile;
+
+    std::uint64_t instructions = 0;
+    unsigned secpbEntries = 32;
+    BmfMode bmf = BmfMode::None;
+
+    /** Workload seed. Determinism is per-point: same seed, same result,
+     *  regardless of which thread runs it or in what order. */
+    std::uint64_t seed = 7;
+
+    /** Human-readable record of config overrides, serialized to JSON. */
+    std::vector<std::pair<std::string, std::string>> tags;
+
+    /** Free-form SystemConfig override, applied after scheme/profile
+     *  defaults and the secpbEntries/bmf fields. */
+    std::function<void(SystemConfig &)> configure;
+
+    /** Replaces the default runner when set. */
+    std::function<ExperimentResult(const ExperimentPoint &)> custom;
+
+    ExperimentPoint &
+    tag(std::string k, std::string v)
+    {
+        tags.emplace_back(std::move(k), std::move(v));
+        return *this;
+    }
+};
+
+/** Name for serialization ("none" / "dbmf" / "sbmf"). */
+const char *bmfModeName(BmfMode mode);
+
+/**
+ * Execute one point: the custom runner if set, otherwise a fresh
+ * SecPbSystem over a fresh SyntheticGenerator, run to completion.
+ * hostSeconds is left 0 -- the SweepRunner stamps it.
+ */
+ExperimentResult runExperimentPoint(const ExperimentPoint &point);
+
+} // namespace secpb
+
+#endif // SECPB_EXP_EXPERIMENT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Schema-versioned JSON serialization of a completed sweep.
+ *
+ * Schema "secpb.sweep" v1 (one scalar field per line in pretty mode, so
+ * line-wise filters work; `host_seconds` fields are the only
+ * non-deterministic content):
+ *
+ * {
+ *   "schema": "secpb.sweep",
+ *   "schema_version": 1,
+ *   "bench": "fig6",
+ *   "jobs": 8,
+ *   "host_seconds": 12.3,
+ *   "points": [
+ *     {
+ *       "label": "gamess/CM",
+ *       "scheme": "CM",
+ *       "profile": "gamess",
+ *       "instructions": 300000,
+ *       "secpb_entries": 32,
+ *       "bmf": "none",
+ *       "seed": 7,
+ *       "tags": {"drain_width": "4"},
+ *       "result": { ...SimulationResult::toJson()... },
+ *       "extra": {"window_ns": 1834.0},
+ *       "host_seconds": 0.41
+ *     }, ...
+ *   ],
+ *   "derived": [
+ *     {"name": "geomean_slowdown", "group": "CM", "value": 1.71}, ...
+ *   ]
+ * }
+ */
+
+#ifndef SECPB_EXP_REPORT_HH
+#define SECPB_EXP_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace secpb
+{
+
+/** A post-sweep aggregate row (slowdown, geomean, paper delta, ...). */
+struct DerivedRow
+{
+    std::string name;   ///< Metric name ("geomean_slowdown").
+    std::string group;  ///< What it aggregates over ("CM", "size=64").
+    double value = 0.0;
+};
+
+/** Everything one bench run hands to the serializer. */
+struct SweepReport
+{
+    std::string bench;
+    unsigned jobs = 1;
+    double hostSeconds = 0.0;
+    std::vector<ExperimentPoint> points;
+    std::vector<ExperimentResult> results;  ///< Indexed like points.
+    std::vector<DerivedRow> derived;
+};
+
+/** Write the v1 JSON document for @p report to @p os. */
+void writeSweepJson(std::ostream &os, const SweepReport &report);
+
+/**
+ * Serialize to a string with every `host_seconds` line blanked -- the
+ * deterministic projection the determinism test (and any byte-compare
+ * tooling) uses.
+ */
+std::string sweepJsonDeterministic(const SweepReport &report);
+
+} // namespace secpb
+
+#endif // SECPB_EXP_REPORT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SweepRunner: execute a vector of ExperimentPoints, possibly in
+ * parallel, with results aggregated in submission order.
+ *
+ * The determinism contract: each point is self-contained (fresh system,
+ * seed in the point), results land in the slot matching the point's
+ * index, and nothing about the measured values depends on thread count or
+ * completion order. `--jobs 1` runs inline on the calling thread with no
+ * pool at all, so a serial reference run involves zero threading; any
+ * `--jobs N` run must produce bit-identical JSON modulo the host
+ * wall-clock fields (enforced by tests/test_sweep_determinism.cc).
+ *
+ * Progress goes to stderr: a refreshing "[done/total] elapsed .. eta .."
+ * line (ETA from mean completed-point cost), never stdout, so piping a
+ * bench's table output stays clean.
+ */
+
+#ifndef SECPB_EXP_SWEEP_HH
+#define SECPB_EXP_SWEEP_HH
+
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace secpb
+{
+
+/** How a sweep executes. */
+struct SweepOptions
+{
+    /** Concurrent points; 1 = inline on the caller, no threads. */
+    unsigned jobs = 1;
+
+    /** Emit the refreshing progress/ETA line on stderr. */
+    bool progress = true;
+
+    /** Label prefixed to the progress line ("fig6"). */
+    std::string name;
+};
+
+/** Executes point vectors under SweepOptions. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : _opts(opts) {}
+
+    /**
+     * Run every point; return results indexed like @p points. The first
+     * exception thrown by any point is rethrown after all queued points
+     * finish (no result slot is ever silently skipped before the throw).
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentPoint> &points) const;
+
+  private:
+    SweepOptions _opts;
+};
+
+} // namespace secpb
+
+#endif // SECPB_EXP_SWEEP_HH

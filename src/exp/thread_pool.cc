@@ -1,0 +1,89 @@
+#include "exp/thread_pool.hh"
+
+namespace secpb
+{
+
+ThreadPool::ThreadPool(unsigned workers, std::size_t queue_bound)
+    : _deques(workers ? workers : 1),
+      _bound(queue_bound ? queue_bound : 4 * _deques.size())
+{
+    _threads.reserve(_deques.size());
+    for (unsigned i = 0; i < _deques.size(); ++i)
+        _threads.emplace_back(
+            [this, i](std::stop_token st) { workerLoop(st, i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    for (auto &t : _threads)
+        t.request_stop();
+    _cvTask.notify_all();
+    _cvSpace.notify_all();
+    // std::jthread joins on destruction; workers drain their queues first.
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    Task task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    {
+        std::unique_lock lock(_mx);
+        _cvSpace.wait(lock, [this] { return _queued < _bound; });
+        _deques[_nextDeque].push_back(std::move(task));
+        _nextDeque = (_nextDeque + 1) % _deques.size();
+        ++_queued;
+    }
+    _cvTask.notify_one();
+    return fut;
+}
+
+bool
+ThreadPool::takeTask(unsigned self, Task &out)
+{
+    if (!_deques[self].empty()) {
+        out = std::move(_deques[self].front());
+        _deques[self].pop_front();
+        --_queued;
+        return true;
+    }
+    // Steal from the back of the most loaded sibling, oldest task first.
+    unsigned victim = self;
+    std::size_t best = 0;
+    for (unsigned i = 0; i < _deques.size(); ++i) {
+        if (i != self && _deques[i].size() > best) {
+            best = _deques[i].size();
+            victim = i;
+        }
+    }
+    if (best == 0)
+        return false;
+    out = std::move(_deques[victim].back());
+    _deques[victim].pop_back();
+    --_queued;
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::stop_token st, unsigned index)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lock(_mx);
+            _cvTask.wait(lock, [&] {
+                return st.stop_requested() || _queued > 0;
+            });
+            if (!takeTask(index, task)) {
+                if (st.stop_requested())
+                    return;
+                continue;
+            }
+        }
+        _cvSpace.notify_one();
+        // packaged_task captures any exception into the future.
+        task();
+    }
+}
+
+} // namespace secpb

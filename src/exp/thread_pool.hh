@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment engine.
+ *
+ * Each worker owns a deque: it pops its own work LIFO from the front and
+ * steals FIFO from the back of a sibling when empty, so long point chains
+ * stay cache-warm on one worker while idle workers drain the stragglers.
+ * Submission is round-robin across worker deques and blocks once the
+ * total backlog reaches the queue bound -- a producer building a huge
+ * point vector cannot outrun the workers into unbounded memory.
+ *
+ * Tasks are std::packaged_task<void()>, so an exception thrown by a task
+ * is captured and rethrown from the future submit() returned; the pool
+ * itself never dies from a task failure. One mutex guards all deques:
+ * experiment points run for milliseconds to seconds, so queue contention
+ * is noise and simplicity wins over lock-free choreography.
+ *
+ * Destruction requests stop, wakes everyone, and std::jthread joins;
+ * already-queued tasks are completed first so no future is abandoned.
+ */
+
+#ifndef SECPB_EXP_THREAD_POOL_HH
+#define SECPB_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace secpb
+{
+
+/** Bounded, exception-propagating, work-stealing task pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers      Worker-thread count (>= 1; 0 is clamped to 1).
+     * @param queue_bound  Max queued-but-unstarted tasks before submit()
+     *                     blocks; 0 picks 4x workers.
+     */
+    explicit ThreadPool(unsigned workers, std::size_t queue_bound = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Queue @p fn; blocks while the backlog is at the bound. The returned
+     * future completes when the task ran and rethrows anything it threw.
+     */
+    std::future<void> submit(std::function<void()> fn);
+
+    unsigned workers() const { return static_cast<unsigned>(_deques.size()); }
+    std::size_t queueBound() const { return _bound; }
+
+  private:
+    using Task = std::packaged_task<void()>;
+
+    void workerLoop(std::stop_token st, unsigned index);
+
+    /** Pop own front, else steal a sibling's back. Caller holds _mx. */
+    bool takeTask(unsigned self, Task &out);
+
+    std::mutex _mx;
+    std::condition_variable _cvTask;   ///< Workers wait for work.
+    std::condition_variable _cvSpace;  ///< Producers wait for queue space.
+    std::vector<std::deque<Task>> _deques;
+    std::size_t _queued = 0;           ///< Total tasks across all deques.
+    std::size_t _bound;
+    unsigned _nextDeque = 0;           ///< Round-robin submission cursor.
+
+    std::vector<std::jthread> _threads;  ///< Last member: joins first.
+};
+
+} // namespace secpb
+
+#endif // SECPB_EXP_THREAD_POOL_HH

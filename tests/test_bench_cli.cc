@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the shared bench harness: the hardened envU64 (trailing
+ * garbage, signs, and overflow are fatal, never a silent truncation) and
+ * the BenchCli filter/parse helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "../bench/bench_common.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+namespace
+{
+
+struct EnvGuard
+{
+    explicit EnvGuard(const char *name) : _name(name) {}
+    ~EnvGuard() { unsetenv(_name); }
+    const char *_name;
+};
+
+} // namespace
+
+TEST(EnvU64, FallbackWhenUnsetOrEmpty)
+{
+    unsetenv("SECPB_TEST_ENV");
+    EXPECT_EQ(envU64("SECPB_TEST_ENV", 42), 42u);
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "", 1);
+    EXPECT_EQ(envU64("SECPB_TEST_ENV", 42), 42u);
+}
+
+TEST(EnvU64, ParsesPlainDecimal)
+{
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "300000", 1);
+    EXPECT_EQ(envU64("SECPB_TEST_ENV", 0), 300000u);
+    setenv("SECPB_TEST_ENV", "18446744073709551615", 1);
+    EXPECT_EQ(envU64("SECPB_TEST_ENV", 0), UINT64_MAX);
+}
+
+using EnvU64Death = ::testing::Test;
+
+TEST(EnvU64Death, TrailingGarbageIsFatal)
+{
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "300k", 1);
+    EXPECT_EXIT(envU64("SECPB_TEST_ENV", 0),
+                ::testing::ExitedWithCode(1), "not a decimal integer");
+}
+
+TEST(EnvU64Death, NegativeIsFatalNotWrapped)
+{
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "-1", 1);
+    EXPECT_EXIT(envU64("SECPB_TEST_ENV", 0),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+TEST(EnvU64Death, OverflowIsFatalNotTruncated)
+{
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "99999999999999999999999", 1);
+    EXPECT_EXIT(envU64("SECPB_TEST_ENV", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(EnvU64Death, NonNumericIsFatal)
+{
+    EnvGuard guard("SECPB_TEST_ENV");
+    setenv("SECPB_TEST_ENV", "lots", 1);
+    EXPECT_EXIT(envU64("SECPB_TEST_ENV", 0),
+                ::testing::ExitedWithCode(1), "not a decimal integer");
+}
+
+TEST(BenchCli, SplitCommas)
+{
+    EXPECT_EQ(BenchCli::splitCommas("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(BenchCli::splitCommas("one"),
+              (std::vector<std::string>{"one"}));
+    EXPECT_EQ(BenchCli::splitCommas(""), std::vector<std::string>{});
+    EXPECT_EQ(BenchCli::splitCommas("a,,b"),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BenchCli, ParseFlagsOverrideEnv)
+{
+    EnvGuard guard("SECPB_BENCH_JOBS");
+    setenv("SECPB_BENCH_JOBS", "3", 1);
+    const char *argv[] = {"bench",     "--jobs",   "5",
+                          "--scheme",  "CM,COBCM", "--profile",
+                          "gamess",    "--instr",  "1234",
+                          "--seed",    "9",        "--json",
+                          "/tmp/x.json"};
+    BenchCli cli = BenchCli::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.jobs, 5u);
+    EXPECT_EQ(cli.instructions, 1234u);
+    EXPECT_EQ(cli.seed, 9u);
+    EXPECT_EQ(cli.jsonPath, "/tmp/x.json");
+    EXPECT_TRUE(cli.wantScheme(Scheme::Cm));
+    EXPECT_TRUE(cli.wantScheme(Scheme::Cobcm));
+    EXPECT_FALSE(cli.wantScheme(Scheme::NoGap));
+    EXPECT_TRUE(cli.wantProfile("gamess"));
+    EXPECT_FALSE(cli.wantProfile("gcc"));
+    ASSERT_EQ(cli.profilesToRun().size(), 1u);
+    EXPECT_EQ(cli.profilesToRun()[0].name, "gamess");
+}
+
+TEST(BenchCli, EnvFallbacksAndDefaults)
+{
+    EnvGuard j("SECPB_BENCH_JOBS"), p("SECPB_BENCH_JSON");
+    setenv("SECPB_BENCH_JOBS", "7", 1);
+    setenv("SECPB_BENCH_JSON", "/tmp/env.json", 1);
+    const char *argv[] = {"bench"};
+    BenchCli cli = BenchCli::parse(1, const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.jobs, 7u);
+    EXPECT_EQ(cli.jsonPath, "/tmp/env.json");
+    // Empty filters pass everything.
+    EXPECT_TRUE(cli.wantScheme(Scheme::Sp));
+    EXPECT_TRUE(cli.wantProfile("anything"));
+}
+
+TEST(BenchCliDeath, UnknownFlagIsFatal)
+{
+    const char *argv[] = {"bench", "--frobnicate"};
+    EXPECT_EXIT(BenchCli::parse(2, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(BenchCliDeath, UnknownProfileFilterIsFatal)
+{
+    const char *argv[] = {"bench", "--profile", "nonesuch"};
+    EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "");
+}

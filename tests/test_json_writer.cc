@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the hand-rolled JSON writer: escaping, nesting,
+ * number formatting, and the pretty layout the sweep schema relies on
+ * (one scalar field per line).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/results.hh"
+#include "stats/json.hh"
+
+using namespace secpb;
+
+TEST(JsonWriter, CompactObject)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, /*pretty=*/false);
+    w.beginObject();
+    w.field("a", std::uint64_t{1});
+    w.field("b", "two");
+    w.field("c", true);
+    w.endObject();
+    EXPECT_EQ(ss.str(), R"({"a": 1,"b": "two","c": true})");
+    EXPECT_EQ(w.depth(), 0u);
+}
+
+TEST(JsonWriter, EscapesControlAndQuote)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+    EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, false);
+    w.beginArray();
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::nan(""));
+    w.value(1.5);
+    w.endArray();
+    EXPECT_EQ(ss.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, false);
+    w.beginObject();
+    w.key("rows");
+    w.beginArray();
+    w.beginObject();
+    w.field("n", 3);
+    w.endObject();
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(ss.str(), R"({"rows": [{"n": 3},[1,2]]})");
+}
+
+TEST(JsonWriter, PrettyPutsOneScalarFieldPerLine)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss, /*pretty=*/true);
+    w.beginObject();
+    w.field("x", std::uint64_t{1});
+    w.field("y", 2.5);
+    w.endObject();
+    EXPECT_EQ(ss.str(), "{\n  \"x\": 1,\n  \"y\": 2.5\n}\n");
+}
+
+TEST(JsonWriter, SimulationResultToJsonIsParsableShape)
+{
+    SimulationResult r;
+    r.execTicks = 42;
+    r.ipc = 1.25;
+    std::ostringstream ss;
+    JsonWriter w(ss, false);
+    r.toJson(w);
+    const std::string s = ss.str();
+    EXPECT_NE(s.find("\"exec_ticks\": 42"), std::string::npos);
+    EXPECT_NE(s.find("\"ipc\": 1.25"), std::string::npos);
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_EQ(s.back(), '}');
+
+    // The visitor is the single source of truth: field count matches.
+    unsigned fields = 0;
+    r.visitFields([&](const char *, auto) { ++fields; });
+    unsigned colons = 0;
+    for (char c : s)
+        colons += c == ':';
+    EXPECT_EQ(colons, fields);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the experiment engine's work-stealing thread pool:
+ * exception propagation through futures, completion of every submitted
+ * task, the zero-task and oversubscribed cases, and the bounded queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/thread_pool.hh"
+
+using namespace secpb;
+
+TEST(ThreadPool, ZeroTasksConstructsAndJoins)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    // Destructor must join idle workers without a single submit().
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; }).get();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ExecutesEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 200; ++i)
+        futs.push_back(pool.submit([&] { ++count; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([] { throw std::runtime_error("point failed"); });
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "point failed");
+                throw;
+            }
+        },
+        std::runtime_error);
+
+    // The pool survives a throwing task and keeps executing.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; }).get();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, OversubscribedCompletesAll)
+{
+    // Far more workers than cores, far more tasks than the queue bound:
+    // submission must block rather than drop, and every task must run
+    // exactly once.
+    ThreadPool pool(16, /*queue_bound=*/8);
+    EXPECT_EQ(pool.queueBound(), 8u);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 500; ++i)
+        futs.push_back(pool.submit([&] {
+            ++count;
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, PendingTasksDrainOnDestruction)
+{
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            futs.push_back(pool.submit([&] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                ++count;
+            }));
+        // Destroy with most tasks still queued.
+    }
+    // Destruction drains the queue: every future is ready, none broken.
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, TasksRunOnPoolThreads)
+{
+    ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::mutex mx;
+    std::set<std::thread::id> ids;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 32; ++i)
+        futs.push_back(pool.submit([&] {
+            std::lock_guard lock(mx);
+            ids.insert(std::this_thread::get_id());
+        }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(ids.count(caller), 0u);
+    EXPECT_GE(ids.size(), 1u);
+}
