@@ -21,6 +21,14 @@
  *                       thousands)
  *   --seed N            base workload seed       (SECPB_BENCH_SEED, 7)
  *   --no-progress       suppress the stderr progress/ETA line
+ *   --trace-out PATH    write a Perfetto trace of the first point
+ *   --sample-every N    epoch-sample every point every N ticks
+ *   --stats             embed the full stats dump in each JSON point
+ *   --debug FLAG[,..]   enable DPRINTF debug flags (see --help)
+ *
+ * bench/micro_ops.cc is the one exception: google-benchmark owns its
+ * argv, so these flags do not apply there (its tracing macros stay
+ * compiled in but disabled -- that is what it measures).
  */
 
 #ifndef SECPB_BENCH_BENCH_COMMON_HH
@@ -34,12 +42,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/system.hh"
 #include "exp/report.hh"
 #include "exp/sweep.hh"
+#include "obs/trace.hh"
+#include "sim/debug.hh"
 #include "workload/synthetic.hh"
 
 namespace secpb::bench
@@ -93,6 +104,9 @@ struct BenchCli
     std::uint64_t instructions = 300'000;
     std::uint64_t seed = 7;
     bool progress = true;
+    std::string traceOut;            ///< Empty = no trace capture.
+    Tick sampleEvery = 0;            ///< 0 = no epoch sampling.
+    bool captureStats = false;       ///< Embed stats dump per point.
 
     /** Parse argv; prints usage and exits on unknown flags. */
     static BenchCli
@@ -137,12 +151,43 @@ struct BenchCli
                 ++i;
             } else if (a == "--no-progress") {
                 cli.progress = false;
+            } else if (a == "--trace-out") {
+                cli.traceOut = need(i);
+                ++i;
+            } else if (a == "--sample-every") {
+                cli.sampleEvery = std::strtoull(need(i), nullptr, 10);
+                ++i;
+            } else if (a == "--stats") {
+                cli.captureStats = true;
+            } else if (a == "--debug") {
+                for (const std::string &flag : splitCommas(need(i))) {
+                    const auto &known = debug::knownFlags();
+                    fatal_if(std::find(known.begin(), known.end(), flag) ==
+                                 known.end(),
+                             "%s: unknown --debug flag '%s' (known: %s)",
+                             bench_name, flag.c_str(),
+                             joinCommas(known).c_str());
+                    debug::enable(flag);
+                }
+                ++i;
             } else if (a == "--help" || a == "-h") {
                 std::printf(
                     "usage: %s [--jobs N] [--json PATH] [--scheme A[,B]]\n"
                     "          [--profile A[,B]] [--instr N] [--seed N]\n"
-                    "          [--no-progress]\n",
-                    bench_name);
+                    "          [--no-progress] [--trace-out PATH]\n"
+                    "          [--sample-every N] [--stats]\n"
+                    "          [--debug FLAG[,FLAG]]\n"
+                    "  --trace-out PATH    Perfetto trace_event JSON of the"
+                    " sweep's\n"
+                    "                      first point (load in"
+                    " ui.perfetto.dev)\n"
+                    "  --sample-every N    epoch-sample built-in channels"
+                    " every N\n"
+                    "                      ticks into each point's JSON\n"
+                    "  --stats             embed the full stats dump per"
+                    " point\n"
+                    "  --debug FLAGS       enable DPRINTF flags: %s\n",
+                    bench_name, joinCommas(debug::knownFlags()).c_str());
                 std::exit(0);
             } else {
                 fatal("%s: unknown flag '%s' (try --help)", bench_name,
@@ -184,6 +229,18 @@ struct BenchCli
         return out;
     }
 
+    static std::string
+    joinCommas(const std::vector<std::string> &v)
+    {
+        std::string out;
+        for (const std::string &s : v) {
+            if (!out.empty())
+                out += ",";
+            out += s;
+        }
+        return out;
+    }
+
     static std::vector<std::string>
     splitCommas(const std::string &s)
     {
@@ -210,7 +267,11 @@ struct BenchCli
 class Sweep
 {
   public:
-    explicit Sweep(const BenchCli &cli) : _cli(cli) {}
+    explicit Sweep(const BenchCli &cli) : _cli(cli)
+    {
+        if (!_cli.traceOut.empty())
+            _tracer = std::make_unique<obs::Tracer>();
+    }
 
     /** Queue @p point; returns its index for post-run lookup. */
     std::size_t
@@ -224,6 +285,19 @@ class Sweep
     void
     run()
     {
+        // Apply the shared observability knobs here, so no bench binary
+        // needs per-flag plumbing: --sample-every / --stats reach every
+        // point; --trace-out records the first point (one timeline per
+        // trace file keeps the Perfetto track layout readable).
+        for (ExperimentPoint &p : _points) {
+            if (_cli.sampleEvery > 0 && p.samplePeriod == 0)
+                p.samplePeriod = _cli.sampleEvery;
+            if (_cli.captureStats)
+                p.captureStats = true;
+        }
+        if (_tracer && !_points.empty())
+            _points.front().tracer = _tracer.get();
+
         SweepOptions opts;
         opts.jobs = _cli.jobs;
         opts.progress = _cli.progress;
@@ -266,10 +340,28 @@ class Sweep
         return r;
     }
 
-    /** Write the JSON document if --json was given. */
+    /** Write the Perfetto trace if --trace-out was given. */
+    void
+    writeTrace() const
+    {
+        if (!_tracer)
+            return;
+        std::ofstream out(_cli.traceOut);
+        fatal_if(!out, "%s: cannot open --trace-out path '%s'",
+                 _cli.bench.c_str(), _cli.traceOut.c_str());
+        _tracer->writeJson(out);
+        std::fprintf(stderr, "%s: wrote %s (%zu events, %llu dropped)\n",
+                     _cli.bench.c_str(), _cli.traceOut.c_str(),
+                     _tracer->numEvents(),
+                     static_cast<unsigned long long>(_tracer->numDropped()));
+    }
+
+    /** Write the JSON document if --json was given (and the trace if
+     *  --trace-out was; benches call writeJson() unconditionally). */
     void
     writeJson() const
     {
+        writeTrace();
         if (_cli.jsonPath.empty())
             return;
         std::ofstream out(_cli.jsonPath);
@@ -282,6 +374,7 @@ class Sweep
 
   private:
     BenchCli _cli;
+    std::unique_ptr<obs::Tracer> _tracer;
     std::vector<ExperimentPoint> _points;
     std::vector<ExperimentResult> _results;
     std::vector<DerivedRow> _derived;

@@ -21,6 +21,20 @@
 namespace secpb
 {
 
+/**
+ * Observability knobs: epoch time-series sampling of simulator state.
+ * Sampling is read-only instrumentation -- a sampled run computes
+ * bit-identical results to an unsampled one.
+ */
+struct ObsConfig
+{
+    /** Sample the built-in channels every this many ticks (0 = off). */
+    Tick samplePeriod = 0;
+
+    /** Ring capacity: the most recent epochs retained. */
+    std::size_t sampleCapacity = 4096;
+};
+
 /** Everything needed to build a SecPbSystem. */
 struct SystemConfig
 {
@@ -65,6 +79,8 @@ struct SystemConfig
      * ablation of how load-bearing that assumption is.
      */
     bool speculativeVerification = true;
+
+    ObsConfig obs;
 
     ClockInfo clock;
 };

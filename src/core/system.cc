@@ -44,6 +44,34 @@ SecPbSystem::SecPbSystem(const SystemConfig &cfg)
                                       _dcache.get());
 
     _energy = EnergyModel(EnergyCosts{}, _tree->numLevels() + 1);
+
+    if (cfg.obs.samplePeriod > 0) {
+        _sampler = std::make_unique<obs::Sampler>(
+            _eq, cfg.obs.samplePeriod, cfg.obs.sampleCapacity);
+        _sampler->addChannel("secpb_occupancy", [this] {
+            return static_cast<double>(_secpb->occupancy());
+        });
+        _sampler->addChannel("sb_occupancy", [this] {
+            return static_cast<double>(_sb->occupancy());
+        });
+        _sampler->addChannel("wpq_depth", [this] {
+            return static_cast<double>(_wpq->occupancy());
+        });
+        _sampler->addChannel("battery_headroom_j", [this] {
+            return provisionedCrashEnergy() -
+                   _energy.actualCrashEnergy(
+                       _secpb->predictCrashDrainWork());
+        });
+        _sampler->addChannel("ctr_cache_dirty", [this] {
+            return static_cast<double>(_ctrCache->dirtyBlocks().size());
+        });
+        _sampler->addChannel("mac_cache_dirty", [this] {
+            return static_cast<double>(_macCache->dirtyBlocks().size());
+        });
+        _sampler->addChannel("bmt_inflight_walks", [this] {
+            return static_cast<double>(_walker->inFlightWalks());
+        });
+    }
 }
 
 SystemConfig
@@ -68,6 +96,8 @@ SecPbSystem::start(WorkloadGenerator &gen)
 {
     panic_if(_started, "SecPbSystem::start called twice");
     _started = true;
+    if (_sampler)
+        _sampler->start();
     _cpu->run(gen, [this] {
         _cpuDone = true;
         _sb->notifyWhenEmpty([this] {
@@ -133,6 +163,11 @@ SecPbSystem::result() const
 CrashReport
 SecPbSystem::crashNow(const CrashOptions &opts)
 {
+    // Capture the pre-crash state as one last epoch: the time-series
+    // then ends exactly where the battery takes over.
+    if (_sampler)
+        _sampler->sampleNow();
+
     CrashReport cr;
     DrainLatencyModel latency(_cfg.crypto, _cfg.pcm);
     CrashDrainBudget budget;

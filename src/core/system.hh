@@ -45,6 +45,7 @@
 #include "metadata/layout.hh"
 #include "metadata/metadata_cache.hh"
 #include "metadata/walker.hh"
+#include "obs/sampler.hh"
 #include "recovery/oracle.hh"
 #include "recovery/verifier.hh"
 #include "secpb/secpb.hh"
@@ -128,6 +129,17 @@ class SecPbSystem
     /** Dump the full statistics tree. */
     void dumpStats(std::ostream &os) const { _rootStats.dump(os); }
 
+    /** Root of the hierarchical stat registry (dotted paths from
+     *  "system"). */
+    const StatGroup &stats() const { return _rootStats; }
+
+    /** The epoch sampler, or nullptr when ObsConfig::samplePeriod is 0.
+     *  Channels: secpb_occupancy, sb_occupancy, wpq_depth,
+     *  battery_headroom_j, ctr_cache_dirty, mac_cache_dirty,
+     *  bmt_inflight_walks. */
+    obs::Sampler *sampler() { return _sampler.get(); }
+    const obs::Sampler *sampler() const { return _sampler.get(); }
+
     /** @name Component access (tests, examples). */
     /** @{ */
     EventQueue &eventQueue() { return _eq; }
@@ -173,6 +185,7 @@ class SecPbSystem
     std::unique_ptr<SecPb> _secpb;
     std::unique_ptr<StoreBuffer> _sb;
     std::unique_ptr<TraceCpu> _cpu;
+    std::unique_ptr<obs::Sampler> _sampler;
 
     bool _started = false;
     bool _cpuDone = false;

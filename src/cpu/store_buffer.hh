@@ -47,6 +47,8 @@ class StoreBuffer
     {
         if (_queue.size() >= _numEntries) {
             ++statFullStalls;
+            TRACE_INSTANT_P("store_buffer", "full_stall", _eq.curTick(),
+                            asid);
             return false;
         }
         ++statPushes;

@@ -142,6 +142,8 @@ class TraceCpu
                     // Core stalls: charge the cycles accumulated so far,
                     // then retry the push.
                     ++statSbStalls;
+                    TRACE_INSTANT_P("cpu", "sb_stall", _eq.curTick(),
+                                    op.asid);
                     _pendingStore = PendingStore{op.addr, op.value,
                                                  op.asid};
                     _eq.scheduleIn(ceilCycles(frac), [this] { wake(); });

@@ -13,6 +13,7 @@
 #ifndef SECPB_CRYPTO_ENGINE_HH
 #define SECPB_CRYPTO_ENGINE_HH
 
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
 #include "stats/stats.hh"
@@ -93,7 +94,9 @@ class CryptoEngine
     generateOtp(EventCallback done = nullptr)
     {
         ++statOtpGenerated;
-        return _aesUnit.request(std::move(done));
+        const Tick completion = _aesUnit.request(std::move(done));
+        TRACE_SPAN("crypto", "otp", completion - _lat.aesPad, completion);
+        return completion;
     }
 
     /** Issue one MAC computation. @return finish tick. */
@@ -101,7 +104,9 @@ class CryptoEngine
     generateMac(EventCallback done = nullptr)
     {
         ++statMacGenerated;
-        return _macUnit.request(std::move(done));
+        const Tick completion = _macUnit.request(std::move(done));
+        TRACE_SPAN("crypto", "mac", completion - _lat.macHash, completion);
+        return completion;
     }
 
     /** Account a ciphertext XOR (1 cycle, no unit contention). */

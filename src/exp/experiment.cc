@@ -1,7 +1,10 @@
 #include "exp/experiment.hh"
 
+#include <sstream>
+
 #include "core/system.hh"
 #include "sim/logging.hh"
+#include "stats/json.hh"
 #include "workload/synthetic.hh"
 
 namespace secpb
@@ -21,6 +24,10 @@ bmfModeName(BmfMode mode)
 ExperimentResult
 runExperimentPoint(const ExperimentPoint &point)
 {
+    // The trace session wraps the custom runner too: anything it
+    // simulates on this thread lands in the point's tracer.
+    obs::TraceSession session(point.tracer);
+
     if (point.custom)
         return point.custom(point);
 
@@ -32,6 +39,8 @@ runExperimentPoint(const ExperimentPoint &point)
     SystemConfig cfg = SecPbSystem::configFor(point.scheme, profile);
     cfg.secpb.numEntries = point.secpbEntries;
     cfg.walker.bmfMode = point.bmf;
+    cfg.obs.samplePeriod = point.samplePeriod;
+    cfg.obs.sampleCapacity = point.sampleCapacity;
     if (point.configure)
         point.configure(cfg);
 
@@ -39,6 +48,14 @@ runExperimentPoint(const ExperimentPoint &point)
     SyntheticGenerator gen(profile, point.instructions, point.seed);
     ExperimentResult res;
     res.sim = sys.run(gen);
+    if (sys.sampler())
+        res.samples = sys.sampler()->series();
+    if (point.captureStats) {
+        std::ostringstream ss;
+        JsonWriter w(ss, /*pretty=*/false);
+        sys.stats().toJson(w);
+        res.statsJson = ss.str();
+    }
     return res;
 }
 

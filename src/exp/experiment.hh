@@ -31,6 +31,8 @@
 
 #include "core/results.hh"
 #include "metadata/walker.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "secpb/scheme.hh"
 
 namespace secpb
@@ -48,6 +50,14 @@ struct ExperimentResult
     /** Bench-specific named metrics (crash windows, battery volumes,
      *  migration counts, ...), serialized under "extra". */
     std::vector<std::pair<std::string, double>> extra;
+
+    /** Epoch time-series (empty unless the point set samplePeriod).
+     *  Deterministic: sampling probes never perturb the simulation. */
+    obs::SampleSeries samples;
+
+    /** Full stats dump as a compact JSON object (empty unless the point
+     *  set captureStats), spliced into the sweep document verbatim. */
+    std::string statsJson;
 
     /** Host wall-clock seconds this point took. Excluded from the
      *  determinism contract (the only non-deterministic field). */
@@ -81,6 +91,25 @@ struct ExperimentPoint
     /** Workload seed. Determinism is per-point: same seed, same result,
      *  regardless of which thread runs it or in what order. */
     std::uint64_t seed = 7;
+
+    /** Epoch-sample the built-in channels every this many ticks
+     *  (0 = off). Honored by the default runner; custom runners that
+     *  build their own system must apply it themselves. */
+    Tick samplePeriod = 0;
+
+    /** Ring capacity for the epoch sampler. */
+    std::size_t sampleCapacity = 4096;
+
+    /** Embed the full stats dump in this point's JSON. */
+    bool captureStats = false;
+
+    /**
+     * Tracer to record this point's timeline into (not owned; may be
+     * nullptr). The runner installs it as the thread's trace session
+     * for the duration of the run, so exactly this point is traced
+     * even when the sweep fans out across threads.
+     */
+    obs::Tracer *tracer = nullptr;
 
     /** Human-readable record of config overrides, serialized to JSON. */
     std::vector<std::pair<std::string, std::string>> tags;

@@ -39,6 +39,14 @@ writePoint(JsonWriter &w, const ExperimentPoint &p,
             w.field(k, v);
         w.endObject();
     }
+    if (!r.samples.empty()) {
+        w.key("samples");
+        r.samples.toJson(w);
+    }
+    if (!r.statsJson.empty()) {
+        w.key("stats");
+        w.rawValue(r.statsJson);
+    }
     w.field("host_seconds", r.hostSeconds);
     w.endObject();
 }
@@ -55,7 +63,7 @@ writeSweepJson(std::ostream &os, const SweepReport &report)
     JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
     w.field("schema", "secpb.sweep");
-    w.field("schema_version", std::uint64_t{1});
+    w.field("schema_version", std::uint64_t{2});
     w.field("bench", report.bench);
     w.field("jobs", report.jobs);
     w.field("host_seconds", report.hostSeconds);

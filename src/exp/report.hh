@@ -2,13 +2,17 @@
  * @file
  * Schema-versioned JSON serialization of a completed sweep.
  *
- * Schema "secpb.sweep" v1 (one scalar field per line in pretty mode, so
+ * Schema "secpb.sweep" v2 (one scalar field per line in pretty mode, so
  * line-wise filters work; `host_seconds` fields are the only
- * non-deterministic content):
+ * non-deterministic content). v2 adds two optional per-point fields:
+ * "samples" (the epoch time-series, when the point sampled) and "stats"
+ * (the flat dotted-path stats dump, when the point captured it); both
+ * are deterministic and omitted when absent, so a v1 consumer reading
+ * only the v1 fields still parses a v2 document.
  *
  * {
  *   "schema": "secpb.sweep",
- *   "schema_version": 1,
+ *   "schema_version": 2,
  *   "bench": "fig6",
  *   "jobs": 8,
  *   "host_seconds": 12.3,
@@ -24,6 +28,9 @@
  *       "tags": {"drain_width": "4"},
  *       "result": { ...SimulationResult::toJson()... },
  *       "extra": {"window_ns": 1834.0},
+ *       "samples": {"period": 1000, "channels": [...], "ticks": [...],
+ *                   "values": [[...], ...], "epochs_dropped": 0},
+ *       "stats": {"system.secpb.persists": 4242.0, ...},
  *       "host_seconds": 0.41
  *     }, ...
  *   ],
@@ -64,7 +71,7 @@ struct SweepReport
     std::vector<DerivedRow> derived;
 };
 
-/** Write the v1 JSON document for @p report to @p os. */
+/** Write the v2 JSON document for @p report to @p os. */
 void writeSweepJson(std::ostream &os, const SweepReport &report);
 
 /**

@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "obs/trace.hh"
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
 namespace secpb
 {
 
@@ -63,11 +67,20 @@ FaultInjector::run(WorkloadGenerator &gen)
     report.persistsAtCrash = _sys.oracle().numPersists();
     report.crashedMidRun = !_sys.finished();
 
+    TRACE_INSTANT("fault", "crash", report.crashTick);
+    DPRINTF("Fault", "crash at tick %llu after %llu persists",
+            static_cast<unsigned long long>(report.crashTick),
+            static_cast<unsigned long long>(report.persistsAtCrash));
+
     CrashOptions opts;
     if (_plan.boundedBattery())
         opts.batteryEnergyJ =
             _plan.batteryFraction * _sys.provisionedCrashEnergy();
     report.crash = _sys.crashNow(opts);
+    TRACE_INSTANT("fault",
+                  report.crash.work.batteryExhausted
+                      ? "battery_exhausted" : "drain_complete",
+                  report.crashTick);
 
     // Tamper phase: corrupt the post-drain image, then re-verify and
     // demand that every mutation is flagged. Only meaningful for secure
@@ -91,6 +104,8 @@ FaultInjector::run(WorkloadGenerator &gen)
         report.tampers =
             injector.inject(_sys.pm(), _sys.tree(), _sys.layout(),
                             candidates, _plan.tamperCount);
+        TRACE_INSTANT("fault", "tamper", report.crashTick);
+        DPRINTF("Fault", "injected %zu tampers", report.tampers.size());
 
         RecoveryVerifier verifier(_sys.layout(), _sys.config().keys);
         const bool partial = report.crash.work.batteryExhausted ||
@@ -101,6 +116,10 @@ FaultInjector::run(WorkloadGenerator &gen)
             : verifier.verifyAll(_sys.pm(), _sys.tree(), _sys.oracle());
         report.tampersAllDetected = TamperInjector::allDetected(
             report.tampers, report.postTamper, _sys.layout(), _sys.tree());
+        TRACE_INSTANT("fault",
+                      report.tampersAllDetected ? "recovery_verified"
+                                                : "recovery_failed",
+                      report.crashTick);
     }
 
     return report;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
 #include "sim/types.hh"
@@ -58,6 +59,7 @@ class PcmModel
         Tick finish = _banks.request(addr, _cfg.readLatency,
                                      std::move(done));
         statReadDelay.sample(static_cast<double>(finish - _eq.curTick()));
+        TRACE_SPAN("pcm", "read", _eq.curTick(), finish);
         return finish;
     }
 
@@ -69,6 +71,7 @@ class PcmModel
         Tick finish = _banks.request(addr, _cfg.writeLatency,
                                      std::move(done));
         statWriteDelay.sample(static_cast<double>(finish - _eq.curTick()));
+        TRACE_SPAN("pcm", "write", _eq.curTick(), finish);
         return finish;
     }
 
@@ -99,6 +102,10 @@ class PcmModel
     }
 
     const PcmConfig &config() const { return _cfg; }
+
+    /** Current tick (for clients without their own EventQueue ref). */
+    Tick now() const { return _eq.curTick(); }
+
     std::uint64_t numReads() const
     { return static_cast<std::uint64_t>(statReads.value()); }
     std::uint64_t numWrites() const

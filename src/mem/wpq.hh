@@ -55,6 +55,7 @@ class WritePendingQueue
         }
         if (_queued.size() >= _numEntries) {
             ++statFullRejects;
+            TRACE_INSTANT("wpq", "wpq_full", _eq.curTick());
             return false;
         }
         _queued.insert(aligned);

@@ -52,6 +52,7 @@ class MetadataCache
             return _hitLatency;
         }
         ++statMisses;
+        TRACE_INSTANT(_stats.name(), "miss", _pcm.now());
         const Cycles fetch = _pcm.readOccupy(addr);
         handleFill(addr);
         return _hitLatency + fetch;

@@ -29,6 +29,7 @@
 #include "metadata/bmt.hh"
 #include "metadata/layout.hh"
 #include "metadata/metadata_cache.hh"
+#include "obs/trace.hh"
 
 namespace secpb
 {
@@ -127,6 +128,7 @@ class BmtWalker
         if (_cfg.enableMerging && it != _inFlight.end() &&
             it->second > now) {
             ++statMergedUpdates;
+            TRACE_INSTANT("bmt", "merge", now);
             const Tick completion = it->second;
             if (done)
                 _eq.schedule(completion, std::move(done));
@@ -139,6 +141,7 @@ class BmtWalker
         _pipeReadyAt = issue + _cfg.initiationInterval;
         const Tick completion = issue + walk;
         statUpdateLatency.sample(static_cast<double>(completion - now));
+        TRACE_SPAN("bmt", "walk", issue, completion);
 
         _inFlight[leaf] = completion;
         _eq.schedule(completion, [this, leaf, completion] {
@@ -178,6 +181,18 @@ class BmtWalker
 
     /** Next tick at which the pipeline can accept a new walk. */
     Tick pipeReadyAt() const { return _pipeReadyAt; }
+
+    /** Walks issued but not yet retired (epoch-sampler channel). */
+    std::size_t
+    inFlightWalks() const
+    {
+        const Tick now = _eq.curTick();
+        std::size_t n = 0;
+        for (const auto &kv : _inFlight)
+            if (kv.second > now)
+                ++n;
+        return n;
+    }
 
     /** The functional tree this walker updates. */
     BonsaiMerkleTree &tree() { return _tree; }

@@ -77,6 +77,9 @@ struct PbEntry
     /** True once the entry has been handed to the drain engine. */
     bool draining = false;
 
+    /** Tick the drain engine took the entry (trace span start). */
+    Tick drainStart = 0;
+
     /** Stores coalesced into this entry during its residency (NWPE). */
     std::uint64_t numWrites = 0;
 

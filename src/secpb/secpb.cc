@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "energy/energy_model.hh"
+#include "obs/trace.hh"
 #include "sim/debug.hh"
 
 namespace secpb
@@ -95,6 +96,7 @@ SecPb::opFinished(PbEntry *e, bool gates_unblock)
     if (--_accept.pending == 0) {
         statUnblockLatency.sample(
             static_cast<double>(_eq.curTick() - _accept.start));
+        TRACE_SPAN("secpb", "accept", _accept.start, _eq.curTick());
         EventCallback cb = std::move(_accept.cb);
         _accept.cb = nullptr;
         if (cb)
@@ -186,6 +188,7 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
         // The entry is mid-drain; a fresh residency must wait for the
         // drain to free the slot. Treat as full.
         ++statFullRejects;
+        TRACE_INSTANT_P("secpb", "pb_full", _eq.curTick(), asid);
         return false;
     }
 
@@ -220,6 +223,7 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
 
     if (!e && _freeList.empty()) {
         ++statFullRejects;
+        TRACE_INSTANT_P("secpb", "pb_full", _eq.curTick(), asid);
         maybeStartDrain();
         return false;
     }
@@ -238,6 +242,7 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
     if (e) {
         ++statCoalescedHits;
         ++e->numWrites;
+        TRACE_INSTANT_P("secpb", "coalesce", _eq.curTick(), e->asid);
         if (_dbg)
             DPRINTF("SecPb", "coalesce %#llx (writes=%llu) @%llu",
                     static_cast<unsigned long long>(e->addr),
@@ -251,6 +256,7 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
     } else {
         e = allocate(addr);
         ++statAllocs;
+        TRACE_INSTANT_P("secpb", "alloc", _eq.curTick(), asid);
         if (_dir)
             _dir->write(_coreId, addr);
         if (_dbg)
@@ -639,6 +645,7 @@ SecPb::startDrainOf(PbEntry &e)
 {
     PbEntry *ep = &e;
     const std::uint64_t idx = _index.at(e.addr);
+    e.drainStart = _eq.curTick();
 
     if (!_traits.secure) {
         // Insecure BBB baseline: the "tuple" is just the data block, which
@@ -760,6 +767,7 @@ SecPb::finalizeDrain(std::uint64_t entry_idx)
         }
     }
 
+    TRACE_SPAN_P("secpb", "drain", e.drainStart, _eq.curTick(), e.asid);
     releaseEntry(e);
 
     panic_if(_drainsActive == 0, "drain bookkeeping underflow");
@@ -863,6 +871,7 @@ CrashWork
 SecPb::applicationCrash(std::uint32_t asid, AppCrashPolicy policy)
 {
     CrashWork work;
+    TRACE_INSTANT_P("secpb", "app_crash", _eq.curTick(), asid);
 
     // Collect the victims in persist order. Entries with early ops or a
     // drain in flight are left to their normal pipelines -- an
@@ -886,6 +895,30 @@ SecPb::applicationCrash(std::uint32_t asid, AppCrashPolicy policy)
         releaseEntry(*ep);
     }
     return work;
+}
+
+CrashWork
+SecPb::predictCrashDrainWork() const
+{
+    CrashWork w;
+    if (_traits.secure) {
+        w.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
+                            _macCache.dirtyBlocks().size();
+        w.pmBlockWrites += w.mdcBlockFlushes;
+    }
+    for (const auto &kv : _index) {
+        const CrashWork d = predictEntryWork(_entries[kv.second]);
+        w.entriesDrained += d.entriesDrained;
+        w.countersIncremented += d.countersIncremented;
+        w.counterFetches += d.counterFetches;
+        w.otpsGenerated += d.otpsGenerated;
+        w.bmtRootUpdates += d.bmtRootUpdates;
+        w.bmtLevelsWalked += d.bmtLevelsWalked;
+        w.macsComputed += d.macsComputed;
+        w.ciphertexts += d.ciphertexts;
+        w.pmBlockWrites += d.pmBlockWrites;
+    }
+    return w;
 }
 
 CrashWork
@@ -924,6 +957,7 @@ SecPb::crashDrainAll(
     CrashWork work;
     panic_if(budget.bounded() && budget.pricing == nullptr,
              "bounded crash-drain budget needs a pricing model");
+    TRACE_INSTANT("secpb", "crash_drain", _eq.curTick());
 
     const auto price = [&budget](const CrashWork &w) {
         return budget.pricing ? budget.pricing->actualCrashEnergy(w) : 0.0;

@@ -195,6 +195,14 @@ class SecPb
      */
     CrashWork applicationCrash(std::uint32_t asid, AppCrashPolicy policy);
 
+    /**
+     * Predict (without side effects) the work a crash drain right now
+     * would perform: every resident entry completed plus the dirty
+     * metadata-cache flush. Priced by the energy model, this is the
+     * battery headroom probe the epoch sampler exposes.
+     */
+    CrashWork predictCrashDrainWork() const;
+
     std::size_t occupancy() const { return _index.size(); }
     bool empty() const { return _index.empty(); }
     Scheme scheme() const { return _scheme; }

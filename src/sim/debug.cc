@@ -47,6 +47,15 @@ enabled(const std::string &flag)
     return f.count(flag) != 0 || f.count("All") != 0;
 }
 
+const std::vector<std::string> &
+knownFlags()
+{
+    static const std::vector<std::string> known = {
+        "All", "Fault", "Sampler", "SecPb",
+    };
+    return known;
+}
+
 void
 enable(const std::string &flag)
 {

@@ -16,12 +16,20 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace secpb::debug
 {
 
 /** True if @p flag is enabled (env SECPB_DEBUG or enable()). */
 bool enabled(const std::string &flag);
+
+/**
+ * Every flag a DPRINTF in the tree guards, plus the "All" wildcard --
+ * what `--debug=<flags>` accepts and `--help` lists. Keep in sync when
+ * adding a flag (there is no self-registration; the tree is small).
+ */
+const std::vector<std::string> &knownFlags();
 
 /** Enable / disable a flag at runtime (tests, interactive tools). */
 void enable(const std::string &flag);

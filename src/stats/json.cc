@@ -156,6 +156,14 @@ JsonWriter::nullValue()
     _os << "null";
 }
 
+void
+JsonWriter::rawValue(const std::string &json)
+{
+    panic_if(json.empty(), "JsonWriter::rawValue with empty document");
+    preValue();
+    _os << json;
+}
+
 std::string
 JsonWriter::escape(const std::string &s)
 {

@@ -49,6 +49,14 @@ class JsonWriter
     void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
     void nullValue();
 
+    /**
+     * Splice @p json -- an already-serialized JSON value -- in value
+     * position, verbatim. Lets callers embed documents produced by
+     * another JsonWriter (e.g. a compact stats object inside a pretty
+     * sweep point) without reparsing.
+     */
+    void rawValue(const std::string &json);
+
     /** @name key + value in one call. */
     /** @{ */
     template <typename T>

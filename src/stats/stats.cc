@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "sim/logging.hh"
+#include "stats/json.hh"
 
 namespace secpb
 {
@@ -15,6 +16,13 @@ StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
 }
 
 void
+StatBase::printCsv(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[suffix, value] : jsonFields())
+        os << prefix << _name << suffix << "," << value << "\n";
+}
+
+void
 Scalar::print(std::ostream &os, const std::string &prefix) const
 {
     os << std::left << std::setw(48) << (prefix + _name)
@@ -22,10 +30,10 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
        << "  # " << _desc << "\n";
 }
 
-void
-Scalar::printCsv(std::ostream &os, const std::string &prefix) const
+std::vector<std::pair<std::string, double>>
+Scalar::jsonFields() const
 {
-    os << prefix << _name << "," << _value << "\n";
+    return {{"", _value}};
 }
 
 void
@@ -36,10 +44,10 @@ Average::print(std::ostream &os, const std::string &prefix) const
        << "  # " << _desc << " (n=" << _count << ")\n";
 }
 
-void
-Average::printCsv(std::ostream &os, const std::string &prefix) const
+std::vector<std::pair<std::string, double>>
+Average::jsonFields() const
 {
-    os << prefix << _name << "," << mean() << "\n";
+    return {{".mean", mean()}, {".count", static_cast<double>(_count)}};
 }
 
 Distribution::Distribution(StatGroup &group, std::string name,
@@ -95,11 +103,13 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
        << std::right << std::setw(16) << _count << "\n";
 }
 
-void
-Distribution::printCsv(std::ostream &os, const std::string &prefix) const
+std::vector<std::pair<std::string, double>>
+Distribution::jsonFields() const
 {
-    os << prefix << _name << ".mean," << mean() << "\n";
-    os << prefix << _name << ".count," << _count << "\n";
+    return {{".mean", mean()},
+            {".min", _minSeen},
+            {".max", _maxSeen},
+            {".count", static_cast<double>(_count)}};
 }
 
 void
@@ -144,23 +154,42 @@ StatGroup::fullName() const
 }
 
 void
-StatGroup::dump(std::ostream &os) const
+StatGroup::visitStats(
+    const std::function<void(const std::string &prefix,
+                             const StatBase &stat)> &visit) const
 {
     const std::string prefix = fullName() + ".";
     for (const StatBase *s : _stats)
-        s->print(os, prefix);
+        visit(prefix, *s);
     for (const StatGroup *child : _children)
-        child->dump(os);
+        child->visitStats(visit);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    visitStats([&os](const std::string &prefix, const StatBase &s) {
+        s.print(os, prefix);
+    });
 }
 
 void
 StatGroup::dumpCsv(std::ostream &os) const
 {
-    const std::string prefix = fullName() + ".";
-    for (const StatBase *s : _stats)
-        s->printCsv(os, prefix);
-    for (const StatGroup *child : _children)
-        child->dumpCsv(os);
+    visitStats([&os](const std::string &prefix, const StatBase &s) {
+        s.printCsv(os, prefix);
+    });
+}
+
+void
+StatGroup::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    visitStats([&w](const std::string &prefix, const StatBase &s) {
+        for (const auto &[suffix, value] : s.jsonFields())
+            w.field(prefix + s.name() + suffix, value);
+    });
+    w.endObject();
 }
 
 void
@@ -179,6 +208,30 @@ StatGroup::find(const std::string &name) const
         if (s->name() == name)
             return s;
     return nullptr;
+}
+
+const StatBase *
+StatGroup::findByPath(const std::string &path) const
+{
+    const StatGroup *group = this;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t dot = path.find('.', pos);
+        if (dot == std::string::npos)
+            return group->find(path.substr(pos));
+        const std::string segment = path.substr(pos, dot - pos);
+        const StatGroup *next = nullptr;
+        for (const StatGroup *child : group->_children) {
+            if (child->name() == segment) {
+                next = child;
+                break;
+            }
+        }
+        if (!next)
+            return nullptr;
+        group = next;
+        pos = dot + 1;
+    }
 }
 
 } // namespace secpb

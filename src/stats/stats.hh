@@ -12,13 +12,16 @@
 #define SECPB_STATS_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace secpb
 {
 
+class JsonWriter;
 class StatGroup;
 
 /** Base class for a named, registered statistic. */
@@ -37,9 +40,20 @@ class StatBase
     /** Print "name value # desc" lines. */
     virtual void print(std::ostream &os, const std::string &prefix) const = 0;
 
-    /** Print CSV rows "prefix.name,value". */
-    virtual void printCsv(std::ostream &os,
-                          const std::string &prefix) const = 0;
+    /**
+     * Print CSV rows "prefix.name.suffix,value" -- one row per
+     * jsonFields() entry, so CSV and JSON report identical fields.
+     */
+    void printCsv(std::ostream &os, const std::string &prefix) const;
+
+    /**
+     * The stat's value(s) as (suffix, value) pairs for machine output.
+     * A Scalar reports one pair with an empty suffix; composite stats
+     * report ".mean"/".count"-style suffixes appended to their name.
+     * This is the single source CSV and JSON emission both draw from.
+     */
+    virtual std::vector<std::pair<std::string, double>>
+        jsonFields() const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -62,7 +76,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
-    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    std::vector<std::pair<std::string, double>> jsonFields() const override;
     void reset() override { _value = 0.0; }
 
   private:
@@ -87,7 +101,7 @@ class Average : public StatBase
     double sum() const { return _sum; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
-    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    std::vector<std::pair<std::string, double>> jsonFields() const override;
     void reset() override { _sum = 0.0; _count = 0; }
 
   private:
@@ -113,7 +127,7 @@ class Distribution : public StatBase
     std::uint64_t overflows() const { return _overflow; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
-    void printCsv(std::ostream &os, const std::string &prefix) const override;
+    std::vector<std::pair<std::string, double>> jsonFields() const override;
     void reset() override;
 
   private:
@@ -147,17 +161,46 @@ class StatGroup
     /** Fully qualified dotted name (parent.child...). */
     std::string fullName() const;
 
+    /**
+     * Visit every stat in this group and its children in registration
+     * order, passing the group's dotted prefix ("sys.secpb.") and the
+     * stat. The one traversal that text, CSV, and JSON dumps share.
+     */
+    void visitStats(
+        const std::function<void(const std::string &prefix,
+                                 const StatBase &stat)> &visit) const;
+
     /** Dump this group and all children as text. */
     void dump(std::ostream &os) const;
 
     /** Dump this group and all children as CSV (name,value rows). */
     void dumpCsv(std::ostream &os) const;
 
+    /**
+     * Emit this group and all children as one flat JSON object keyed
+     * by dotted path ("sys.secpb.persists": 42). The writer must be
+     * positioned where a value may start (e.g. after key()).
+     */
+    void toJson(JsonWriter &w) const;
+
     /** Reset every stat in this group and its children. */
     void resetAll();
 
     /** Look up a stat by name within this group only. */
     const StatBase *find(const std::string &name) const;
+
+    /**
+     * Look up a stat by dotted path relative to this group, e.g.
+     * "cores0.store_buffer.stalls". Returns nullptr when any segment
+     * is missing.
+     */
+    const StatBase *findByPath(const std::string &path) const;
+
+    /** Direct child groups in registration order. */
+    const std::vector<StatGroup *> &children() const { return _children; }
+
+    /** Stats registered directly on this group. */
+    const std::vector<StatBase *> &stats() const { return _stats; }
 
   private:
     friend class StatBase;

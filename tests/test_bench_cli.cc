@@ -128,6 +128,45 @@ TEST(BenchCli, EnvFallbacksAndDefaults)
     EXPECT_TRUE(cli.wantProfile("anything"));
 }
 
+TEST(BenchCli, ObservabilityFlagsParse)
+{
+    const char *argv[] = {"bench",        "--trace-out", "/tmp/t.json",
+                          "--sample-every", "2500",      "--stats"};
+    BenchCli cli = BenchCli::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.traceOut, "/tmp/t.json");
+    EXPECT_EQ(cli.sampleEvery, 2500u);
+    EXPECT_TRUE(cli.captureStats);
+}
+
+TEST(BenchCli, ObservabilityDefaultsOff)
+{
+    const char *argv[] = {"bench"};
+    BenchCli cli = BenchCli::parse(1, const_cast<char **>(argv), "bench");
+    EXPECT_TRUE(cli.traceOut.empty());
+    EXPECT_EQ(cli.sampleEvery, 0u);
+    EXPECT_FALSE(cli.captureStats);
+}
+
+TEST(BenchCli, DebugFlagEnablesKnownFlags)
+{
+    ASSERT_FALSE(debug::enabled("Sampler"));
+    const char *argv[] = {"bench", "--debug", "Sampler,Fault"};
+    BenchCli::parse(3, const_cast<char **>(argv), "bench");
+    EXPECT_TRUE(debug::enabled("Sampler"));
+    EXPECT_TRUE(debug::enabled("Fault"));
+    debug::clearAll();
+    EXPECT_FALSE(debug::enabled("Sampler"));
+}
+
+TEST(BenchCliDeath, UnknownDebugFlagIsFatal)
+{
+    const char *argv[] = {"bench", "--debug", "Bogus"};
+    EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "unknown --debug flag");
+}
+
 TEST(BenchCliDeath, UnknownFlagIsFatal)
 {
     const char *argv[] = {"bench", "--frobnicate"};

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the epoch sampler: the epoch-0 snapshot, periodic
+ * firing, ring-buffer wrap accounting, self-retirement on an empty
+ * queue, and the counter events it mirrors into an active tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+
+using namespace secpb;
+using namespace secpb::obs;
+
+TEST(ObsSampler, TakesEpochZeroOnStart)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/100);
+    double probed = 42.0;
+    s.addChannel("x", [&] { return probed; });
+    s.start();
+
+    const SampleSeries series = s.series();
+    ASSERT_EQ(series.numEpochs(), 1u);
+    EXPECT_EQ(series.ticks[0], 0u);
+    EXPECT_DOUBLE_EQ(series.values[0][0], 42.0);
+    EXPECT_EQ(series.period, 100u);
+    ASSERT_EQ(series.channels.size(), 1u);
+    EXPECT_EQ(series.channels[0], "x");
+}
+
+TEST(ObsSampler, SamplesPeriodicallyWhileWorkIsPending)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10);
+    double value = 0.0;
+    s.addChannel("v", [&] { return value; });
+
+    // Keep the queue busy to tick 35; epochs land at 10, 20, 30, and a
+    // final one at 40 (the epoch that finds the queue empty and retires).
+    for (Tick t = 1; t <= 35; ++t)
+        eq.schedule(t, [&, t] { value = static_cast<double>(t); });
+
+    s.start();
+    eq.run();
+
+    const SampleSeries series = s.series();
+    ASSERT_EQ(series.numEpochs(), 5u);
+    EXPECT_EQ(series.ticks, (std::vector<Tick>{0, 10, 20, 30, 40}));
+    EXPECT_DOUBLE_EQ(series.values[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(series.values[0][1], 10.0);
+    EXPECT_DOUBLE_EQ(series.values[0][2], 20.0);
+    EXPECT_DOUBLE_EQ(series.values[0][3], 30.0);
+    EXPECT_DOUBLE_EQ(series.values[0][4], 35.0);  // last value written
+    EXPECT_EQ(series.epochsDropped, 0u);
+}
+
+TEST(ObsSampler, RetiresWhenQueueDrains)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10);
+    s.addChannel("one", [] { return 1.0; });
+    eq.schedule(5, [] {});
+    s.start();
+
+    // run() must terminate: once the tick-10 epoch finds nothing else
+    // pending the sampler stops rescheduling itself.
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(s.running());
+    EXPECT_LE(s.series().numEpochs(), 2u);
+}
+
+TEST(ObsSampler, RingWrapKeepsNewestAndCountsDropped)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10, /*capacity=*/3);
+    s.addChannel("tick", [&] { return static_cast<double>(eq.curTick()); });
+
+    for (Tick t = 1; t <= 65; ++t)
+        eq.schedule(t, [] {});
+
+    s.start();
+    eq.run();
+
+    // Epochs 0,10,...,70 taken = 8 (70 is the retiring epoch); the ring
+    // holds the newest 3 in time order and counts the rest as dropped.
+    const SampleSeries series = s.series();
+    ASSERT_EQ(series.numEpochs(), 3u);
+    EXPECT_EQ(series.ticks, (std::vector<Tick>{50, 60, 70}));
+    EXPECT_EQ(series.epochsDropped, 5u);
+    EXPECT_DOUBLE_EQ(series.values[0][0], 50.0);
+    EXPECT_DOUBLE_EQ(series.values[0][2], 70.0);
+}
+
+TEST(ObsSampler, SampleNowSnapshotsOutsideTheSchedule)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/1000);
+    s.addChannel("c", [] { return 3.0; });
+    s.sampleNow();
+    s.sampleNow();
+    const SampleSeries series = s.series();
+    ASSERT_EQ(series.numEpochs(), 2u);
+    EXPECT_DOUBLE_EQ(series.values[0][1], 3.0);
+}
+
+TEST(ObsSampler, StopHaltsFutureEpochs)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10);
+    s.addChannel("c", [] { return 1.0; });
+    for (Tick t = 1; t <= 45; ++t)
+        eq.schedule(t, [] {});
+    s.start();
+    eq.schedule(15, [&] { s.stop(); });
+    eq.run();
+    // Epoch 0 and the tick-10 epoch landed; the stop at 15 kills the rest.
+    EXPECT_EQ(s.series().numEpochs(), 2u);
+}
+
+TEST(ObsSampler, MultipleChannelsSampleTheSameEpoch)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10);
+    s.addChannel("a", [] { return 1.0; });
+    s.addChannel("b", [] { return 2.0; });
+    s.sampleNow();
+    const SampleSeries series = s.series();
+    ASSERT_EQ(series.channels.size(), 2u);
+    ASSERT_EQ(series.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(series.values[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(series.values[1][0], 2.0);
+}
+
+TEST(ObsSampler, EmitsCounterEventsIntoActiveTracer)
+{
+    EventQueue eq;
+    Sampler s(eq, /*period=*/10);
+    s.addChannel("occupancy", [] { return 5.0; });
+
+    Tracer t;
+    {
+        TraceSession session(&t);
+        s.sampleNow();
+    }
+    ASSERT_EQ(t.numEvents(), 1u);
+    EXPECT_EQ(t.events()[0].phase, TraceEvent::Phase::Counter);
+    EXPECT_EQ(t.events()[0].name, "occupancy");
+    EXPECT_DOUBLE_EQ(t.events()[0].counterValue, 5.0);
+}

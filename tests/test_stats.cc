@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "stats/json.hh"
 #include "stats/stats.hh"
 
 using namespace secpb;
@@ -107,4 +110,128 @@ TEST(Stats, FindLocatesByName)
     Scalar s(g, "needle", "");
     EXPECT_EQ(g.find("needle"), &s);
     EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+TEST(Stats, EmptyDistributionReportsZeroMoments)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "", 0.0, 100.0, 10);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    // Dumping an empty distribution must not divide by zero or emit NaN.
+    std::ostringstream os;
+    g.dumpCsv(os);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(Stats, AverageWithZeroSamplesIsZeroNotNan)
+{
+    StatGroup g("g");
+    Average a(g, "a", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    for (const auto &[suffix, value] : a.jsonFields())
+        EXPECT_FALSE(std::isnan(value)) << suffix;
+}
+
+TEST(Stats, ResetRoundTripsEachKind)
+{
+    StatGroup g("g");
+    Scalar s(g, "s", "");
+    Average a(g, "a", "");
+    Distribution d(g, "d", "", 0.0, 10.0, 5);
+
+    // Capture the pristine machine output, mutate, reset, recompare.
+    std::ostringstream before;
+    g.dumpCsv(before);
+
+    s += 3;
+    a.sample(1.0);
+    d.sample(-5.0);   // touches underflow and min/max tracking
+    d.sample(42.0);
+    g.resetAll();
+
+    std::ostringstream after;
+    g.dumpCsv(after);
+    EXPECT_EQ(before.str(), after.str());
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_DOUBLE_EQ(d.minSeen(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 0.0);
+}
+
+TEST(Stats, NanAndInfSerializeAsJsonNull)
+{
+    StatGroup g("g");
+    Scalar nan_stat(g, "nan_stat", "");
+    Scalar inf_stat(g, "inf_stat", "");
+    nan_stat = std::numeric_limits<double>::quiet_NaN();
+    inf_stat = std::numeric_limits<double>::infinity();
+
+    std::ostringstream js;
+    JsonWriter w(js, /*pretty=*/false);
+    g.toJson(w);
+    // JSON has no NaN/Infinity literal; both become null, keeping the
+    // document parseable by any strict reader.
+    EXPECT_EQ(js.str(), "{\"g.nan_stat\": null,\"g.inf_stat\": null}");
+
+    // CSV passes the raw printf rendering through (CSV has no spec for
+    // non-finite, and hiding the value would mask the bug that made it).
+    std::ostringstream csv;
+    g.dumpCsv(csv);
+    EXPECT_NE(csv.str().find("g.nan_stat,"), std::string::npos);
+    EXPECT_NE(csv.str().find("g.inf_stat,"), std::string::npos);
+}
+
+TEST(Stats, VisitStatsWalksTreeInRegistrationOrder)
+{
+    StatGroup root("sys");
+    StatGroup child("secpb", &root);
+    StatGroup grandchild("mdc", &child);
+    Scalar s1(root, "a", "");
+    Scalar s2(child, "b", "");
+    Scalar s3(grandchild, "c", "");
+
+    std::vector<std::string> seen;
+    root.visitStats([&](const std::string &prefix, const StatBase &stat) {
+        seen.push_back(prefix + stat.name());
+    });
+    EXPECT_EQ(seen, (std::vector<std::string>{
+                        "sys.a", "sys.secpb.b", "sys.secpb.mdc.c"}));
+}
+
+TEST(Stats, ToJsonEmitsFlatDottedObject)
+{
+    StatGroup root("sys");
+    StatGroup child("sub", &root);
+    Scalar s1(root, "x", "");
+    Average a(child, "lat", "");
+    s1 += 2;
+    a.sample(4.0);
+    a.sample(8.0);
+
+    std::ostringstream ss;
+    JsonWriter w(ss, /*pretty=*/false);
+    root.toJson(w);
+    EXPECT_EQ(ss.str(),
+              "{\"sys.x\": 2,"
+              "\"sys.sub.lat.mean\": 6,"
+              "\"sys.sub.lat.count\": 2}");
+}
+
+TEST(Stats, FindByPathWalksChildGroups)
+{
+    StatGroup root("sys");
+    StatGroup cores("cores0", &root);
+    StatGroup sb("store_buffer", &cores);
+    Scalar stalls(sb, "stalls", "");
+    EXPECT_EQ(root.findByPath("cores0.store_buffer.stalls"), &stalls);
+    EXPECT_EQ(root.findByPath("cores0.store_buffer.missing"), nullptr);
+    EXPECT_EQ(root.findByPath("nonesuch.stalls"), nullptr);
+    EXPECT_EQ(root.findByPath(""), nullptr);
+    // Single-segment paths fall back to a direct stat lookup.
+    Scalar direct(root, "direct", "");
+    EXPECT_EQ(root.findByPath("direct"), &direct);
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a Perfetto trace_event JSON file emitted by --trace-out.
+
+Checks, in order:
+  1. the file parses as JSON and has a "traceEvents" array;
+  2. every event record carries the required keys for its phase
+     ("X" needs dur, "C" needs args.value, "i" needs the scope marker);
+  3. metadata (ph "M") names every (pid, tid) pair that events use;
+  4. non-metadata timestamps are monotonically non-decreasing per
+     (pid, tid) track -- the writer sorts by (ts, seq), so a violation
+     means the emitter is broken, not the simulation.
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+Usage: tools/validate_trace.py TRACE.json [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_event JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="require at least N non-metadata events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("document has no traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    named_tracks = set()   # (pid, tid) pairs named by thread_name records
+    named_pids = set()
+    last_ts = {}           # (pid, tid) -> last seen ts
+    n_real = 0
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for k in ("ph", "pid", "tid"):
+            if k not in ev:
+                fail(f"{where}: missing '{k}'")
+        ph = ev["ph"]
+        track = (ev["pid"], ev["tid"])
+
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev["pid"])
+            elif ev.get("name") == "thread_name":
+                named_tracks.add(track)
+            continue
+
+        if "ts" not in ev or "name" not in ev:
+            fail(f"{where}: event missing ts or name")
+        if ph == "X" and "dur" not in ev:
+            fail(f"{where}: span without dur")
+        if ph == "C" and "value" not in ev.get("args", {}):
+            fail(f"{where}: counter without args.value")
+        if ph == "i" and ev.get("s") != "t":
+            fail(f"{where}: instant without thread scope marker")
+        if ph not in ("X", "i", "C"):
+            fail(f"{where}: unknown phase '{ph}'")
+
+        if ev["pid"] not in named_pids:
+            fail(f"{where}: pid {ev['pid']} has no process_name metadata")
+        if track not in named_tracks:
+            fail(f"{where}: track {track} has no thread_name metadata")
+
+        if track in last_ts and ev["ts"] < last_ts[track]:
+            fail(f"{where}: ts {ev['ts']} < previous {last_ts[track]} "
+                 f"on track {track}")
+        last_ts[track] = ev["ts"]
+        n_real += 1
+
+    if n_real < args.min_events:
+        fail(f"only {n_real} events (need >= {args.min_events})")
+
+    dropped = doc.get("droppedEvents", 0)
+    print(f"validate_trace: OK: {n_real} events on {len(last_ts)} tracks, "
+          f"{dropped} dropped")
+
+
+if __name__ == "__main__":
+    main()
