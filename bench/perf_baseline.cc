@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Host-performance baseline harness: the regression gate that keeps the
+ * simulator "as fast as the hardware allows".
+ *
+ * Measures wall-clock performance of the simulator's inner loop from two
+ * angles and emits a BENCH_<label>.json document (JsonWriter, schema
+ * "secpb.perf_baseline" v1) that tools/compare_bench.py diffs against a
+ * previous baseline:
+ *
+ *  - fig6_smoke: the CI smoke slice of the Figure 6 sweep (CM + COBCM
+ *    across every SPEC profile), timed end to end. This exercises the
+ *    whole stack -- kernel, walker, SecPB, caches, PCM -- exactly the way
+ *    every experiment in src/exp/ does.
+ *  - event_burst / event_chain: the event-kernel microbenchmarks. Burst
+ *    schedules waves of events and drains them (deep heap, stresses
+ *    sift + pool recycling); chain keeps one self-rescheduling event in
+ *    flight (stresses the schedule/pop round trip). Reported in millions
+ *    of dispatched events per second.
+ *  - walker_update: pipelined BMT root updates against a warm metadata
+ *    cache, in millions of walks per second (walk-path caching shows up
+ *    here).
+ *
+ * Every component runs --reps times and reports the best rep (minimum
+ * wall time), the standard noise filter for host-side timing.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "metadata/walker.hh"
+#include "stats/json.hh"
+
+using namespace secpb;
+using namespace secpb::bench;
+
+namespace
+{
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-reps wall time of @p body (seconds). */
+template <typename Body>
+double
+best_of(unsigned reps, Body &&body)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const double t0 = now_s();
+        body();
+        const double dt = now_s() - t0;
+        if (r == 0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+/** The CI smoke slice of fig6: CM + COBCM across every profile. */
+double
+bench_fig6_smoke(std::uint64_t instr, std::uint64_t seed, unsigned reps)
+{
+    const Scheme schemes[] = {Scheme::Cm, Scheme::Cobcm};
+    return best_of(reps, [&] {
+        for (const BenchmarkProfile &p : spec2006Profiles())
+            for (Scheme s : schemes)
+                runOne(s, p, instr, 32, BmfMode::None, seed);
+    });
+}
+
+/** Waves of events: schedule a burst, drain it, repeat. */
+double
+bench_event_burst(std::uint64_t waves, std::uint64_t per_wave,
+                  unsigned reps)
+{
+    const double secs = best_of(reps, [&] {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (std::uint64_t w = 0; w < waves; ++w) {
+            const Tick base = eq.curTick();
+            for (std::uint64_t i = 0; i < per_wave; ++i)
+                eq.schedule(base + 1 + i % 97, [&sink] { ++sink; });
+            eq.run();
+        }
+        if (sink != waves * per_wave)
+            fatal("event_burst dropped events (%llu != %llu)",
+                  static_cast<unsigned long long>(sink),
+                  static_cast<unsigned long long>(waves * per_wave));
+    });
+    return static_cast<double>(waves * per_wave) / secs / 1e6;
+}
+
+/** One self-rescheduling event: the schedule/pop round trip. */
+double
+bench_event_chain(std::uint64_t length, unsigned reps)
+{
+    struct Chain
+    {
+        EventQueue *eq;
+        std::uint64_t *left;
+        void
+        operator()()
+        {
+            if (--*left > 0)
+                eq->scheduleIn(3, *this);
+        }
+    };
+    const double secs = best_of(reps, [&] {
+        EventQueue eq;
+        std::uint64_t left = length;
+        eq.schedule(0, Chain{&eq, &left});
+        eq.run();
+        if (left != 0)
+            fatal("event_chain terminated early");
+    });
+    return static_cast<double>(length) / secs / 1e6;
+}
+
+/** Pipelined BMT root updates with a warm node cache. */
+double
+bench_walker_update(std::uint64_t updates, unsigned reps)
+{
+    const double secs = best_of(reps, [&] {
+        EventQueue eq;
+        StatGroup g("perf");
+        MetadataLayout layout{8ULL << 30};
+        BonsaiMerkleTree tree(layout.numPages());
+        PcmConfig pcm_cfg{220, 600, 32, 64, 128};
+        PcmModel pcm(eq, pcm_cfg, g);
+        MetadataCache bmt_cache("bmt$", CacheGeometry{128 * 1024, 8, 64},
+                                2, pcm, g, false);
+        CryptoLatencies lat;
+        WalkerConfig wcfg;
+        BmtWalker walker(eq, wcfg, layout, tree, bmt_cache, pcm, lat, g);
+        // 64 pages cycle through the pipe: in-flight walks merge rarely,
+        // the node cache stays warm after the first lap.
+        for (std::uint64_t i = 0; i < updates; ++i) {
+            walker.update((i % 64) * PageSize,
+                          static_cast<Digest>(i * 0x9e3779b97f4a7c15ULL));
+            if ((i & 1023) == 1023)
+                eq.run();
+        }
+        eq.run();
+    });
+    return static_cast<double>(updates) / secs / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    std::string json_path;
+    std::string label = "local";
+    unsigned reps = 3;
+    std::uint64_t instr = 20'000;
+    std::uint64_t seed = benchSeed();
+
+    auto need = [&](int i) -> const char * {
+        fatal_if(i + 1 >= argc, "perf_baseline: flag %s needs a value",
+                 argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json") {
+            json_path = need(i);
+            ++i;
+        } else if (a == "--label") {
+            label = need(i);
+            ++i;
+        } else if (a == "--reps") {
+            reps = static_cast<unsigned>(
+                std::max(1ULL, std::strtoull(need(i), nullptr, 10)));
+            ++i;
+        } else if (a == "--instr") {
+            instr = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--seed") {
+            seed = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--jobs") {
+            // Accepted for CLI uniformity with the sweep binaries, but
+            // wall-clock timing is inherently single-threaded here.
+            need(i);
+            ++i;
+        } else if (a == "--help" || a == "-h") {
+            std::printf(
+                "usage: perf_baseline [--json PATH] [--label NAME]\n"
+                "                     [--reps N] [--instr N] [--seed N]\n"
+                "Times the fig6 smoke sweep, the event-kernel\n"
+                "microbenches, and the BMT walker; writes a\n"
+                "secpb.perf_baseline JSON for tools/compare_bench.py.\n");
+            return 0;
+        } else {
+            fatal("perf_baseline: unknown flag '%s' (try --help)",
+                  a.c_str());
+        }
+    }
+
+    constexpr std::uint64_t kWaves = 500;
+    constexpr std::uint64_t kPerWave = 2'000;
+    constexpr std::uint64_t kChain = 1'000'000;
+    constexpr std::uint64_t kWalks = 300'000;
+
+    std::fprintf(stderr, "perf_baseline [%s]: reps=%u instr=%llu\n",
+                 label.c_str(), reps,
+                 static_cast<unsigned long long>(instr));
+
+    const double fig6_s = bench_fig6_smoke(instr, seed, reps);
+    std::fprintf(stderr, "  fig6_smoke_wall_s   %.3f\n", fig6_s);
+    const double burst = bench_event_burst(kWaves, kPerWave, reps);
+    std::fprintf(stderr, "  event_burst_mops    %.2f\n", burst);
+    const double chain = bench_event_chain(kChain, reps);
+    std::fprintf(stderr, "  event_chain_mops    %.2f\n", chain);
+    const double walks = bench_walker_update(kWalks, reps);
+    std::fprintf(stderr, "  walker_update_mops  %.2f\n", walks);
+
+    if (json_path.empty())
+        return 0;
+
+    std::ofstream out(json_path);
+    fatal_if(!out, "perf_baseline: cannot open --json path '%s'",
+             json_path.c_str());
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("schema", "secpb.perf_baseline");
+    w.field("version", 1);
+    w.field("label", label);
+    w.key("config");
+    w.beginObject();
+    w.field("reps", reps);
+    w.field("instr", instr);
+    w.field("seed", seed);
+    w.field("event_burst_events", kWaves * kPerWave);
+    w.field("event_chain_length", kChain);
+    w.field("walker_updates", kWalks);
+    w.endObject();
+    w.key("metrics");
+    w.beginObject();
+    w.field("fig6_smoke_wall_s", fig6_s);
+    w.field("event_burst_mops", burst);
+    w.field("event_chain_mops", chain);
+    w.field("walker_update_mops", walks);
+    w.endObject();
+    w.endObject();
+    out << "\n";
+    std::fprintf(stderr, "perf_baseline: wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -39,7 +39,11 @@ class WritePendingQueue
           statFullRejects(_stats, "full_rejects",
                           "pushes rejected because the WPQ was full"),
           statOccupancy(_stats, "occupancy", "WPQ occupancy at push")
-    {}
+    {
+        // Occupancy is capped at _numEntries; one up-front reservation
+        // means the queued-block set never rehashes mid-run.
+        _queued.reserve(num_entries);
+    }
 
     /**
      * Try to enqueue a persistent write of the block at @p addr.

@@ -95,13 +95,21 @@ std::vector<std::uint64_t>
 BonsaiMerkleTree::pathIndices(std::uint64_t leaf_idx) const
 {
     std::vector<std::uint64_t> path;
-    path.reserve(_numLevels);
+    pathIndices(leaf_idx, path);
+    return path;
+}
+
+void
+BonsaiMerkleTree::pathIndices(std::uint64_t leaf_idx,
+                              std::vector<std::uint64_t> &out) const
+{
+    out.clear();
+    out.reserve(_numLevels);
     std::uint64_t idx = leaf_idx;
     for (unsigned level = 0; level < _numLevels; ++level) {
         idx /= 8;
-        path.push_back(idx);
+        out.push_back(idx);
     }
-    return path;
 }
 
 bool

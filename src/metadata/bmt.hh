@@ -110,6 +110,14 @@ class BonsaiMerkleTree
      */
     std::vector<std::uint64_t> pathIndices(std::uint64_t leaf_idx) const;
 
+    /**
+     * Allocation-free variant: fill @p out (cleared first) with the path
+     * of @p leaf_idx. The timing walker calls this once per walk with a
+     * reusable scratch vector.
+     */
+    void pathIndices(std::uint64_t leaf_idx,
+                     std::vector<std::uint64_t> &out) const;
+
     /** Read node (@p level, @p index), materializing defaults. */
     BmtNode node(unsigned level, std::uint64_t index) const;
 

@@ -87,6 +87,10 @@ class BmtWalker
     {
         if (_cfg.bmfMode != BmfMode::None)
             _rootCache = std::make_unique<SetAssocCache>(_cfg.rootCacheGeom);
+        // Walks in flight are bounded by walk latency over the initiation
+        // interval (~10); reserving well past that kills rehash churn.
+        _inFlight.reserve(64);
+        _pathScratch.reserve(_tree.numLevels());
     }
 
     /**
@@ -206,9 +210,13 @@ class BmtWalker
         unsigned levels = _tree.numLevels();
         bool full_walk = true;
 
+        // One path computation serves both the BMF subroot probe and the
+        // level loop; the scratch vector is reused across walks.
+        _tree.pathIndices(leaf, _pathScratch);
+        const std::vector<std::uint64_t> &path = _pathScratch;
+
         if (_cfg.bmfMode != BmfMode::None) {
             const unsigned reduced = effectiveLevels();
-            const auto path = _tree.pathIndices(leaf);
             const Addr subroot_addr =
                 _layout.bmtNodeAddr(reduced - 1, path[reduced - 1]);
             if (_rootCache->access(subroot_addr)) {
@@ -226,7 +234,6 @@ class BmtWalker
             ++statFullWalks;
 
         Cycles duration = _lat.bmtHash;  // leaf (counter block) hash
-        const auto path = _tree.pathIndices(leaf);
         for (unsigned l = 0; l < levels; ++l) {
             const Addr node_addr = _layout.bmtNodeAddr(l, path[l]);
             duration += _bmtCache.readAccess(node_addr);
@@ -247,6 +254,9 @@ class BmtWalker
     /** Leaf -> completion tick of its in-flight walk. */
     std::unordered_map<std::uint64_t, Tick> _inFlight;
     Tick _pipeReadyAt = 0;
+
+    /** Reused by walkLatency: the current walk's node path. */
+    std::vector<std::uint64_t> _pathScratch;
 
     StatGroup _stats;
 

@@ -43,7 +43,24 @@ SecPb::SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
     fatal_if(cfg.numEntries == 0, "SecPB needs at least one entry");
     fatal_if(cfg.lowWatermark >= cfg.highWatermark,
              "SecPB low watermark must be below the high watermark");
+    fatal_if(cfg.highWatermark <= 0.0 || cfg.highWatermark > 1.0,
+             "SecPB high watermark fraction must be in (0, 1]");
+    fatal_if(cfg.lowWatermark < 0.0,
+             "SecPB low watermark fraction must be non-negative");
+    // For tiny buffers the watermark *fractions* can derive to the same
+    // entry count (e.g. numEntries=2 with 0.75/0.50 gives 1/1), which
+    // would stall the drain engine the moment it starts. The watermarks
+    // must also be strictly ordered in entries: clamp the low watermark
+    // below the high one (_highWm >= 1, so _lowWm >= 0 always works).
+    if (_lowWm >= _highWm)
+        _lowWm = _highWm - 1;
+    fatal_if(_lowWm >= _highWm,
+             "SecPB derived watermarks degenerate (low %u >= high %u)",
+             _lowWm, _highWm);
+    _index.reserve(cfg.numEntries);
     _freeList.reserve(cfg.numEntries);
+    if (_scheme == Scheme::Sp)
+        _spPending.reserve(64);
     for (unsigned i = 0; i < cfg.numEntries; ++i)
         _freeList.push_back(cfg.numEntries - 1 - i);
     _dbg = debug::enabled("SecPb");

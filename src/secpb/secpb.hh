@@ -256,7 +256,12 @@ class SecPb
     bool flushForRemoteRead(Addr addr);
     /** @} */
 
-    /** High/low watermark entry counts derived from the config. */
+    /**
+     * High/low watermark entry counts derived from the config fractions.
+     * Always strictly ordered (low < high) even when a tiny buffer makes
+     * both fractions derive to the same entry count -- the constructor
+     * clamps the low watermark so the drain engine can actually drain.
+     */
     unsigned highWatermarkEntries() const { return _highWm; }
     unsigned lowWatermarkEntries() const { return _lowWm; }
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the event kernel.
+ *
+ * Every piece of timing in this simulator is a scheduled closure, so the
+ * callback type is on the hottest path there is. std::function heap
+ * allocates for anything beyond a couple of captured words and drags in
+ * RTTI-based copy machinery the kernel never uses. InlineCallback stores
+ * the common capture sets -- [this], [this, ep], [this, leaf, completion],
+ * a shared_ptr plus a lambda -- inline in the pending-event slot, falls
+ * back to the heap only for oversized captures, and is move-only, which
+ * additionally admits move-only captures (e.g. a captured InlineCallback
+ * or unique_ptr) that std::function rejects outright.
+ *
+ * Dispatch is one indirect call through a per-type static ops table; the
+ * moved-from state is guaranteed empty, which the event pool relies on to
+ * recycle slots without an explicit clear.
+ */
+
+#ifndef SECPB_SIM_CALLBACK_HH
+#define SECPB_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace secpb
+{
+
+/** Move-only void() callable with inline storage for small captures. */
+class InlineCallback
+{
+  public:
+    /**
+     * Inline capture budget. 48 bytes covers every closure the models
+     * build today (up to a shared_ptr + two nested lambda captures);
+     * larger callables transparently spill to the heap.
+     */
+    static constexpr std::size_t InlineBytes = 48;
+
+    InlineCallback() noexcept = default;
+    InlineCallback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback &
+    operator=(F &&f)
+    {
+        InlineCallback tmp(std::forward<F>(f));
+        reset();
+        moveFrom(tmp);
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    explicit operator bool() const noexcept { return _ops != nullptr; }
+
+    void
+    operator()()
+    {
+        _ops->invoke(&_buf);
+    }
+
+    /** Drop the held callable; the callback becomes empty. */
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(&_buf);
+            _ops = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct dst's storage from src's, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= InlineBytes &&
+        alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    struct InlineOps
+    {
+        static void
+        invoke(void *storage)
+        {
+            (*std::launder(static_cast<F *>(storage)))();
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            F *from = std::launder(static_cast<F *>(src));
+            ::new (dst) F(std::move(*from));
+            from->~F();
+        }
+
+        static void
+        destroy(void *storage) noexcept
+        {
+            std::launder(static_cast<F *>(storage))->~F();
+        }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    template <typename F>
+    struct HeapOps
+    {
+        static F *&
+        slot(void *storage)
+        {
+            return *std::launder(static_cast<F **>(storage));
+        }
+
+        static void invoke(void *storage) { (*slot(storage))(); }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) (F *)(slot(src));
+        }
+
+        static void destroy(void *storage) noexcept { delete slot(storage); }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (&_buf) Fn(std::forward<F>(f));
+            _ops = &InlineOps<Fn>::ops;
+        } else {
+            ::new (&_buf) (Fn *)(new Fn(std::forward<F>(f)));
+            _ops = &HeapOps<Fn>::ops;
+        }
+    }
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        _ops = other._ops;
+        if (_ops) {
+            _ops->relocate(&_buf, &other._buf);
+            other._ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[InlineBytes];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace secpb
+
+#endif // SECPB_SIM_CALLBACK_HH

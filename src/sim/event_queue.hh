@@ -6,16 +6,24 @@
  * the same tick fire in FIFO order of scheduling, which keeps simulations
  * deterministic. The kernel is deliberately simple: every hardware model in
  * this project expresses timing by scheduling closures.
+ *
+ * Hot-path layout: the time order lives in a binary heap of 24-byte
+ * {when, seq, slot} records, while the callbacks themselves sit in a
+ * pooled slot array indexed by the heap records. Heap sift operations
+ * therefore move small PODs instead of closures, and popped slots recycle
+ * through a free list, so steady-state schedule/pop performs no heap
+ * allocation at all (InlineCallback keeps typical captures inline too).
  */
 
 #ifndef SECPB_SIM_EVENT_QUEUE_HH
 #define SECPB_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -23,7 +31,7 @@ namespace secpb
 {
 
 /** Callback type fired when an event reaches the head of the queue. */
-using EventCallback = std::function<void()>;
+using EventCallback = InlineCallback;
 
 /** Hook invoked after every executed event (fault injection, probes). */
 using PostEventHook = std::function<void()>;
@@ -58,7 +66,17 @@ class EventQueue
                  "scheduling event in the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_curTick));
-        _events.push(PendingEvent{when, _nextSeq++, std::move(cb)});
+        std::uint32_t slot;
+        if (_freeSlots.empty()) {
+            slot = static_cast<std::uint32_t>(_slots.size());
+            _slots.push_back(std::move(cb));
+        } else {
+            slot = _freeSlots.back();
+            _freeSlots.pop_back();
+            _slots[slot] = std::move(cb);
+        }
+        _heap.push_back(HeapItem{when, _nextSeq++, slot});
+        std::push_heap(_heap.begin(), _heap.end(), Later{});
     }
 
     /** Schedule @p cb to fire @p delta cycles from now. */
@@ -69,7 +87,7 @@ class EventQueue
     }
 
     /** True when no events remain. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return _heap.empty(); }
 
     /**
      * @name Execution interposition (fault injection)
@@ -91,30 +109,32 @@ class EventQueue
     Tick
     nextTick() const
     {
-        return _events.empty() ? MaxTick : _events.top().when;
+        return _heap.empty() ? MaxTick : _heap.front().when;
     }
 
     /**
      * Execute events until the queue drains or @p limit is reached.
+     *
+     * With an explicit @p limit, time advances to @p limit even when the
+     * queue drains first -- a caller running to a deadline observes the
+     * deadline, not the tick of whatever event happened to run last. An
+     * open-ended run (or one interrupted by requestStop()) leaves time at
+     * the last executed event.
+     *
      * @return the tick at which execution stopped.
      */
     Tick
     run(Tick limit = MaxTick)
     {
-        while (!_events.empty() && !_stopRequested) {
-            const PendingEvent &top = _events.top();
-            if (top.when > limit) {
+        while (!_heap.empty() && !_stopRequested) {
+            if (_heap.front().when > limit) {
                 _curTick = limit;
                 return _curTick;
             }
-            _curTick = top.when;
-            EventCallback cb = std::move(const_cast<PendingEvent &>(top).cb);
-            _events.pop();
-            ++_numExecuted;
-            cb();
-            if (_postHook)
-                _postHook();
+            popAndExecute();
         }
+        if (limit != MaxTick && !_stopRequested && _curTick < limit)
+            _curTick = limit;
         return _curTick;
     }
 
@@ -122,16 +142,9 @@ class EventQueue
     bool
     step()
     {
-        if (_events.empty())
+        if (_heap.empty())
             return false;
-        const PendingEvent &top = _events.top();
-        _curTick = top.when;
-        EventCallback cb = std::move(const_cast<PendingEvent &>(top).cb);
-        _events.pop();
-        ++_numExecuted;
-        cb();
-        if (_postHook)
-            _postHook();
+        popAndExecute();
         return true;
     }
 
@@ -144,22 +157,24 @@ class EventQueue
         _nextSeq = 0;
         _stopRequested = false;
         _postHook = nullptr;
-        while (!_events.empty())
-            _events.pop();
+        _heap.clear();
+        _slots.clear();
+        _freeSlots.clear();
     }
 
   private:
-    struct PendingEvent
+    /** Heap record: time order only; the callback lives in _slots. */
+    struct HeapItem
     {
         Tick when;
         std::uint64_t seq;
-        EventCallback cb;
+        std::uint32_t slot;
     };
 
     struct Later
     {
         bool
-        operator()(const PendingEvent &a, const PendingEvent &b) const
+        operator()(const HeapItem &a, const HeapItem &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -167,8 +182,27 @@ class EventQueue
         }
     };
 
-    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
-        _events;
+    void
+    popAndExecute()
+    {
+        const HeapItem top = _heap.front();
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        _heap.pop_back();
+        _curTick = top.when;
+        // Move the callback out and recycle the slot *before* invoking:
+        // the callback may schedule (growing the pool) or reset() the
+        // queue, and moved-from InlineCallback is guaranteed empty.
+        EventCallback cb = std::move(_slots[top.slot]);
+        _freeSlots.push_back(top.slot);
+        ++_numExecuted;
+        cb();
+        if (_postHook)
+            _postHook();
+    }
+
+    std::vector<HeapItem> _heap;
+    std::vector<EventCallback> _slots;
+    std::vector<std::uint32_t> _freeSlots;
     Tick _curTick = 0;
     std::uint64_t _numExecuted = 0;
     std::uint64_t _nextSeq = 0;

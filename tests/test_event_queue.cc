@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <numeric>
+
 #include "sim/event_queue.hh"
 
 using namespace secpb;
@@ -118,4 +122,73 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(static_cast<Tick>(i), [] {});
     eq.run();
     EXPECT_EQ(eq.numExecuted(), 42u);
+}
+
+TEST(EventQueue, RunAdvancesToLimitWhenQueueDrains)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    // The queue drains at tick 10, but the caller asked to simulate up to
+    // 50: time must advance to the limit, not stall at the last event.
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 50u);
+    // An empty queue advances to an explicit limit too.
+    EXPECT_EQ(eq.run(80), 80u);
+    EXPECT_EQ(eq.curTick(), 80u);
+    // Open-ended runs still finish at the last executed event.
+    eq.schedule(90, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 90u);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeap)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};  // 128 B > inline buffer
+    std::iota(payload.begin(), payload.end(), 1u);
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 16u * 17u / 2u);
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreSchedulable)
+{
+    EventQueue eq;
+    auto p = std::make_unique<int>(41);
+    int got = 0;
+    eq.schedule(1, [p = std::move(p), &got] { got = *p + 1; });
+    eq.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, CallbackMoveLeavesSourceEmpty)
+{
+    EventCallback a = [] {};
+    EXPECT_TRUE(static_cast<bool>(a));
+    EventCallback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b = nullptr;
+    EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(EventQueue, PoolRecyclesSlotsAcrossWaves)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int w = 0; w < 100; ++w) {
+        const Tick base = eq.curTick();
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(base + 1 + static_cast<Tick>(i),
+                        [&fired] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 6400u);
+    EXPECT_EQ(eq.numExecuted(), 6400u);
 }

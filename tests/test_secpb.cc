@@ -77,6 +77,29 @@ TEST(SecPb, HighWatermarkTriggersDrain)
               sys.secpb().lowWatermarkEntries());
 }
 
+TEST(SecPb, TinyBufferWatermarksStayOrdered)
+{
+    // numEntries=2 with the default 0.75/0.50 fractions used to derive
+    // high == low == 1 entry, so a triggered drain could never get below
+    // its own trigger. The controller now clamps low strictly under high.
+    SecPbSystem sys(smallConfig(Scheme::Cobcm, 2));
+    EXPECT_LT(sys.secpb().lowWatermarkEntries(),
+              sys.secpb().highWatermarkEntries());
+    EXPECT_GE(sys.secpb().highWatermarkEntries(), 1u);
+}
+
+TEST(SecPb, TinyBufferDrainsWithoutLivelock)
+{
+    SecPbSystem sys(smallConfig(Scheme::Cobcm, 2));
+    ScriptedGenerator gen;
+    gen.store(0x000, 1).store(0x040, 2).store(0x080, 3);
+    sys.run(gen);
+    sys.runUntil(sys.eventQueue().curTick() + 1'000'000);
+    EXPECT_GT(sys.secpb().statDrainedEntries.value(), 0.0);
+    EXPECT_LE(sys.secpb().occupancy(),
+              sys.secpb().lowWatermarkEntries());
+}
+
 TEST(SecPb, DrainedDataIsInPmImage)
 {
     SecPbSystem sys(smallConfig(Scheme::Cobcm, 8));

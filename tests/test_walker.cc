@@ -111,6 +111,33 @@ TEST(Walker, MergeWindowClosesAtCompletion)
     EXPECT_EQ(f.walker->rootUpdates(), 2u);
 }
 
+TEST(Walker, UpdateAtCompletionTickDoesNotMerge)
+{
+    Fixture f;
+    // Warm the node path so the next walk takes the deterministic
+    // warm-cache latency (leaf hash + 7 x (hit + hash) = 334 cycles).
+    f.walker->update(0x3000, 1);
+    f.eq.run();
+    const Tick start = f.eq.curTick();
+    const Tick completion = start + 40u + 7u * 42u;
+    // Schedule the probe *before* the walk exists: at the walk's
+    // completion tick it runs ahead of the walk's own in-flight cleanup
+    // event (FIFO at the same tick), so the in-flight entry is still
+    // present with completion == now. The merge window is strictly
+    // `completion > now`: the root write retires this very tick, so the
+    // probe's digest would be lost if it merged. It must walk afresh.
+    BmtWalker::UpdateTiming probed{};
+    f.eq.schedule(completion,
+                  [&] { probed = f.walker->updateTimed(0x3000, 3); });
+    const Tick c1 = f.walker->update(0x3000, 2);
+    ASSERT_EQ(c1, completion);
+    f.eq.run();
+    EXPECT_FALSE(probed.merged);
+    EXPECT_GT(probed.completion, completion);
+    EXPECT_DOUBLE_EQ(f.walker->statMergedUpdates.value(), 0.0);
+    EXPECT_EQ(f.walker->rootUpdates(), 3u);
+}
+
 TEST(Walker, MergedUpdateStillFunctionallyApplied)
 {
     Fixture f;

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two perf-baseline JSON documents (bench/perf_baseline output).
+
+Usage:
+    tools/compare_bench.py BASELINE.json CANDIDATE.json
+                           [--threshold PCT] [--warn-only]
+
+Loads two ``secpb.perf_baseline`` documents and prints a per-metric table
+of baseline vs. candidate with the relative change. Metric direction is
+inferred from the name suffix:
+
+  * ``*_s`` / ``*_seconds`` / ``*_wall_s``  -- wall time, lower is better
+  * ``*_mops`` / ``*_per_sec`` / ``*_ops``  -- throughput, higher is better
+
+A metric that moved in the bad direction by more than ``--threshold``
+percent (default 10) is a regression: the script exits 1 unless
+``--warn-only`` is given (CI uses warn-only while the checked-in baseline
+comes from a different machine class than the runners; flip to hard-fail
+once a runner-recorded baseline is committed).
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_BETTER = ("_s", "_seconds", "_wall_s")
+HIGHER_BETTER = ("_mops", "_per_sec", "_ops")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "secpb.perf_baseline":
+        sys.exit(f"{path}: unexpected schema {schema!r} "
+                 "(want 'secpb.perf_baseline')")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit(f"{path}: no metrics object")
+    return doc
+
+
+def lower_is_better(name):
+    if name.endswith(HIGHER_BETTER):
+        return False
+    if name.endswith(LOWER_BETTER):
+        return True
+    sys.exit(f"metric {name!r}: cannot infer direction from suffix "
+             f"(expected one of {LOWER_BETTER + HIGHER_BETTER})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    bm, cm = base["metrics"], cand["metrics"]
+
+    print(f"baseline:  {args.baseline} (label={base.get('label')})")
+    print(f"candidate: {args.candidate} (label={cand.get('label')})")
+    print(f"{'metric':<24} {'baseline':>12} {'candidate':>12} "
+          f"{'change':>9}  verdict")
+
+    regressions = []
+    for name in sorted(set(bm) | set(cm)):
+        if name not in bm or name not in cm:
+            where = "candidate" if name not in bm else "baseline"
+            print(f"{name:<24} {'-':>12} {'-':>12} {'-':>9}  "
+                  f"only in {where} (skipped)")
+            continue
+        b, c = float(bm[name]), float(cm[name])
+        if b == 0.0:
+            print(f"{name:<24} {b:>12.4g} {c:>12.4g} {'-':>9}  "
+                  "baseline is zero (skipped)")
+            continue
+        change = (c - b) / b * 100.0
+        lower = lower_is_better(name)
+        # Positive "improvement" percent always means "got better".
+        improvement = -change if lower else change
+        if improvement < -args.threshold:
+            verdict = f"REGRESSION (>{args.threshold:g}% worse)"
+            regressions.append(name)
+        elif improvement > args.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<24} {b:>12.4g} {c:>12.4g} {change:>+8.1f}%  "
+              f"{verdict}")
+
+    if regressions:
+        kind = "warning" if args.warn_only else "error"
+        print(f"{kind}: {len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:g}%: {', '.join(regressions)}",
+              file=sys.stderr)
+        if not args.warn_only:
+            return 1
+    else:
+        print("all metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
