@@ -25,6 +25,12 @@
  *   --sample-every N    epoch-sample every point every N ticks
  *   --stats             embed the full stats dump in each JSON point
  *   --debug FLAG[,..]   enable DPRINTF debug flags (see --help)
+ *   --battery-tech T    capacitor physics preset   (SECPB_BENCH_BATTERY_TECH,
+ *                       ideal; ideal|supercap|li-thin)
+ *   --battery-derate F  end-of-life capacity derate in (0,1]
+ *                       (SECPB_BENCH_BATTERY_DERATE, 1.0)
+ *   --power-schedule S  intermittent-power schedule "k=v,k=v" (see
+ *                       PowerScheduleSpec::parse; SECPB_BENCH_POWER_SCHEDULE)
  *
  * bench/micro_ops.cc is the one exception: google-benchmark owns its
  * argv, so these flags do not apply there (its tracing macros stay
@@ -47,7 +53,9 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "energy/capacitor.hh"
 #include "exp/report.hh"
+#include "fault/power.hh"
 #include "exp/sweep.hh"
 #include "obs/trace.hh"
 #include "sim/debug.hh"
@@ -81,6 +89,27 @@ envU64(const char *name, std::uint64_t fallback)
     return parsed;
 }
 
+/**
+ * Strict env-var parse for a floating-point knob: the whole value must be
+ * one finite decimal number; anything else is a fatal misconfiguration.
+ */
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    fatal_if(end == v || *end != '\0',
+             "%s='%s': not a decimal number (trailing garbage at '%s')",
+             name, v, end);
+    fatal_if(errno == ERANGE || !std::isfinite(parsed),
+             "%s='%s': out of range for a finite double", name, v);
+    return parsed;
+}
+
 inline std::uint64_t
 benchInstructions()
 {
@@ -107,6 +136,18 @@ struct BenchCli
     std::string traceOut;            ///< Empty = no trace capture.
     Tick sampleEvery = 0;            ///< 0 = no epoch sampling.
     bool captureStats = false;       ///< Embed stats dump per point.
+    std::string batteryTech = "ideal";  ///< Capacitor physics preset.
+    double batteryDerate = 1.0;      ///< End-of-life capacity derate.
+    std::string powerSchedule;       ///< Empty = no intermittent power.
+
+    /** The parsed physics preset with the derate applied. */
+    CapacitorParams
+    batteryParams() const
+    {
+        CapacitorParams p = capacitorPresetFor(batteryTech);
+        p.capacitanceDerate = batteryDerate;
+        return p;
+    }
 
     /** Parse argv; prints usage and exits on unknown flags. */
     static BenchCli
@@ -120,6 +161,11 @@ struct BenchCli
             cli.jsonPath = p;
         cli.instructions = benchInstructions();
         cli.seed = benchSeed();
+        if (const char *p = std::getenv("SECPB_BENCH_BATTERY_TECH"))
+            cli.batteryTech = p;
+        cli.batteryDerate = envDouble("SECPB_BENCH_BATTERY_DERATE", 1.0);
+        if (const char *p = std::getenv("SECPB_BENCH_POWER_SCHEDULE"))
+            cli.powerSchedule = p;
 
         auto need = [&](int i) -> const char * {
             fatal_if(i + 1 >= argc, "%s: flag %s needs a value",
@@ -159,6 +205,20 @@ struct BenchCli
                 ++i;
             } else if (a == "--stats") {
                 cli.captureStats = true;
+            } else if (a == "--battery-tech") {
+                cli.batteryTech = need(i);
+                ++i;
+            } else if (a == "--battery-derate") {
+                const char *v = need(i);
+                char *end = nullptr;
+                cli.batteryDerate = std::strtod(v, &end);
+                fatal_if(end == v || *end != '\0',
+                         "%s: --battery-derate '%s' is not a number",
+                         bench_name, v);
+                ++i;
+            } else if (a == "--power-schedule") {
+                cli.powerSchedule = need(i);
+                ++i;
             } else if (a == "--debug") {
                 for (const std::string &flag : splitCommas(need(i))) {
                     const auto &known = debug::knownFlags();
@@ -176,6 +236,8 @@ struct BenchCli
                     "          [--profile A[,B]] [--instr N] [--seed N]\n"
                     "          [--no-progress] [--trace-out PATH]\n"
                     "          [--sample-every N] [--stats]\n"
+                    "          [--battery-tech ideal|supercap|li-thin]\n"
+                    "          [--battery-derate F] [--power-schedule S]\n"
                     "          [--debug FLAG[,FLAG]]\n"
                     "  --trace-out PATH    Perfetto trace_event JSON of the"
                     " sweep's\n"
@@ -186,6 +248,20 @@ struct BenchCli
                     "                      ticks into each point's JSON\n"
                     "  --stats             embed the full stats dump per"
                     " point\n"
+                    "  --battery-tech T    capacitor physics preset for"
+                    " battery\n"
+                    "                      sizing/soak (default ideal)\n"
+                    "  --battery-derate F  end-of-life capacity derate in"
+                    " (0,1]\n"
+                    "  --power-schedule S  seeded intermittent-power"
+                    " schedule\n"
+                    "                      \"k=v,...\" (keys: cycles, seed,"
+                    " min-instr,\n"
+                    "                      max-instr, brownout, retain-min,"
+                    " retain-max,\n"
+                    "                      interrupt, partial-recharge,"
+                    " recharge-floor,\n"
+                    "                      fade, tamper-max)\n"
                     "  --debug FLAGS       enable DPRINTF flags: %s\n",
                     bench_name, joinCommas(debug::knownFlags()).c_str());
                 std::exit(0);
@@ -197,6 +273,14 @@ struct BenchCli
         // Validate profile filters eagerly: typos fail before a sweep.
         for (const std::string &p : cli.profiles)
             profileByName(p);
+        // Same for the battery knobs: an unknown tech, out-of-range
+        // derate, or malformed schedule dies here, not mid-sweep.
+        capacitorPresetFor(cli.batteryTech);
+        fatal_if(cli.batteryDerate <= 0.0 || cli.batteryDerate > 1.0,
+                 "%s: --battery-derate %.3f out of (0, 1]", bench_name,
+                 cli.batteryDerate);
+        if (!cli.powerSchedule.empty())
+            PowerScheduleSpec::parse(cli.powerSchedule);
         return cli;
     }
 

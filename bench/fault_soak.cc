@@ -17,6 +17,15 @@
  * Knobs: SECPB_SOAK_TRIALS (default 300), SECPB_SOAK_SEED (default 2026),
  * SECPB_SOAK_TRIAL (replay exactly one trial index from a reproducer),
  * plus the shared bench CLI (--jobs, --json, ...).
+ *
+ * With --power-schedule (or SECPB_BENCH_POWER_SCHEDULE) the soak runs in
+ * intermittent-power mode instead: each trial is a multi-cycle
+ * crash-recover-crash sequence on a physical Capacitor (brownouts,
+ * partial recharges, aging, power loss mid-recovery), scheme picked by
+ * trial index mod 6 and the adaptive drain policy alternating on/off by
+ * trial parity. Adaptive trials additionally assert the never-overspend
+ * invariant (drain energy <= deliverable at crash). --battery-tech and
+ * --battery-derate select the cell.
  */
 
 #include <cstdio>
@@ -25,6 +34,7 @@
 
 #include "bench_common.hh"
 #include "fault/injector.hh"
+#include "fault/power.hh"
 
 using namespace secpb;
 using bench::envU64;
@@ -79,6 +89,145 @@ drawTrial(std::uint64_t seed, std::uint64_t trial)
     return t;
 }
 
+/**
+ * Intermittent-power soak (--power-schedule): each trial runs one full
+ * multi-cycle power schedule -- brownouts, crash-recover-crash, power
+ * loss during recovery -- on the system Capacitor with the adaptive
+ * drain policy enabled. Trial t runs scheme SecPbSchemes[t % 6], so any
+ * run of >= 6 trials covers the whole spectrum. Fails on the first
+ * unverified restore, inconsistent recovery, undetected tamper, or
+ * drain that spent more than the capacitor held at crash time.
+ */
+int
+runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
+                    std::uint64_t first, std::uint64_t trials)
+{
+    const PowerScheduleSpec base =
+        PowerScheduleSpec::parse(cli.powerSchedule);
+    std::printf("intermittent soak: trials [%llu, %llu), seed %llu, "
+                "schedule [%s], tech %s derate %.2f\n\n",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(seed),
+                base.describe().c_str(), cli.batteryTech.c_str(),
+                cli.batteryDerate);
+
+    bench::Sweep sweep(cli);
+    std::vector<std::size_t> idx;
+    std::vector<std::uint64_t> schemeOf;
+    const CapacitorParams params = cli.batteryParams();
+    for (std::uint64_t trial = first; trial < trials; ++trial) {
+        const std::uint64_t si = trial % std::size(SecPbSchemes);
+        schemeOf.push_back(si);
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
+        const char *profile =
+            SoakProfiles[rng.below(std::size(SoakProfiles))];
+        PowerScheduleSpec spec = base;
+        spec.seed = seed * 1'000'003 + trial;
+        // Alternate the adaptive drain policy: even trials run with it
+        // (and must hold the never-overspend invariant), odd trials run
+        // the unprotected flat capacitor so brownouts actually abandon
+        // entries and exercise the restore triage paths.
+        const bool adaptive = trial % 2 == 0;
+
+        ExperimentPoint p;
+        p.label = "trial=" + std::to_string(trial);
+        p.scheme = SecPbSchemes[si];
+        p.profile = profile;
+        p.instructions = 0;
+        p.seed = spec.seed;
+        p.tag("schedule", spec.describe());
+        p.tag("adaptive", adaptive ? "on" : "off");
+        p.custom = [spec, params, adaptive](const ExperimentPoint &pt) {
+            SystemConfig cfg;
+            cfg.scheme = pt.scheme;
+            cfg.pmDataBytes = 1ULL << 30;
+            cfg.battery.enabled = true;
+            cfg.battery.cap = params;
+            cfg.battery.adaptive.enabled = adaptive;
+            IntermittentPowerInjector inj(cfg, spec, pt.profile);
+            const IntermittentReport r = inj.run();
+
+            double abandoned = 0, quarantined = 0, rolled = 0;
+            double brownouts = 0, interrupts = 0, overspent = 0;
+            for (const PowerCycleOutcome &c : r.cycles) {
+                abandoned += static_cast<double>(
+                    c.fault.crash.work.abandoned.size());
+                quarantined += static_cast<double>(
+                    c.restoreFinal.blocksQuarantined);
+                rolled += static_cast<double>(
+                    c.restoreFinal.blocksRolledBack);
+                brownouts += c.brownoutApplied ? 1.0 : 0.0;
+                interrupts += c.restoreInterrupted ? 1.0 : 0.0;
+                // The adaptive-policy invariant: the drain never needs
+                // more than the cell held when power failed. Without
+                // the policy a deep brownout can sag below the
+                // committed obligation -- that is the failure mode the
+                // policy (plus the BBU reserve) exists to prevent.
+                if (adaptive &&
+                    c.energySpentJ > c.deliverableAtCrashJ + 1e-12)
+                    overspent += 1.0;
+            }
+            ExperimentResult res;
+            res.extra = {
+                {"ok", (r.ok() && overspent == 0.0) ? 1.0 : 0.0},
+                {"cycles", static_cast<double>(r.cycles.size())},
+                {"abandoned_entries", abandoned},
+                {"quarantined", quarantined},
+                {"rolled_back", rolled},
+                {"brownouts", brownouts},
+                {"interrupted_restores", interrupts},
+                {"overspent_drains", overspent},
+            };
+            return res;
+        };
+        idx.push_back(sweep.add(std::move(p)));
+    }
+
+    sweep.run();
+
+    int exit_code = 0;
+    std::uint64_t perScheme[std::size(SecPbSchemes)] = {};
+    double tot[7] = {};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        const ExperimentResult &r = sweep.at(idx[i]);
+        ++perScheme[schemeOf[i]];
+        tot[0] += r.extraValue("cycles");
+        tot[1] += r.extraValue("abandoned_entries");
+        tot[2] += r.extraValue("quarantined");
+        tot[3] += r.extraValue("rolled_back");
+        tot[4] += r.extraValue("brownouts");
+        tot[5] += r.extraValue("interrupted_restores");
+        tot[6] += r.extraValue("overspent_drains");
+        if (r.extraValue("ok") == 0.0) {
+            exit_code = 1;
+            std::printf("FAIL: SECPB_SOAK_SEED=%llu trial=%llu scheme=%s "
+                        "--power-schedule '%s'%s\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(first + i),
+                        schemeName(SecPbSchemes[schemeOf[i]]),
+                        cli.powerSchedule.c_str(),
+                        r.extraValue("overspent_drains") > 0.0
+                            ? " (drain exceeded capacitor energy)"
+                            : "");
+        }
+    }
+
+    std::printf("power cycles %.0f, abandoned %.0f, quarantined %.0f, "
+                "rolled back %.0f, brownouts %.0f, interrupted restores "
+                "%.0f, overspent drains %.0f\n",
+                tot[0], tot[1], tot[2], tot[3], tot[4], tot[5], tot[6]);
+    std::printf("scheme coverage:");
+    for (std::size_t i = 0; i < std::size(SecPbSchemes); ++i)
+        std::printf(" %s=%llu", schemeName(SecPbSchemes[i]),
+                    static_cast<unsigned long long>(perScheme[i]));
+    std::printf("\n\n%s\n",
+                exit_code ? "SOAK FAILED" : "intermittent soak clean");
+    sweep.derive("overspent_drains", "all", tot[6]);
+    sweep.writeJson();
+    return exit_code;
+}
+
 } // namespace
 
 int
@@ -95,6 +244,9 @@ main(int argc, char **argv)
         std::getenv("SECPB_SOAK_TRIAL")
             ? first + 1
             : envU64("SECPB_SOAK_TRIALS", 300);
+
+    if (!cli.powerSchedule.empty())
+        return runIntermittentSoak(cli, seed, first, trials);
 
     std::printf("fault soak: trials [%llu, %llu), seed %llu, jobs %u\n\n",
                 static_cast<unsigned long long>(first),

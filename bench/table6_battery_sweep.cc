@@ -32,14 +32,23 @@ main(int argc, char **argv)
             p.instructions = 0;
             p.secpbEntries = entries;
             p.tag("kind", "battery_sizing");
-            p.custom = [scheme, entries](const ExperimentPoint &) {
+            const double derate = cli.batteryDerate;
+            p.custom = [scheme, entries, derate](const ExperimentPoint &) {
                 const EnergyModel em(EnergyCosts{}, /*bmt_levels=*/8);
                 const double e = em.secPbBatteryEnergy(scheme, entries);
+                CapacitorParams scp = capacitorPresetFor("supercap");
+                CapacitorParams lip = capacitorPresetFor("li-thin");
+                scp.capacitanceDerate = derate;
+                lip.capacitanceDerate = derate;
                 ExperimentResult r;
                 r.extra = {
                     {"energy_j", e},
                     {"supercap_mm3", em.size(e, superCapTech()).volumeMm3},
                     {"lithin_mm3", em.size(e, liThinTech()).volumeMm3},
+                    {"supercap_real_mm3",
+                     em.sizeWithPhysics(e, superCapTech(), scp).volumeMm3},
+                    {"lithin_real_mm3",
+                     em.sizeWithPhysics(e, liThinTech(), lip).volumeMm3},
                 };
                 return r;
             };
@@ -71,6 +80,20 @@ main(int argc, char **argv)
                     nogap.extraValue("supercap_mm3"),
                     nogap.extraValue("lithin_mm3"),
                     paper_cobcm_sc[i], paper_nogap_sc[i]);
+    }
+
+    std::printf("\nRealistic physics (voltage window + derate %.2f):\n\n",
+                cli.batteryDerate);
+    std::printf("%8s | %12s %12s | %12s %12s\n", "entries",
+                "COBCM SC", "COBCM Li", "NoGap SC", "NoGap Li");
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const ExperimentResult &cobcm = sweep.at(idx[0][i]);
+        const ExperimentResult &nogap = sweep.at(idx[1][i]);
+        std::printf("%8u | %12.2f %12.4f | %12.3f %12.5f\n",
+                    sizes[i], cobcm.extraValue("supercap_real_mm3"),
+                    cobcm.extraValue("lithin_real_mm3"),
+                    nogap.extraValue("supercap_real_mm3"),
+                    nogap.extraValue("lithin_real_mm3"));
     }
 
     sweep.writeJson();

@@ -9,6 +9,8 @@
 #include <cstdint>
 
 #include "cpu/trace_cpu.hh"
+#include "energy/capacitor.hh"
+#include "pb/adaptive.hh"
 #include "crypto/cipher.hh"
 #include "crypto/engine.hh"
 #include "mem/data_hierarchy.hh"
@@ -33,6 +35,32 @@ struct ObsConfig
 
     /** Ring capacity: the most recent epochs retained. */
     std::size_t sampleCapacity = 4096;
+};
+
+/**
+ * A system-owned physical battery (energy/capacitor.hh). When enabled,
+ * the system builds a Capacitor sized to provisionFraction times the
+ * worst-case crash energy and crashNow() budgets the drain from its
+ * live deliverable energy instead of an explicit CrashOptions value.
+ * With ideal capacitor params and provisionFraction f this is
+ * bit-identical to the flat FaultPlan.batteryFraction = f budget.
+ */
+struct BatteryConfig
+{
+    /** Build a Capacitor and use it as the crash-drain budget source. */
+    bool enabled = false;
+
+    /** Physics of the cell (voltage window, ESR, leakage, derate). */
+    CapacitorParams cap;
+
+    /**
+     * Usable capacity as a fraction of provisionedCrashEnergy(); 1.0 is
+     * the paper's worst-case sizing, < 1 an under-provisioned part.
+     */
+    double provisionFraction = 1.0;
+
+    /** Battery-aware watermark modulation (pb/adaptive.hh). */
+    AdaptiveDrainConfig adaptive;
 };
 
 /** Everything needed to build a SecPbSystem. */
@@ -81,6 +109,8 @@ struct SystemConfig
     bool speculativeVerification = true;
 
     ObsConfig obs;
+
+    BatteryConfig battery;
 
     ClockInfo clock;
 };

@@ -7,6 +7,7 @@
 #define SECPB_CORE_RESULTS_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "recovery/verifier.hh"
 #include "secpb/secpb.hh"
@@ -80,6 +81,12 @@ struct CrashReport
     Cycles drainLatency = 0;          ///< Observer-blocked window (cycles).
     double drainLatencyNs = 0.0;      ///< The same window in nanoseconds.
     bool recovered = false;           ///< True when recovery verified.
+
+    /** Energy budget the drain ran under (unset = unbounded). */
+    std::optional<double> batteryBudgetJ;
+
+    /** Capacitor charge remaining after the drain (system battery only). */
+    std::optional<double> batteryAfterJ;
 };
 
 } // namespace secpb

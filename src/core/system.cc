@@ -45,6 +45,17 @@ SecPbSystem::SecPbSystem(const SystemConfig &cfg)
 
     _energy = EnergyModel(EnergyCosts{}, _tree->numLevels() + 1);
 
+    if (cfg.battery.enabled) {
+        fatal_if(cfg.battery.provisionFraction <= 0.0,
+                 "battery.provisionFraction must be positive");
+        _battery = std::make_unique<Capacitor>(Capacitor::sizedFor(
+            cfg.battery.provisionFraction * provisionedCrashEnergy(),
+            cfg.battery.cap));
+        if (cfg.battery.adaptive.enabled)
+            _secpb->attachBatteryMonitor(_battery.get(), &_energy,
+                                         cfg.battery.adaptive);
+    }
+
     if (cfg.obs.samplePeriod > 0) {
         _sampler = std::make_unique<obs::Sampler>(
             _eq, cfg.obs.samplePeriod, cfg.obs.sampleCapacity);
@@ -71,6 +82,17 @@ SecPbSystem::SecPbSystem(const SystemConfig &cfg)
         _sampler->addChannel("bmt_inflight_walks", [this] {
             return static_cast<double>(_walker->inFlightWalks());
         });
+        if (_battery) {
+            _sampler->addChannel("battery_stored_j", [this] {
+                return _battery->storedEnergyJ();
+            });
+            _sampler->addChannel("battery_voltage_v", [this] {
+                return _battery->voltage();
+            });
+            _sampler->addChannel("battery_deliverable_j", [this] {
+                return _battery->deliverableEnergyJ();
+            });
+        }
     }
 }
 
@@ -105,6 +127,29 @@ SecPbSystem::start(WorkloadGenerator &gen)
             _endTick = _eq.curTick();
         });
     });
+}
+
+void
+SecPbSystem::adoptPersistentState(const PmImage &pm,
+                                  const BonsaiMerkleTree &tree,
+                                  const PersistOracle &oracle)
+{
+    panic_if(_started,
+             "adoptPersistentState must precede SecPbSystem::start");
+    _pm = pm;
+    *_tree = tree;
+    _oracle = oracle;
+}
+
+void
+SecPbSystem::applyBrownout(double retain)
+{
+    fatal_if(!_battery, "applyBrownout needs a system battery "
+                        "(BatteryConfig::enabled)");
+    const double reserve = _cfg.battery.adaptive.enabled
+                               ? _secpb->crashReserveEnergyJ()
+                               : 0.0;
+    _battery->applyBrownout(retain, reserve);
 }
 
 void
@@ -172,15 +217,25 @@ SecPbSystem::crashNow(const CrashOptions &opts)
     DrainLatencyModel latency(_cfg.crypto, _cfg.pcm);
     CrashDrainBudget budget;
     if (opts.bounded()) {
-        budget.energyJ = opts.batteryEnergyJ;
+        budget.energyJ = *opts.batteryEnergyJ;
+        budget.pricing = &_energy;
+    } else if (_battery) {
+        // No explicit budget: the physical battery is what we have.
+        budget.energyJ = _battery->deliverableEnergyJ();
         budget.pricing = &_energy;
     }
+    cr.batteryBudgetJ = budget.energyJ;
     cr.work = _secpb->crashDrainAll(
         _cfg.batteryBackedStoreBuffer
             ? _sb->pendingStores()
             : std::vector<std::pair<Addr, std::uint64_t>>{},
         budget);
     cr.actualEnergyJ = _energy.actualCrashEnergy(cr.work);
+    if (_battery) {
+        // The drain physically discharged the cell.
+        _battery->deliver(cr.work.energySpentJ);
+        cr.batteryAfterJ = _battery->storedEnergyJ();
+    }
     cr.drainLatency = latency.estimate(cr.work);
     cr.drainLatencyNs = latency.estimateNs(cr.work, _cfg.clock);
     cr.provisionedEnergyJ = provisionedCrashEnergy();

@@ -27,8 +27,8 @@
 #ifndef SECPB_CORE_SYSTEM_HH
 #define SECPB_CORE_SYSTEM_HH
 
-#include <limits>
 #include <memory>
+#include <optional>
 #include <ostream>
 
 #include "core/config.hh"
@@ -58,17 +58,21 @@ namespace secpb
 struct CrashOptions
 {
     /**
-     * Battery energy available for the crash drain, in joules. The
-     * default is unbounded (the classic correctly-provisioned battery);
-     * fault experiments scale this down from provisionedCrashEnergy()
-     * to model an under-provisioned or partially-discharged battery.
+     * Battery energy available for the crash drain, in joules. Unset
+     * (the default) means: use the system-owned Capacitor's live
+     * deliverable energy if one is configured, else the classic
+     * unbounded correctly-provisioned battery. Fault experiments scale
+     * this down from provisionedCrashEnergy() to model an
+     * under-provisioned or partially-discharged battery. (Formerly an
+     * infinity sentinel; see FaultPlan::batteryFraction.)
      */
-    double batteryEnergyJ = std::numeric_limits<double>::infinity();
+    std::optional<double> batteryEnergyJ;
 
+    /** Shim kept from the infinity-sentinel era: is a bound set? */
     bool
     bounded() const
     {
-        return batteryEnergyJ != std::numeric_limits<double>::infinity();
+        return batteryEnergyJ.has_value();
     }
 };
 
@@ -123,6 +127,18 @@ class SecPbSystem
                                          _cfg.wpqEntries);
     }
 
+    /**
+     * Transplant durable state from a previous power cycle into this
+     * (not-yet-started) incarnation: the PM image, the BMT, and the
+     * persist oracle. Volatile state (counter registers, caches, persist
+     * buffers) starts cold -- RestoreManager rebuilds what recovery
+     * needs. The physical battery does NOT transfer here; copy the
+     * Capacitor state explicitly (it lives outside the machine).
+     */
+    void adoptPersistentState(const PmImage &pm,
+                              const BonsaiMerkleTree &tree,
+                              const PersistOracle &oracle);
+
     /** Result snapshot of the current/finished run. */
     SimulationResult result() const;
 
@@ -136,7 +152,8 @@ class SecPbSystem
     /** The epoch sampler, or nullptr when ObsConfig::samplePeriod is 0.
      *  Channels: secpb_occupancy, sb_occupancy, wpq_depth,
      *  battery_headroom_j, ctr_cache_dirty, mac_cache_dirty,
-     *  bmt_inflight_walks. */
+     *  bmt_inflight_walks; plus battery_stored_j, battery_voltage_v and
+     *  battery_deliverable_j when a system Capacitor is configured. */
     obs::Sampler *sampler() { return _sampler.get(); }
     const obs::Sampler *sampler() const { return _sampler.get(); }
 
@@ -160,6 +177,23 @@ class SecPbSystem
     DataHierarchy &dataCache() { return *_dcache; }
     const SystemConfig &config() const { return _cfg; }
     const EnergyModel &energyModel() const { return _energy; }
+
+    /** The system-owned Capacitor, or nullptr when battery.enabled is
+     *  false. Mutable: fault schedules brown it out or recharge it. */
+    Capacitor *battery() { return _battery.get(); }
+    const Capacitor *battery() const { return _battery.get(); }
+
+    /**
+     * Brownout the system battery: the supply sags and the cell keeps
+     * only @p retain of its stored charge. When the adaptive drain
+     * policy is attached, the BBU's isolation diode protects the
+     * committed crash-drain reserve (SecPb::crashReserveEnergyJ) -- the
+     * sag bleeds uncommitted headroom only, which is what makes the
+     * "drain never needs more than the cell holds" invariant survive
+     * arbitrary brownout schedules. Without the policy the sag is
+     * unprotected, as the flat-budget model always was.
+     */
+    void applyBrownout(double retain);
     /** @} */
 
   private:
@@ -186,6 +220,7 @@ class SecPbSystem
     std::unique_ptr<StoreBuffer> _sb;
     std::unique_ptr<TraceCpu> _cpu;
     std::unique_ptr<obs::Sampler> _sampler;
+    std::unique_ptr<Capacitor> _battery;
 
     bool _started = false;
     bool _cpuDone = false;

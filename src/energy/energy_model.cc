@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace secpb
@@ -136,6 +137,24 @@ EnergyModel::size(double energy_j, const BatteryTech &tech) const
     est.volumeMm3 = energy_j / tech.densityJPerMm3;
     const double footprint = std::pow(est.volumeMm3, 2.0 / 3.0);
     est.areaRatioToCore = footprint / _coreAreaMm2;
+    return est;
+}
+
+BatteryEstimate
+EnergyModel::sizeWithPhysics(double energy_j, const BatteryTech &tech,
+                             const CapacitorParams &params) const
+{
+    const double window = usableWindowFraction(params);
+    fatal_if(window <= 0.0, "battery sizing: empty usable voltage window");
+    fatal_if(params.capacitanceDerate <= 0.0 ||
+                 params.capacitanceDerate > 1.0,
+             "battery sizing: derate must be in (0, 1]");
+    // The cell stores energy_j / window total joules so that energy_j
+    // sits above the cutoff, and is built 1/derate larger so the worn
+    // end-of-life part still provisions the worst case.
+    BatteryEstimate est =
+        size(energy_j / (window * params.capacitanceDerate), tech);
+    est.energyJ = energy_j;  // Report the *usable* requirement.
     return est;
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "energy/capacitor.hh"
 #include "secpb/scheme.hh"
 #include "secpb/secpb.hh"
 
@@ -134,6 +135,18 @@ class EnergyModel
 
     /** Size @p energy_j on @p tech; includes the core-area ratio. */
     BatteryEstimate size(double energy_j, const BatteryTech &tech) const;
+
+    /**
+     * Size @p energy_j on @p tech under realistic capacitor physics: the
+     * cell must hold energy_j *usable* joules, so the ideal volume is
+     * inflated by the voltage window (only (V^2 - Vcut^2)/V^2 of the
+     * stored energy sits above the regulator cutoff) and by the end-of-
+     * life capacity derate. The ideal flat sizing is the special case
+     * usableWindowFraction == 1, derate == 1.
+     */
+    BatteryEstimate sizeWithPhysics(double energy_j,
+                                    const BatteryTech &tech,
+                                    const CapacitorParams &params) const;
 
     /**
      * Energy actually consumed by a specific post-crash drain, from the

@@ -30,7 +30,8 @@ FaultPlan::describe() const
     if (out.empty())
         out = "crash@end";
     if (boundedBattery()) {
-        std::snprintf(buf, sizeof(buf), " battery=%.4f", batteryFraction);
+        std::snprintf(buf, sizeof(buf), " battery=%.4f",
+                      *batteryFraction);
         out += buf;
     }
     if (tamperCount) {
@@ -75,7 +76,7 @@ FaultInjector::run(WorkloadGenerator &gen)
     CrashOptions opts;
     if (_plan.boundedBattery())
         opts.batteryEnergyJ =
-            _plan.batteryFraction * _sys.provisionedCrashEnergy();
+            *_plan.batteryFraction * _sys.provisionedCrashEnergy();
     report.crash = _sys.crashNow(opts);
     TRACE_INSTANT("fault",
                   report.crash.work.batteryExhausted

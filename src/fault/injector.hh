@@ -43,13 +43,20 @@ struct FaultPlan
 
     /**
      * Battery energy as a fraction of the configuration's worst-case
-     * provisioning (SecPbSystem::provisionedCrashEnergy). Infinity (the
+     * provisioning (SecPbSystem::provisionedCrashEnergy). Unset (the
      * default) models the correctly-provisioned battery; values < 1
      * model an under-provisioned or partially-discharged one and force
      * prefix verification. Values >= 1 can never exhaust (provisioning
-     * is worst-case by construction).
+     * is worst-case by construction). An engaged value is one way to
+     * initialize a Capacitor; a system-owned Capacitor (see
+     * BatteryConfig) supplies the budget when this is unset.
+     *
+     * This used to be an infinity sentinel; std::optional keeps the
+     * "unbounded" state representable without relying on IEEE compare
+     * semantics (which -ffast-math-style flags break) and serializes
+     * cleanly in sweep JSON.
      */
-    double batteryFraction = std::numeric_limits<double>::infinity();
+    std::optional<double> batteryFraction;
 
     /** Number of post-crash tampers to inject (secure schemes only). */
     unsigned tamperCount = 0;
@@ -57,10 +64,11 @@ struct FaultPlan
     /** Seed for the tamper injector's RNG. */
     std::uint64_t tamperSeed = 1;
 
+    /** Shim kept from the infinity-sentinel era: is a bound set? */
     bool
     boundedBattery() const
     {
-        return batteryFraction != std::numeric_limits<double>::infinity();
+        return batteryFraction.has_value();
     }
 
     /** One-line description for reproducer output. */

@@ -94,6 +94,29 @@ class PmImage
         return out;
     }
 
+    /** All page indices with a persisted counter block (restore scans). */
+    std::vector<std::uint64_t>
+    counterPages() const
+    {
+        std::vector<std::uint64_t> out;
+        out.reserve(_counters.size());
+        for (const auto &kv : _counters)
+            out.push_back(kv.first);
+        return out;
+    }
+
+    /**
+     * Quarantine a data block (restore.hh): drop its ciphertext and MAC
+     * so a detected-torn block reads as never-persisted instead of
+     * lingering as corrupt state a later power cycle would trip over.
+     */
+    void
+    eraseDataBlock(Addr block_addr)
+    {
+        _data.erase(blockAlign(block_addr));
+        _macs.erase(blockAlign(block_addr));
+    }
+
     /**
      * @name Tamper hooks (integrity tests)
      * These emulate a physical attacker flipping bits in the NVDIMM.

@@ -122,6 +122,17 @@ class SetAssocCache
         return false;
     }
 
+    /** Mark @p addr clean (written back); returns false if not present. */
+    bool
+    markClean(Addr addr)
+    {
+        if (Way *way = findWay(blockAlign(addr))) {
+            way->dirty = false;
+            return true;
+        }
+        return false;
+    }
+
     /** True if @p addr is present and dirty. */
     bool
     isDirty(Addr addr) const

@@ -71,6 +71,17 @@ class CounterStore
     /** Number of touched counter blocks. */
     std::size_t numTouched() const { return _blocks.size(); }
 
+    /**
+     * Install a counter block wholesale (power-cycle restore: the
+     * working copy is volatile and reboots cold, so recovery reloads it
+     * from the PM image's persisted counter blocks).
+     */
+    void
+    setBlock(std::uint64_t page_idx, const CounterBlock &cb)
+    {
+        _blocks[page_idx] = cb;
+    }
+
   private:
     const MetadataLayout &_layout;
     std::unordered_map<std::uint64_t, CounterBlock> _blocks;

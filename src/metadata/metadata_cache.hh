@@ -83,6 +83,28 @@ class MetadataCache
         return _tags.residentBlocks(true);
     }
 
+    /**
+     * Write back up to @p max_blocks dirty blocks to PCM and mark them
+     * clean, without evicting. This is the powered write-through
+     * degradation the adaptive drain policy uses when battery headroom
+     * cannot cover the mandatory crash-time flush of this cache's dirt.
+     * @return the number of blocks cleaned.
+     */
+    std::size_t
+    cleanDirty(std::size_t max_blocks)
+    {
+        std::size_t cleaned = 0;
+        for (Addr addr : _tags.residentBlocks(true)) {
+            if (cleaned >= max_blocks)
+                break;
+            ++statWritebacks;
+            _pcm.writeOccupy(addr);
+            _tags.markClean(addr);
+            ++cleaned;
+        }
+        return cleaned;
+    }
+
     /** Drop everything (post-crash restart). */
     void flushAll() { _tags.flushAll(); }
 

@@ -131,6 +131,48 @@ class PersistOracle
     }
     /** @} */
 
+    /**
+     * @name Power-cycle recovery (restore.hh)
+     * A crash on a bounded battery abandons the newest stores of some
+     * blocks. When the machine reboots and keeps *running* (crash-
+     * recover-crash), the reference state must match what actually
+     * survived: RestoreManager rolls the shadow back to the recovered
+     * version so subsequent persists build on durable state only.
+     * _numPersists stays monotone -- it counts stores that reached the
+     * PoP, a fact a later power loss cannot unmake.
+     * @{
+     */
+
+    /**
+     * Roll the block containing @p addr back to its first @p version
+     * stores. Version 0 means the block reverts to pristine (untouched).
+     */
+    void
+    rollbackBlock(Addr addr, std::uint64_t version)
+    {
+        const Addr block = blockAlign(addr);
+        if (version == 0) {
+            forgetBlock(block);
+            return;
+        }
+        auto it = _log.find(block);
+        if (it == _log.end())
+            return;
+        if (version < it->second.size())
+            it->second.resize(version);
+        _blocks[block] = blockVersion(block, version);
+    }
+
+    /** Drop the block entirely (it was never durable). */
+    void
+    forgetBlock(Addr addr)
+    {
+        const Addr block = blockAlign(addr);
+        _blocks.erase(block);
+        _log.erase(block);
+    }
+    /** @} */
+
   private:
     struct StoreRecord
     {

@@ -1,0 +1,153 @@
+#include "recovery/restore.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/system.hh"
+#include "crypto/cipher.hh"
+#include "sim/debug.hh"
+
+namespace secpb
+{
+
+RestoreReport
+RestoreManager::restore(const std::vector<AbandonedResidency> &abandoned,
+                        const RestoreOptions &opts)
+{
+    RestoreReport report;
+    PmImage &pm = _sys.pm();
+    PersistOracle &oracle = _sys.oracle();
+    const MetadataLayout &layout = _sys.layout();
+    const SchemeTraits traits = schemeTraits(_sys.config().scheme);
+    const SecurityKeys &keys = _sys.config().keys;
+
+    // -- Step 1: reload the volatile counter working copy from PM.
+    // Deterministic order; idempotent (plain overwrites).
+    std::vector<std::uint64_t> pages = pm.counterPages();
+    std::sort(pages.begin(), pages.end());
+    if (traits.secure) {
+        for (std::uint64_t page : pages) {
+            _sys.counters().setBlock(page, pm.readCounterBlock(page));
+            ++report.counterPagesReloaded;
+        }
+    }
+
+    // -- Step 2: triage the abandoned suffix. Mirrors the verifier's
+    // classification (recovery/verifier.hh verifyAbandoned), but acts on
+    // it: the oracle -- the reference the *next* power cycle persists on
+    // top of -- is reconciled with the durable truth.
+    std::vector<AbandonedResidency> triage = abandoned;
+    std::sort(triage.begin(), triage.end(),
+              [](const AbandonedResidency &a, const AbandonedResidency &b)
+              { return a.addr < b.addr; });
+    std::unordered_set<std::uint64_t> abandonedPages;
+    for (const AbandonedResidency &a : triage) {
+        const Addr addr = blockAlign(a.addr);
+        abandonedPages.insert(layout.pageIndex(addr));
+        const std::uint64_t total = oracle.storeCount(addr);
+        const std::uint64_t pre =
+            total - std::min(total, a.pendingWrites);
+
+        if (!pm.hasData(addr)) {
+            if (pre == 0) {
+                // Never durable: the first-ever residency died in the
+                // buffer. Nothing to recover; drop the expectation.
+                oracle.forgetBlock(addr);
+                ++report.blocksForgotten;
+            } else {
+                // Data vanished below an older version -- detected loss.
+                oracle.forgetBlock(addr);
+                ++report.blocksQuarantined;
+            }
+            continue;
+        }
+
+        BlockData pt;
+        bool intact;
+        if (traits.secure) {
+            const std::uint64_t page = layout.pageIndex(addr);
+            const CounterBlock cb = pm.readCounterBlock(page);
+            const BlockCounter ctr =
+                cb.counterFor(layout.blockInPage(addr));
+            const BlockData ct = pm.readData(addr);
+            intact = computeMac(keys, addr, ct, ctr) == pm.readMac(addr);
+            pt = decryptBlock(ct, generatePad(keys, addr, ctr));
+        } else {
+            intact = true;
+            pt = pm.readData(addr);
+        }
+
+        if (intact && pt == oracle.blockContent(addr)) {
+            // The drain had in fact finished before the budget died.
+            ++report.blocksRetained;
+        } else if (intact && pt == oracle.blockVersion(addr, pre)) {
+            oracle.rollbackBlock(addr, pre);
+            ++report.blocksRolledBack;
+        } else {
+            // Torn tuple (e.g. a sibling drain persisted the page's
+            // counter block with this block's eager minor bump, so the
+            // old ciphertext no longer decrypts). The pre-image is
+            // cryptographically unrecoverable: quarantine it. Recorded
+            // loss, never silent acceptance.
+            pm.eraseDataBlock(addr);
+            oracle.forgetBlock(addr);
+            ++report.blocksQuarantined;
+        }
+    }
+
+    // -- Step 3: rebuild the BMT leaves from the persisted counter
+    // blocks. Pages of abandoned residencies are included even without a
+    // PM counter block: an eager scheme's root may cover a counter
+    // increment that never became durable, and resetting the leaf to the
+    // (default) PM view is exactly the repair. This is the expensive
+    // walk that a second power loss can interrupt.
+    if (traits.secure) {
+        std::vector<std::uint64_t> rebuild = pages;
+        for (std::uint64_t page : abandonedPages)
+            if (!std::binary_search(pages.begin(), pages.end(), page))
+                rebuild.push_back(page);
+        std::sort(rebuild.begin(), rebuild.end());
+
+        BonsaiMerkleTree &tree = _sys.tree();
+        for (std::uint64_t page : rebuild) {
+            if (report.leavesRebuilt >= opts.maxLeafRepairs) {
+                // Power died mid-recovery. Durable state is further
+                // along than before (the repairs so far persisted), but
+                // the machine must not resume: re-run restore().
+                DPRINTF("Restore",
+                        "interrupted after %llu leaf repairs",
+                        static_cast<unsigned long long>(
+                            report.leavesRebuilt));
+                return report;
+            }
+            tree.updateLeaf(page,
+                            tree.leafDigest(pm.readCounterBlock(page)));
+            ++report.leavesRebuilt;
+        }
+    }
+    report.complete = true;
+
+    // -- Step 4: verify the reconciled image. Zero tolerance: a restore
+    // that cannot prove prefix consistency is a failed restore.
+    if (traits.secure) {
+        RecoveryVerifier verifier(layout, keys);
+        report.verify = verifier.verifyAll(pm, _sys.tree(), oracle);
+        report.verified = report.verify.ok();
+    } else {
+        report.verify.blocksChecked = 0;
+        bool ok = true;
+        for (Addr addr : oracle.touchedBlocks()) {
+            ++report.verify.blocksChecked;
+            if (pm.readData(addr) != oracle.blockContent(addr)) {
+                ++report.verify.plaintextMismatches;
+                report.verify.faults.push_back(
+                    {addr, BlockFaultKind::PlaintextMismatch});
+                ok = false;
+            }
+        }
+        report.verified = ok;
+    }
+    return report;
+}
+
+} // namespace secpb

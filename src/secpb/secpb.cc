@@ -38,7 +38,12 @@ SecPb::SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
       statNwpe(_stats, "nwpe", "writes per entry residency (NWPE)"),
       statUnblockLatency(_stats, "unblock_latency",
                          "store accept to unblock signal (cycles)"),
-      statOccupancy(_stats, "occupancy", "occupancy sampled at accepts")
+      statOccupancy(_stats, "occupancy", "occupancy sampled at accepts"),
+      statBatteryStalls(_stats, "battery_stalls",
+                        "allocations gated by battery headroom"),
+      statMdcShedWrites(_stats, "mdc_shed_writes",
+                        "dirty metadata written through under battery "
+                        "pressure")
 {
     fatal_if(cfg.numEntries == 0, "SecPB needs at least one entry");
     fatal_if(cfg.lowWatermark >= cfg.highWatermark,
@@ -241,6 +246,26 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
     if (!e && _freeList.empty()) {
         ++statFullRejects;
         TRACE_INSTANT_P("secpb", "pb_full", _eq.curTick(), asid);
+        maybeStartDrain();
+        return false;
+    }
+
+    // Adaptive drain policy: admitting a new residency must leave the
+    // battery able to cover the priced crash prediction plus one
+    // worst-case entry and one in-flight regeneration (the gate margin).
+    // An empty buffer always admits -- a liveness floor of one entry --
+    // otherwise a dead-enough capacitor would wedge the machine instead
+    // of degrading it to write-through behavior.
+    // Shed metadata dirt first: an allocation the gate is about to
+    // price deserves a floor as small as wall power can make it, and
+    // the liveness-floor admission below must not ride on a floor the
+    // battery cannot cover.
+    if (!e)
+        shedMetadataDirt();
+    if (!e && batteryGateBlocksAllocation()) {
+        ++statBatteryStalls;
+        ++statFullRejects;
+        TRACE_INSTANT_P("secpb", "battery_stall", _eq.curTick(), asid);
         maybeStartDrain();
         return false;
     }
@@ -616,9 +641,166 @@ SecPb::wakeSpaceWaiters()
 }
 
 void
+SecPb::attachBatteryMonitor(const Capacitor *battery,
+                            const EnergyModel *pricing,
+                            const AdaptiveDrainConfig &cfg)
+{
+    fatal_if(_scheme == Scheme::Sp,
+             "adaptive drain policy is not supported for the SP baseline "
+             "(its crash work lives in the WPQ, unpriced by the probe)");
+    if (!battery || !pricing || !cfg.enabled) {
+        _battery = nullptr;
+        _pricing = nullptr;
+        _adaptive = AdaptiveDrainConfig{};
+        _worstEntryJ = _gateMarginJ = 0.0;
+        return;
+    }
+    _battery = battery;
+    _pricing = pricing;
+    _adaptive = cfg;
+
+    // Worst-case completion of one entry under this scheme: every lazy
+    // field missing and the counter block absent on-chip. Ciphertext and
+    // MAC are always included -- they are value-dependent, so even an
+    // eager scheme can hold them invalid while a coalescing store's
+    // regeneration is in flight.
+    CrashWork w;
+    w.entriesDrained = 1;
+    if (_traits.secure) {
+        if (!_traits.earlyCounter) {
+            w.counterFetches = 1;
+            w.countersIncremented = 1;
+        }
+        if (!_traits.earlyOtp)
+            w.otpsGenerated = 1;
+        w.ciphertexts = 1;
+        w.macsComputed = 1;
+        if (!_traits.earlyBmt) {
+            w.bmtRootUpdates = 1;
+            w.bmtLevelsWalked = _walker.tree().numLevels();
+        }
+        w.pmBlockWrites = 3;
+    } else {
+        w.pmBlockWrites = 1;
+    }
+    _worstEntryJ = pricing->actualCrashEnergy(w);
+
+    // Gate margin: the marginEntries reserve plus one in-flight
+    // ciphertext+MAC regeneration (the store buffer issues one store at
+    // a time, so at most one regeneration is pending at any instant).
+    CrashWork transient;
+    transient.ciphertexts = 1;
+    transient.macsComputed = 1;
+    _gateMarginJ =
+        double(std::max(1u, _adaptive.marginEntries)) * _worstEntryJ +
+        pricing->actualCrashEnergy(transient);
+}
+
+double
+SecPb::predictedDrainEnergyJ() const
+{
+    if (!_pricing)
+        return 0.0;
+    return _pricing->actualCrashEnergy(predictCrashDrainWork());
+}
+
+double
+SecPb::crashReserveEnergyJ() const
+{
+    if (!_pricing)
+        return 0.0;
+    // The committed obligation a brownout must not bleed below: every
+    // resident entry plus the mandatory metadata-cache flush (both in
+    // the prediction), plus the gate margin -- one worst-case entry the
+    // empty-buffer liveness rule can admit even on a dead cell, and one
+    // value-dependent regeneration that may be in flight when the sag
+    // hits. Reserving the margin keeps the brownout floor consistent
+    // with what batteryGateBlocksAllocation() lets through.
+    return predictedDrainEnergyJ() + _gateMarginJ;
+}
+
+void
+SecPb::shedMetadataDirt()
+{
+    if (!_adaptive.enabled || !_traits.secure)
+        return;
+    const double safety = std::max(_adaptive.safetyFactor, 1.0);
+    const double budget = _battery->deliverableEnergyJ() / safety;
+    // Resident entries cannot be shed from here (the gate and the
+    // effective watermarks bound those); once the caches are clean the
+    // loop stops making progress and exits, leaving the gate to reject.
+    while (predictedDrainEnergyJ() + _gateMarginJ > budget) {
+        const std::size_t cleaned =
+            _ctrCache.cleanDirty(4) + _macCache.cleanDirty(4);
+        if (cleaned == 0)
+            break;
+        statMdcShedWrites += static_cast<double>(cleaned);
+    }
+}
+
+bool
+SecPb::batteryGateBlocksAllocation() const
+{
+    if (!_adaptive.enabled)
+        return false;
+    if (_index.empty())
+        return false;  // liveness floor: one entry may always allocate
+    const double safety = std::max(_adaptive.safetyFactor, 1.0);
+    return predictedDrainEnergyJ() + _gateMarginJ >
+           _battery->deliverableEnergyJ() / safety;
+}
+
+unsigned
+SecPb::adaptiveOccupancyBoundNow() const
+{
+    if (!_adaptive.enabled)
+        return _cfg.numEntries;
+    // Fixed floor: the mandatory metadata-cache flush at its current
+    // dirtiness, plus the in-flight regeneration reserve. Sharing the
+    // gate's margin keeps the two halves consistent: whenever the gate
+    // rejects, occupancy already exceeds this bound, so the (tightened)
+    // high watermark has drains running and space waiters will wake.
+    CrashWork floor_work;
+    if (_traits.secure) {
+        floor_work.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
+                                     _macCache.dirtyBlocks().size();
+        floor_work.pmBlockWrites += floor_work.mdcBlockFlushes;
+    }
+    CrashWork transient;
+    transient.ciphertexts = 1;
+    transient.macsComputed = 1;
+    const double fixed_floor = _pricing->actualCrashEnergy(floor_work) +
+                               _pricing->actualCrashEnergy(transient);
+    AdaptiveDrainConfig cfg = _adaptive;
+    cfg.marginEntries = std::max(1u, _adaptive.marginEntries);
+    return adaptiveOccupancyBound(_battery->deliverableEnergyJ(),
+                                  fixed_floor, _worstEntryJ,
+                                  _cfg.numEntries, cfg);
+}
+
+unsigned
+SecPb::effectiveHighWatermarkEntries() const
+{
+    if (!_adaptive.enabled)
+        return _highWm;
+    // Never below one: occupancy above the bound must trigger drains.
+    return std::min(_highWm,
+                    std::max(1u, adaptiveOccupancyBoundNow()));
+}
+
+unsigned
+SecPb::effectiveLowWatermarkEntries() const
+{
+    const unsigned high = effectiveHighWatermarkEntries();
+    return std::min(_lowWm, high - 1);
+}
+
+void
 SecPb::maybeStartDrain()
 {
-    const bool over_wm = _index.size() >= _highWm;
+    const unsigned high_wm = effectiveHighWatermarkEntries();
+    const unsigned low_wm = effectiveLowWatermarkEntries();
+    const bool over_wm = _index.size() >= high_wm;
     if (!over_wm && !_drainAllMode)
         return;
     // Start up to drainWidth concurrent drains, but never so many that
@@ -626,7 +808,7 @@ SecPb::maybeStartDrain()
     // opportunity would be wasted). drainAll mode ignores the floor.
     while (_drainsActive < _cfg.drainWidth) {
         const std::size_t would_remain = _index.size() - _drainsActive;
-        if (!_drainAllMode && would_remain <= _lowWm)
+        if (!_drainAllMode && would_remain <= low_wm)
             break;
         if (_drainAllMode && would_remain == 0)
             break;
@@ -790,8 +972,14 @@ SecPb::finalizeDrain(std::uint64_t entry_idx)
     panic_if(_drainsActive == 0, "drain bookkeeping underflow");
     --_drainsActive;
 
+    // A powered drain converts entry work into MDC dirt (the counter and
+    // MAC writebacks above); under battery pressure, write it through
+    // now rather than letting the crash floor outgrow the cell.
+    shedMetadataDirt();
+
     const bool keep_draining =
-        _drainAllMode ? !_index.empty() : _index.size() > _lowWm;
+        _drainAllMode ? !_index.empty()
+                      : _index.size() > effectiveLowWatermarkEntries();
     if (keep_draining) {
         maybeStartDrain();
     } else if (_drainAllMode && _index.empty() && _drainsActive == 0) {
@@ -1060,7 +1248,7 @@ SecPb::crashDrainAll(
             continue;
         }
         if (budget.bounded() &&
-            price(work) + price(predictEntryWork(*ep)) > budget.energyJ) {
+            price(work) + price(predictEntryWork(*ep)) > *budget.energyJ) {
             work.batteryExhausted = true;
             work.abandoned.push_back({ep->addr, ep->numWrites});
             continue;
@@ -1095,7 +1283,7 @@ SecPb::crashDrainAll(
             tmp.valid = true;
             tmp.addr = block;
             if (price(work) + price(predictEntryWork(tmp)) >
-                budget.energyJ) {
+                *budget.energyJ) {
                 work.batteryExhausted = true;
                 ++work.absorbedLost;
                 continue;

@@ -29,7 +29,7 @@
 #define SECPB_SECPB_SECPB_HH
 
 #include <cstdint>
-#include <limits>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +40,7 @@
 #include "metadata/counter_store.hh"
 #include "metadata/metadata_cache.hh"
 #include "metadata/walker.hh"
+#include "pb/adaptive.hh"
 #include "pb/entry.hh"
 #include "recovery/oracle.hh"
 #include "secpb/coherence.hh"
@@ -49,6 +50,7 @@
 namespace secpb
 {
 
+class Capacitor;
 class EnergyModel;
 
 /** SecPB structural configuration (Table I defaults). */
@@ -110,14 +112,15 @@ struct CrashWork
  */
 struct CrashDrainBudget
 {
-    double energyJ = std::numeric_limits<double>::infinity();
-    /** Pricing model; required when energyJ is finite. */
+    /** Unset = unbounded battery (formerly an infinity sentinel). */
+    std::optional<double> energyJ;
+    /** Pricing model; required when energyJ is set. */
     const EnergyModel *pricing = nullptr;
 
     bool
     bounded() const
     {
-        return energyJ != std::numeric_limits<double>::infinity();
+        return energyJ.has_value();
     }
 };
 
@@ -265,7 +268,56 @@ class SecPb
     unsigned highWatermarkEntries() const { return _highWm; }
     unsigned lowWatermarkEntries() const { return _lowWm; }
 
+    /**
+     * @name Adaptive drain policy (pb/adaptive.hh)
+     * Couple the drain engine to a live battery: the priced
+     * predictCrashDrainWork() probe senses the energy a crash right now
+     * would need; the policy tightens the *effective* watermarks to the
+     * occupancy the battery can still cover and gates new allocations so
+     * the prediction never outgrows deliverableEnergyJ(). Not supported
+     * for the SP baseline (its crash work lives in the WPQ, which the
+     * probe does not price).
+     * @{
+     */
+
+    /** Attach the sensing (battery + pricing) and policy knobs. */
+    void attachBatteryMonitor(const Capacitor *battery,
+                              const EnergyModel *pricing,
+                              const AdaptiveDrainConfig &cfg);
+
+    /** Priced predictCrashDrainWork(), 0 without an attached monitor. */
+    double predictedDrainEnergyJ() const;
+
+    /** Committed crash-drain obligation a brownout must not bleed below:
+     *  the prediction plus the gate margin (one liveness-floor entry and
+     *  one in-flight regeneration -- the allocation the empty-buffer
+     *  liveness rule can always admit even on a dead cell). This is the
+     *  BBU's protected reserve (SecPbSystem::applyBrownout). */
+    double crashReserveEnergyJ() const;
+
+    /** Price of the worst-case entry this scheme can host (cached). */
+    double worstEntryEnergyJ() const { return _worstEntryJ; }
+
+    /** Live occupancy bound; numEntries when the policy is off. */
+    unsigned adaptiveOccupancyBoundNow() const;
+
+    /** Watermarks after battery modulation (== static when off). */
+    unsigned effectiveHighWatermarkEntries() const;
+    unsigned effectiveLowWatermarkEntries() const;
+    /** @} */
+
   private:
+    /**
+     * Write-through degradation: while the battery cannot cover the
+     * committed crash obligation (prediction + gate margin), write dirty
+     * counter/MAC cache blocks back to PCM under wall power so the
+     * mandatory crash-time MDC flush shrinks. Without this, dirt left
+     * behind by drained entries -- which outlives the residency the gate
+     * priced -- would grow the crash floor past a sagged cell one
+     * liveness-floor admission at a time. No-op when the policy is off.
+     */
+    void shedMetadataDirt();
+
     /** Allocate a free entry for @p addr; returns nullptr if full. */
     PbEntry *allocate(Addr addr);
 
@@ -307,6 +359,9 @@ class SecPb
     void refreshCiphertext(PbEntry &e);
     void refreshMac(PbEntry &e);
 
+    /** True when the adaptive policy must refuse a new allocation. */
+    bool batteryGateBlocksAllocation() const;
+
     /** Kick the drain engine if the high watermark is reached. */
     void maybeStartDrain();
 
@@ -347,6 +402,16 @@ class SecPb
 
     unsigned _highWm;
     unsigned _lowWm;
+
+    /** @name Adaptive drain policy state (inert unless attached). */
+    /** @{ */
+    const Capacitor *_battery = nullptr;
+    const EnergyModel *_pricing = nullptr;
+    AdaptiveDrainConfig _adaptive;
+    double _worstEntryJ = 0.0;   ///< Priced worst-case entry completion.
+    double _gateMarginJ = 0.0;   ///< Headroom an admission must leave.
+    /** @} */
+
     unsigned _drainsActive = 0;
     bool _drainAllMode = false;
     EventCallback _drainAllDone;
@@ -412,6 +477,9 @@ class SecPb
     Average statNwpe;           ///< Writes per entry residency (NWPE).
     Average statUnblockLatency; ///< Store-accept to unblock (cycles).
     Average statOccupancy;      ///< Occupancy sampled at each accept.
+    Scalar statBatteryStalls;   ///< Allocations gated by battery headroom.
+    Scalar statMdcShedWrites;   ///< Dirty metadata cleaned under battery
+                                ///< pressure (write-through degradation).
 };
 
 } // namespace secpb

@@ -180,3 +180,85 @@ TEST(BenchCliDeath, UnknownProfileFilterIsFatal)
     EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
                 ::testing::ExitedWithCode(1), "");
 }
+
+TEST(BenchCli, BatteryFlagsParse)
+{
+    const char *argv[] = {"bench",           "--battery-tech", "supercap",
+                          "--battery-derate", "0.8",
+                          "--power-schedule", "cycles=3,seed=11"};
+    BenchCli cli = BenchCli::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.batteryTech, "supercap");
+    EXPECT_DOUBLE_EQ(cli.batteryDerate, 0.8);
+    EXPECT_EQ(cli.powerSchedule, "cycles=3,seed=11");
+    const CapacitorParams p = cli.batteryParams();
+    EXPECT_EQ(p.tech, "supercap");
+    EXPECT_DOUBLE_EQ(p.capacitanceDerate, 0.8);
+    const PowerScheduleSpec spec =
+        PowerScheduleSpec::parse(cli.powerSchedule);
+    EXPECT_EQ(spec.cycles, 3u);
+    EXPECT_EQ(spec.seed, 11u);
+}
+
+TEST(BenchCli, BatteryDefaultsIdealFullCapacity)
+{
+    const char *argv[] = {"bench"};
+    BenchCli cli = BenchCli::parse(1, const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.batteryTech, "ideal");
+    EXPECT_DOUBLE_EQ(cli.batteryDerate, 1.0);
+    EXPECT_TRUE(cli.powerSchedule.empty());
+}
+
+TEST(BenchCli, BatteryEnvFallbacks)
+{
+    EnvGuard t("SECPB_BENCH_BATTERY_TECH");
+    EnvGuard d("SECPB_BENCH_BATTERY_DERATE");
+    EnvGuard s("SECPB_BENCH_POWER_SCHEDULE");
+    setenv("SECPB_BENCH_BATTERY_TECH", "li-thin", 1);
+    setenv("SECPB_BENCH_BATTERY_DERATE", "0.5", 1);
+    setenv("SECPB_BENCH_POWER_SCHEDULE", "cycles=2", 1);
+    const char *argv[] = {"bench"};
+    BenchCli cli = BenchCli::parse(1, const_cast<char **>(argv), "bench");
+    EXPECT_EQ(cli.batteryTech, "li-thin");
+    EXPECT_DOUBLE_EQ(cli.batteryDerate, 0.5);
+    EXPECT_EQ(cli.powerSchedule, "cycles=2");
+}
+
+TEST(BenchCliDeath, UnknownBatteryTechIsFatal)
+{
+    const char *argv[] = {"bench", "--battery-tech", "fusion"};
+    EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "unknown battery tech");
+}
+
+TEST(BenchCliDeath, OutOfRangeDerateIsFatal)
+{
+    const char *argv[] = {"bench", "--battery-derate", "1.5"};
+    EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "out of \\(0, 1\\]");
+}
+
+TEST(BenchCliDeath, MalformedPowerScheduleIsFatal)
+{
+    const char *argv[] = {"bench", "--power-schedule", "cycles=3,warp=9"};
+    EXPECT_EXIT(BenchCli::parse(3, const_cast<char **>(argv), "bench"),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(EnvDouble, StrictParse)
+{
+    EnvGuard guard("SECPB_TEST_ENVD");
+    unsetenv("SECPB_TEST_ENVD");
+    EXPECT_DOUBLE_EQ(envDouble("SECPB_TEST_ENVD", 0.25), 0.25);
+    setenv("SECPB_TEST_ENVD", "0.75", 1);
+    EXPECT_DOUBLE_EQ(envDouble("SECPB_TEST_ENVD", 0.25), 0.75);
+}
+
+TEST(EnvDoubleDeath, TrailingGarbageIsFatal)
+{
+    EnvGuard guard("SECPB_TEST_ENVD");
+    setenv("SECPB_TEST_ENVD", "0.5x", 1);
+    EXPECT_EXIT(envDouble("SECPB_TEST_ENVD", 0.0),
+                ::testing::ExitedWithCode(1), "not a decimal number");
+}

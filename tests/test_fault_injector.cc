@@ -109,7 +109,7 @@ TEST(FaultInjector, BoundedBatteryDrainsInOrderPrefix)
     for (const AbandonedResidency &a : cr.work.abandoned)
         EXPECT_GT(a.addr, max_drained);
 
-    EXPECT_LE(cr.work.energySpentJ, opts.batteryEnergyJ);
+    EXPECT_LE(cr.work.energySpentJ, *opts.batteryEnergyJ);
     EXPECT_TRUE(cr.recovery.ok()) << "partial drain must stay consistent";
     EXPECT_EQ(cr.recovery.staleConsistent + cr.recovery.tornDetected,
               cr.work.abandoned.size());

@@ -152,7 +152,7 @@ TEST(FaultSoak, RandomizedCrashTamperSweep)
             flush_only.pmBlockWrites = r.crash.work.mdcBlockFlushes;
             const double floor =
                 sys.energyModel().actualCrashEnergy(flush_only);
-            const double budget = t.plan.batteryFraction *
+            const double budget = *t.plan.batteryFraction *
                                   sys.provisionedCrashEnergy();
             ASSERT_LE(r.crash.work.energySpentJ,
                       std::max(budget, floor) + 1e-12)
