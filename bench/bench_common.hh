@@ -31,6 +31,12 @@
  *                       (SECPB_BENCH_BATTERY_DERATE, 1.0)
  *   --power-schedule S  intermittent-power schedule "k=v,k=v" (see
  *                       PowerScheduleSpec::parse; SECPB_BENCH_POWER_SCHEDULE)
+ *   --workload SPEC     registry workload "name:k=v,..." for every
+ *                       default-runner point     (SECPB_BENCH_WORKLOAD)
+ *   --trace-in PATH     replay a recorded trace (sugar for
+ *                       --workload replay:file=PATH; SECPB_BENCH_TRACE_IN)
+ *   --trace-record PATH record the first point's op stream to a trace
+ *                       file                (SECPB_BENCH_TRACE_RECORD)
  *
  * bench/micro_ops.cc is the one exception: google-benchmark owns its
  * argv, so these flags do not apply there (its tracing macros stay
@@ -59,6 +65,7 @@
 #include "exp/sweep.hh"
 #include "obs/trace.hh"
 #include "sim/debug.hh"
+#include "workload/registry.hh"
 #include "workload/synthetic.hh"
 
 namespace secpb::bench
@@ -139,6 +146,8 @@ struct BenchCli
     std::string batteryTech = "ideal";  ///< Capacitor physics preset.
     double batteryDerate = 1.0;      ///< End-of-life capacity derate.
     std::string powerSchedule;       ///< Empty = no intermittent power.
+    std::string workload;            ///< Registry selector; "" = profiles.
+    std::string traceRecord;         ///< Record first point; "" = off.
 
     /** The parsed physics preset with the derate applied. */
     CapacitorParams
@@ -166,6 +175,13 @@ struct BenchCli
         cli.batteryDerate = envDouble("SECPB_BENCH_BATTERY_DERATE", 1.0);
         if (const char *p = std::getenv("SECPB_BENCH_POWER_SCHEDULE"))
             cli.powerSchedule = p;
+        if (const char *p = std::getenv("SECPB_BENCH_WORKLOAD"))
+            cli.workload = p;
+        std::string traceIn;
+        if (const char *p = std::getenv("SECPB_BENCH_TRACE_IN"))
+            traceIn = p;
+        if (const char *p = std::getenv("SECPB_BENCH_TRACE_RECORD"))
+            cli.traceRecord = p;
 
         auto need = [&](int i) -> const char * {
             fatal_if(i + 1 >= argc, "%s: flag %s needs a value",
@@ -219,6 +235,15 @@ struct BenchCli
             } else if (a == "--power-schedule") {
                 cli.powerSchedule = need(i);
                 ++i;
+            } else if (a == "--workload") {
+                cli.workload = need(i);
+                ++i;
+            } else if (a == "--trace-in") {
+                traceIn = need(i);
+                ++i;
+            } else if (a == "--trace-record") {
+                cli.traceRecord = need(i);
+                ++i;
             } else if (a == "--debug") {
                 for (const std::string &flag : splitCommas(need(i))) {
                     const auto &known = debug::knownFlags();
@@ -238,6 +263,8 @@ struct BenchCli
                     "          [--sample-every N] [--stats]\n"
                     "          [--battery-tech ideal|supercap|li-thin]\n"
                     "          [--battery-derate F] [--power-schedule S]\n"
+                    "          [--workload SPEC] [--trace-in PATH]\n"
+                    "          [--trace-record PATH]\n"
                     "          [--debug FLAG[,FLAG]]\n"
                     "  --trace-out PATH    Perfetto trace_event JSON of the"
                     " sweep's\n"
@@ -262,8 +289,19 @@ struct BenchCli
                     "                      interrupt, partial-recharge,"
                     " recharge-floor,\n"
                     "                      fade, tamper-max)\n"
+                    "  --workload SPEC     drive default-runner points with"
+                    " a registry\n"
+                    "                      workload \"name:k=v,...\""
+                    " (names: %s)\n"
+                    "  --trace-in PATH     replay a recorded trace (="
+                    " --workload\n"
+                    "                      replay:file=PATH)\n"
+                    "  --trace-record PATH record the first point's op"
+                    " stream\n"
                     "  --debug FLAGS       enable DPRINTF flags: %s\n",
-                    bench_name, joinCommas(debug::knownFlags()).c_str());
+                    bench_name,
+                    joinCommas(registeredWorkloadNames()).c_str(),
+                    joinCommas(debug::knownFlags()).c_str());
                 std::exit(0);
             } else {
                 fatal("%s: unknown flag '%s' (try --help)", bench_name,
@@ -281,6 +319,24 @@ struct BenchCli
                  cli.batteryDerate);
         if (!cli.powerSchedule.empty())
             PowerScheduleSpec::parse(cli.powerSchedule);
+        // --trace-in is sugar for the replay workload; combining them
+        // would silently drop one, so refuse instead.
+        if (!traceIn.empty()) {
+            fatal_if(!cli.workload.empty(),
+                     "%s: --trace-in and --workload are mutually "
+                     "exclusive (replay IS a workload)",
+                     bench_name);
+            cli.workload = "replay:file=" + traceIn;
+        }
+        // Validate the selector eagerly: an unknown name or a bad
+        // parameter dies here, not thousands of points into a sweep.
+        if (!cli.workload.empty()) {
+            const WorkloadSpec spec = WorkloadSpec::parse(cli.workload);
+            fatal_if(!isRegisteredWorkload(spec.name),
+                     "%s: unknown workload '%s' (registered: %s)",
+                     bench_name, spec.name.c_str(),
+                     joinCommas(registeredWorkloadNames()).c_str());
+        }
         return cli;
     }
 
@@ -378,9 +434,25 @@ class Sweep
                 p.samplePeriod = _cli.sampleEvery;
             if (_cli.captureStats)
                 p.captureStats = true;
+            // --workload redirects every default-runner point to the
+            // registry generator; custom runners opt in themselves
+            // (fault_soak does), and points that pinned their own
+            // workload keep it.
+            if (!_cli.workload.empty() && !p.custom && p.workload.empty())
+                p.workload = _cli.workload;
         }
         if (_tracer && !_points.empty())
             _points.front().tracer = _tracer.get();
+        if (!_cli.traceRecord.empty()) {
+            // Like --trace-out: record exactly the first point (one
+            // trace file holds one op stream).
+            for (ExperimentPoint &p : _points) {
+                if (p.custom)
+                    continue;
+                p.traceRecord = _cli.traceRecord;
+                break;
+            }
+        }
 
         SweepOptions opts;
         opts.jobs = _cli.jobs;

@@ -16,7 +16,9 @@
  *
  * Knobs: SECPB_SOAK_TRIALS (default 300), SECPB_SOAK_SEED (default 2026),
  * SECPB_SOAK_TRIAL (replay exactly one trial index from a reproducer),
- * plus the shared bench CLI (--jobs, --json, ...).
+ * plus the shared bench CLI (--jobs, --json, ...). With --workload SPEC
+ * the classic soak crashes a registry workload (e.g. kv_wal mid-commit)
+ * instead of the synthetic profiles.
  *
  * With --power-schedule (or SECPB_BENCH_POWER_SCHEDULE) the soak runs in
  * intermittent-power mode instead: each trial is a multi-cycle
@@ -264,6 +266,9 @@ main(int argc, char **argv)
         p.label = "trial=" + std::to_string(trial);
         p.scheme = SecPbSchemes[t.schemeIdx];
         p.profile = t.profile;
+        // --workload crash-soaks a registry workload (WAL commits and
+        // journal trains crashing mid-burst) instead of the profiles.
+        p.workload = cli.workload;
         p.instructions = t.instructions;
         p.seed = t.wseed;
         p.tag("plan", t.plan.describe());
@@ -272,9 +277,14 @@ main(int argc, char **argv)
             cfg.scheme = pt.scheme;
             cfg.pmDataBytes = 1ULL << 30;
             SecPbSystem sys(cfg);
-            SyntheticGenerator gen(profileByName(pt.profile),
-                                   pt.instructions, pt.seed);
-            const FaultReport r = FaultInjector(sys, t.plan).run(gen);
+            std::unique_ptr<WorkloadGenerator> gen;
+            if (!pt.workload.empty()) {
+                gen = makeWorkload(pt.workload, pt.instructions, pt.seed);
+            } else {
+                gen = std::make_unique<SyntheticGenerator>(
+                    profileByName(pt.profile), pt.instructions, pt.seed);
+            }
+            const FaultReport r = FaultInjector(sys, t.plan).run(*gen);
             ExperimentResult res;
             res.extra = {
                 {"ok", r.ok() ? 1.0 : 0.0},

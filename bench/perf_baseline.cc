@@ -78,6 +78,46 @@ bench_fig6_smoke(std::uint64_t instr, std::uint64_t seed, unsigned reps)
     });
 }
 
+/**
+ * The server-workload smoke slice: the heavy-traffic generators through
+ * the full stack on the server machine model, BBB vs COBCM. This is the
+ * path the workload front end adds -- registry dispatch, the queue
+ * generators, the multi-ASID plumbing -- none of which fig6 exercises.
+ */
+double
+bench_workload_smoke(std::uint64_t instr, std::uint64_t seed,
+                     unsigned reps)
+{
+    const char *specs[] = {"kv_wal", "fs_journal", "zipf_mix:tenants=256"};
+    const Scheme schemes[] = {Scheme::Bbb, Scheme::Cobcm};
+    return best_of(reps, [&] {
+        for (const char *spec : specs) {
+            for (Scheme s : schemes) {
+                SecPbSystem sys(
+                    SecPbSystem::configFor(s, serverWorkloadProfile()));
+                auto gen = makeWorkload(spec, instr, seed);
+                sys.run(*gen);
+            }
+        }
+    });
+}
+
+/** Pure generator throughput: drain KV/WAL, no simulator attached. */
+double
+bench_workload_gen(std::uint64_t instructions, unsigned reps)
+{
+    std::uint64_t ops = 0;
+    const double secs = best_of(reps, [&] {
+        auto gen = makeWorkload("kv_wal", instructions, 1);
+        TraceOp op;
+        std::uint64_t n = 0;
+        while (gen->next(op))
+            ++n;
+        ops = n;
+    });
+    return static_cast<double>(ops) / secs / 1e6;
+}
+
 /** Waves of events: schedule a burst, drain it, repeat. */
 double
 bench_event_burst(std::uint64_t waves, std::uint64_t per_wave,
@@ -221,6 +261,10 @@ main(int argc, char **argv)
 
     const double fig6_s = bench_fig6_smoke(instr, seed, reps);
     std::fprintf(stderr, "  fig6_smoke_wall_s   %.3f\n", fig6_s);
+    const double wl_s = bench_workload_smoke(instr, seed, reps);
+    std::fprintf(stderr, "  workload_smoke_wall_s %.3f\n", wl_s);
+    const double gen_mops = bench_workload_gen(2'000'000, reps);
+    std::fprintf(stderr, "  workload_gen_mops   %.2f\n", gen_mops);
     const double burst = bench_event_burst(kWaves, kPerWave, reps);
     std::fprintf(stderr, "  event_burst_mops    %.2f\n", burst);
     const double chain = bench_event_chain(kChain, reps);
@@ -251,6 +295,8 @@ main(int argc, char **argv)
     w.key("metrics");
     w.beginObject();
     w.field("fig6_smoke_wall_s", fig6_s);
+    w.field("workload_smoke_wall_s", wl_s);
+    w.field("workload_gen_mops", gen_mops);
     w.field("event_burst_mops", burst);
     w.field("event_chain_mops", chain);
     w.field("walker_update_mops", walks);

@@ -118,8 +118,23 @@ SecPbSystem::start(WorkloadGenerator &gen)
 {
     panic_if(_started, "SecPbSystem::start called twice");
     _started = true;
-    if (_sampler)
+    if (_sampler) {
+        // Per-workload progress channels, only for sources that keep
+        // counters (the server-scale generators and trace replay) --
+        // profile-driven runs see the exact same channel set as before.
+        if (const WorkloadCounters *ctr = gen.counters()) {
+            _sampler->addChannel("wl_instructions", [ctr] {
+                return static_cast<double>(ctr->instructions);
+            });
+            _sampler->addChannel("wl_stores", [ctr] {
+                return static_cast<double>(ctr->stores);
+            });
+            _sampler->addChannel("wl_barriers", [ctr] {
+                return static_cast<double>(ctr->barriers);
+            });
+        }
         _sampler->start();
+    }
     _cpu->run(gen, [this] {
         _cpuDone = true;
         _sb->notifyWhenEmpty([this] {

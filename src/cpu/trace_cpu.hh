@@ -66,7 +66,10 @@ class TraceCpu
           statLoads(_stats, "loads", "loads retired"),
           statStores(_stats, "stores", "stores retired"),
           statSbStalls(_stats, "sb_stalls",
-                       "retire stalls on a full store buffer")
+                       "retire stalls on a full store buffer"),
+          statBarriers(_stats, "barriers", "persist barriers retired"),
+          statBarrierStalls(_stats, "barrier_stalls",
+                            "barriers that waited for the store buffer")
     {
         fatal_if(cfg.retireWidth == 0, "retire width must be >= 1");
         fatal_if(cfg.quantum == 0, "CPU quantum must be >= 1");
@@ -150,6 +153,24 @@ class TraceCpu
                     return;
                 }
                 break;
+              case TraceOp::Kind::Barrier:
+                frac += 1.0 / _cfg.retireWidth;
+                ++executed;
+                ++statInstructions;
+                ++statBarriers;
+                if (!_sb.empty()) {
+                    // Persist barrier: charge the cycles accumulated so
+                    // far, then hold retirement until every prior store
+                    // has been accepted into the persistence domain.
+                    ++statBarrierStalls;
+                    TRACE_INSTANT_P("cpu", "barrier_stall", _eq.curTick(),
+                                    op.asid);
+                    _eq.scheduleIn(ceilCycles(frac), [this] {
+                        _sb.notifyWhenEmpty([this] { wake(); });
+                    });
+                    return;
+                }
+                break;
             }
         }
         _eq.scheduleIn(std::max<Cycles>(1, ceilCycles(frac)),
@@ -206,6 +227,8 @@ class TraceCpu
     Scalar statLoads;
     Scalar statStores;
     Scalar statSbStalls;
+    Scalar statBarriers;
+    Scalar statBarrierStalls;
 };
 
 } // namespace secpb

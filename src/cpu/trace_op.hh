@@ -33,9 +33,14 @@ struct TraceOp
 {
     enum class Kind
     {
-        Instr,  ///< A bundle of non-memory instructions.
-        Load,   ///< One load; `level` says where it hits.
-        Store,  ///< One 8-byte store to `addr` with `value`.
+        Instr,   ///< A bundle of non-memory instructions.
+        Load,    ///< One load; `level` says where it hits.
+        Store,   ///< One 8-byte store to `addr` with `value`.
+        Barrier, ///< Persist barrier: retire stalls until every prior
+                 ///< store has reached the persistence domain (the SecPB
+                 ///< has accepted it). Application-level commit points --
+                 ///< WAL commits, journal commit records -- are expressed
+                 ///< with this op.
     };
 
     Kind kind = Kind::Instr;
@@ -44,6 +49,20 @@ struct TraceOp
     std::uint64_t value = 0;      ///< Store: value written.
     MemLevel level = MemLevel::L1; ///< Load: hit level.
     std::uint32_t asid = 0;       ///< Address-space id (process owner).
+};
+
+/**
+ * Cumulative emission counters a generator may expose (see
+ * WorkloadGenerator::counters). Monotone over the run, so they can feed
+ * side-effect-free sampler probes (per-workload channels).
+ */
+struct WorkloadCounters
+{
+    std::uint64_t ops = 0;          ///< TraceOps emitted.
+    std::uint64_t instructions = 0; ///< Instructions (incl. mem ops).
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t barriers = 0;
 };
 
 /** Pull interface implemented by every workload source. */
@@ -57,6 +76,12 @@ class WorkloadGenerator
      * @return false when the workload is exhausted (@p op untouched).
      */
     virtual bool next(TraceOp &op) = 0;
+
+    /**
+     * Live emission counters, or nullptr when this source does not keep
+     * them. Readers must treat the result as read-only probe state.
+     */
+    virtual const WorkloadCounters *counters() const { return nullptr; }
 };
 
 } // namespace secpb

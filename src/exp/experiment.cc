@@ -1,11 +1,15 @@
 #include "exp/experiment.hh"
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
+#include "workload/registry.hh"
 #include "workload/synthetic.hh"
+#include "workload/trace_file.hh"
 
 namespace secpb
 {
@@ -31,11 +35,16 @@ runExperimentPoint(const ExperimentPoint &point)
     if (point.custom)
         return point.custom(point);
 
-    fatal_if(point.profile.empty(),
-             "experiment point '%s' has no profile and no custom runner",
+    fatal_if(point.profile.empty() && point.workload.empty(),
+             "experiment point '%s' has no profile, no workload, and no "
+             "custom runner",
              point.label.c_str());
 
-    const BenchmarkProfile &profile = profileByName(point.profile);
+    // Workload points default to the server machine model; a profile
+    // name next to a workload only picks the core-side parameters.
+    const BenchmarkProfile &profile = point.profile.empty()
+                                          ? serverWorkloadProfile()
+                                          : profileByName(point.profile);
     SystemConfig cfg = SecPbSystem::configFor(point.scheme, profile);
     cfg.secpb.numEntries = point.secpbEntries;
     cfg.walker.bmfMode = point.bmf;
@@ -45,9 +54,25 @@ runExperimentPoint(const ExperimentPoint &point)
         point.configure(cfg);
 
     SecPbSystem sys(cfg);
-    SyntheticGenerator gen(profile, point.instructions, point.seed);
+    std::unique_ptr<WorkloadGenerator> gen;
+    if (!point.workload.empty()) {
+        gen = makeWorkload(point.workload, point.instructions, point.seed);
+    } else {
+        gen = std::make_unique<SyntheticGenerator>(
+            profile, point.instructions, point.seed);
+    }
+    if (!point.traceRecord.empty()) {
+        gen = std::make_unique<RecordingGenerator>(
+            std::move(gen), point.traceRecord, TraceEncoding::Binary,
+            std::vector<std::pair<std::string, std::string>>{
+                {"workload", point.workload.empty() ? point.profile
+                                                    : point.workload},
+                {"seed", std::to_string(point.seed)},
+                {"instructions", std::to_string(point.instructions)},
+            });
+    }
     ExperimentResult res;
-    res.sim = sys.run(gen);
+    res.sim = sys.run(*gen);
     if (sys.sampler())
         res.samples = sys.sampler()->series();
     if (point.captureStats) {

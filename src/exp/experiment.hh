@@ -84,6 +84,17 @@ struct ExperimentPoint
     /** Synthetic profile name; "" for points that don't run one. */
     std::string profile;
 
+    /**
+     * Registry workload selector ("kv_wal:puts=0.8", "replay:file=x");
+     * "" runs the synthetic profile instead. When set, `profile` only
+     * picks the machine model (default: serverWorkloadProfile()).
+     */
+    std::string workload;
+
+    /** Record the executed op stream to this trace file (workload or
+     *  profile runs alike); "" disables recording. */
+    std::string traceRecord;
+
     std::uint64_t instructions = 0;
     unsigned secpbEntries = 32;
     BmfMode bmf = BmfMode::None;

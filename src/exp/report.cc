@@ -19,6 +19,8 @@ writePoint(JsonWriter &w, const ExperimentPoint &p,
     w.field("label", p.label);
     w.field("scheme", schemeName(p.scheme));
     w.field("profile", p.profile);
+    if (!p.workload.empty())
+        w.field("workload", p.workload);
     w.field("instructions", p.instructions);
     w.field("secpb_entries", p.secpbEntries);
     w.field("bmf", bmfModeName(p.bmf));

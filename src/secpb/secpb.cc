@@ -645,9 +645,6 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
                             const EnergyModel *pricing,
                             const AdaptiveDrainConfig &cfg)
 {
-    fatal_if(_scheme == Scheme::Sp,
-             "adaptive drain policy is not supported for the SP baseline "
-             "(its crash work lives in the WPQ, unpriced by the probe)");
     if (!battery || !pricing || !cfg.enabled) {
         _battery = nullptr;
         _pricing = nullptr;
@@ -665,8 +662,14 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
     // eager scheme can hold them invalid while a coalescing store's
     // regeneration is in flight.
     CrashWork w;
-    w.entriesDrained = 1;
-    if (_traits.secure) {
+    if (_scheme == Scheme::Sp) {
+        // SP completes the whole tuple at store-persist time and only
+        // then queues the write; the worst unit the gate can admit is a
+        // single WPQ-resident block write (predictCrashDrainWork prices
+        // the full queue the same way).
+        w.pmBlockWrites = 1;
+    } else if (_traits.secure) {
+        w.entriesDrained = 1;
         if (!_traits.earlyCounter) {
             w.counterFetches = 1;
             w.countersIncremented = 1;
@@ -681,6 +684,7 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
         }
         w.pmBlockWrites = 3;
     } else {
+        w.entriesDrained = 1;
         w.pmBlockWrites = 1;
     }
     _worstEntryJ = pricing->actualCrashEnergy(w);
@@ -688,9 +692,13 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
     // Gate margin: the marginEntries reserve plus one in-flight
     // ciphertext+MAC regeneration (the store buffer issues one store at
     // a time, so at most one regeneration is pending at any instant).
+    // SP has no crash-time regeneration -- its value work happens on
+    // mains power before the WPQ ever admits the store.
     CrashWork transient;
-    transient.ciphertexts = 1;
-    transient.macsComputed = 1;
+    if (_scheme != Scheme::Sp) {
+        transient.ciphertexts = 1;
+        transient.macsComputed = 1;
+    }
     _gateMarginJ =
         double(std::max(1u, _adaptive.marginEntries)) * _worstEntryJ +
         pricing->actualCrashEnergy(transient);
@@ -1106,6 +1114,16 @@ CrashWork
 SecPb::predictCrashDrainWork() const
 {
     CrashWork w;
+    if (_scheme == Scheme::Sp) {
+        // SP's crash-time obligation lives in the WPQ, not the PB: every
+        // queued write still owes one PCM block write at power failure.
+        // The WPQ sits in the ADR domain, but a battery sized for SP has
+        // to carry exactly that domain, so the probe prices it instead
+        // of reporting zero (which made SP look crash-free and barred it
+        // from the adaptive policy). Secure schemes are unchanged: their
+        // WPQ traffic is already-persisted data on its way out.
+        w.pmBlockWrites += _wpq.pendingAtCrash();
+    }
     if (_traits.secure) {
         w.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
                             _macCache.dirtyBlocks().size();

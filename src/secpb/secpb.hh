@@ -274,9 +274,10 @@ class SecPb
      * predictCrashDrainWork() probe senses the energy a crash right now
      * would need; the policy tightens the *effective* watermarks to the
      * occupancy the battery can still cover and gates new allocations so
-     * the prediction never outgrows deliverableEnergyJ(). Not supported
-     * for the SP baseline (its crash work lives in the WPQ, which the
-     * probe does not price).
+     * the prediction never outgrows deliverableEnergyJ(). The SP
+     * baseline is priced too: its crash work is the WPQ-resident queue
+     * (one PM block write per pending entry), so a battery sized for SP
+     * covers the ADR domain it actually depends on.
      * @{
      */
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload registry: name -> generator factory, with inline parameters.
+ *
+ * Every front end (the 13 benches, fault_soak, workload_suite, tests)
+ * selects workloads through one grammar:
+ *
+ *     name[:key=value[,key=value...]]
+ *
+ * e.g. "kv_wal:puts=0.8,ckpt_every=256" or "replay:file=run.trc". The
+ * registry owns the name space, validates parameters loudly (unknown
+ * keys and malformed values are fatal, never ignored), and applies the
+ * cross-cutting burst wrapper: every workload accepts burst_period /
+ * burst_duty to duty-cycle its arrivals through BurstyArrivalGenerator.
+ *
+ * Registered names: kv_wal, fs_journal, pstore, zipf_mix, replay, and
+ * spec (the synthetic SPEC profiles, so one flag reaches everything).
+ */
+
+#ifndef SECPB_WORKLOAD_REGISTRY_HH
+#define SECPB_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/trace_op.hh"
+#include "workload/profile.hh"
+
+namespace secpb
+{
+
+/** A parsed "name:k=v,k=v" workload selector. */
+struct WorkloadSpec
+{
+    std::string name;
+    /** In the order written; duplicate keys are fatal at parse time. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Parse a selector string (fatal on syntax errors). */
+    static WorkloadSpec parse(const std::string &text);
+
+    /** Canonical round-trippable form ("name:k=v,..."). */
+    std::string canonical() const;
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+};
+
+/** All registered workload names, in display order. */
+const std::vector<std::string> &registeredWorkloadNames();
+
+/** Whether @p name (bare, no params) is a registered workload. */
+bool isRegisteredWorkload(const std::string &name);
+
+/**
+ * Build the generator a spec describes.
+ *
+ * @param spec parsed selector; unknown names/keys are fatal.
+ * @param instructions emission budget (ignored by replay: the trace's
+ *        own length governs).
+ * @param seed RNG seed; identical (spec, instructions, seed) triples
+ *        yield bit-identical op streams.
+ */
+std::unique_ptr<WorkloadGenerator> makeWorkload(
+    const WorkloadSpec &spec, std::uint64_t instructions,
+    std::uint64_t seed);
+
+/** Convenience: parse and build in one step. */
+std::unique_ptr<WorkloadGenerator> makeWorkload(
+    const std::string &text, std::uint64_t instructions,
+    std::uint64_t seed);
+
+/**
+ * Machine-model profile for registry-driven experiment points. The
+ * generators own their locality, so only the profile's core-side
+ * parameters (memory-level parallelism, PCM-miss overlap) matter; this
+ * is a server-tuned profile used uniformly so results across workloads
+ * are comparable.
+ */
+const BenchmarkProfile &serverWorkloadProfile();
+
+} // namespace secpb
+
+#endif // SECPB_WORKLOAD_REGISTRY_HH

@@ -27,10 +27,30 @@ class ScriptedGenerator : public WorkloadGenerator
         : _ops(std::move(ops))
     {}
 
-    /** @name Builder API. */
+    /** @name Builder API.
+     * Ops default to the current address space set by asid(); store()
+     * may still pin one explicitly. persistBarrier()/flushFence() emit
+     * the commit-point op that holds retirement until every prior store
+     * is in the persistence domain -- so tests and examples can script
+     * WAL-commit / journal-commit sequences, including multi-tenant
+     * ones, without hand-building TraceOps. */
     /** @{ */
+    /** Set the address space subsequent ops belong to. */
     ScriptedGenerator &
-    store(Addr addr, std::uint64_t value, std::uint32_t asid = 0)
+    asid(std::uint32_t id)
+    {
+        _asid = id;
+        return *this;
+    }
+
+    ScriptedGenerator &
+    store(Addr addr, std::uint64_t value)
+    {
+        return store(addr, value, _asid);
+    }
+
+    ScriptedGenerator &
+    store(Addr addr, std::uint64_t value, std::uint32_t asid)
     {
         TraceOp op;
         op.kind = TraceOp::Kind::Store;
@@ -47,6 +67,7 @@ class ScriptedGenerator : public WorkloadGenerator
         TraceOp op;
         op.kind = TraceOp::Kind::Load;
         op.level = level;
+        op.asid = _asid;
         _ops.push_back(op);
         return *this;
     }
@@ -57,8 +78,29 @@ class ScriptedGenerator : public WorkloadGenerator
         TraceOp op;
         op.kind = TraceOp::Kind::Instr;
         op.count = count;
+        op.asid = _asid;
         _ops.push_back(op);
         return *this;
+    }
+
+    /** A persist barrier (e.g. a WAL commit's ordering point). */
+    ScriptedGenerator &
+    persistBarrier()
+    {
+        TraceOp op;
+        op.kind = TraceOp::Kind::Barrier;
+        op.asid = _asid;
+        _ops.push_back(op);
+        return *this;
+    }
+
+    /** Flush + fence (clwb; sfence): same ordering semantics here --
+     *  the persistence domain is the SecPB, so a fence that waits for
+     *  flushed lines to persist is a persist barrier. */
+    ScriptedGenerator &
+    flushFence()
+    {
+        return persistBarrier();
     }
     /** @} */
 
@@ -79,6 +121,7 @@ class ScriptedGenerator : public WorkloadGenerator
   private:
     std::vector<TraceOp> _ops;
     std::size_t _cursor = 0;
+    std::uint32_t _asid = 0;
 };
 
 } // namespace secpb

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The secpb-trace file format: versioned, seekable TraceOp streams.
+ *
+ * Two encodings share one schema-checked header so real memtraces (via
+ * tools/convert_memtrace.py) and recorded generator runs replay through
+ * the exact same path:
+ *
+ *  - text: line oriented and diffable.
+ *        secpb-trace v1 text
+ *        meta <key> <value>       (zero or more)
+ *        ops <count>
+ *        I <count>
+ *        L <level> <addr> <asid>      level in {l1,l2,l3,mem}
+ *        S <addr> <value> <asid>
+ *        B <asid>
+ *        end
+ *  - binary: compact records for server-scale traces. Fixed 20-byte
+ *    header (magic "SECPBTRC", u16 version, u8 encoding, u8 meta count,
+ *    u64 op count, little endian), length-prefixed meta strings, then
+ *    one tag byte per op (kind | level << 4) followed by LEB128 varints
+ *    (store values stay fixed 8 bytes -- they are pseudo-random and do
+ *    not compress).
+ *
+ * Both encodings round-trip TraceOps losslessly and deterministically:
+ * write(read(f)) == f. Headers are validated eagerly and loudly -- a bad
+ * magic, version, encoding, or a truncated payload is fatal, never a
+ * silently shortened workload. Readers are seekable: rewind() returns
+ * to the first op without reopening, which is what lets one
+ * ReplayGenerator instance drive multi-cycle fault experiments.
+ */
+
+#ifndef SECPB_WORKLOAD_TRACE_FILE_HH
+#define SECPB_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/trace_op.hh"
+
+namespace secpb
+{
+
+/** On-disk encodings of a trace file. */
+enum class TraceEncoding
+{
+    Text,
+    Binary,
+};
+
+/** Parse "text"/"binary" (fatal on anything else). */
+TraceEncoding parseTraceEncoding(const std::string &name);
+const char *traceEncodingName(TraceEncoding enc);
+
+/** Streaming writer; the op count is patched into the header on close. */
+class TraceFileWriter
+{
+  public:
+    /**
+     * Open @p path and write the header. @p meta records free-form
+     * provenance (workload spec, seed) replay tools can display.
+     */
+    TraceFileWriter(
+        const std::string &path, TraceEncoding encoding,
+        std::vector<std::pair<std::string, std::string>> meta = {});
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one op. */
+    void add(const TraceOp &op);
+
+    /** Finish: patch the op count, flush, fail loudly on I/O errors.
+     *  Idempotent; the destructor calls it as a backstop. */
+    void close();
+
+    std::uint64_t numOps() const { return _numOps; }
+
+  private:
+    void writeHeader();
+
+    std::string _path;
+    TraceEncoding _encoding;
+    std::vector<std::pair<std::string, std::string>> _meta;
+    std::ofstream _out;
+    std::uint64_t _numOps = 0;
+    std::ofstream::pos_type _countPos = 0;  ///< Binary: patch offset.
+    bool _closed = false;
+};
+
+/** Validating reader over either encoding (auto-detected). */
+class TraceFileReader
+{
+  public:
+    /** Open @p path, validate the header, position at the first op. */
+    explicit TraceFileReader(const std::string &path);
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /**
+     * Read the next op. @return false once all `numOps()` ops were
+     * consumed; a malformed or truncated record is fatal.
+     */
+    bool next(TraceOp &op);
+
+    /** Seek back to the first op. */
+    void rewind();
+
+    TraceEncoding encoding() const { return _encoding; }
+    std::uint64_t numOps() const { return _numOps; }
+    std::uint64_t opsRead() const { return _opsRead; }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    meta() const
+    {
+        return _meta;
+    }
+
+    /** First value recorded for @p key, or @p fallback. */
+    std::string metaValue(const std::string &key,
+                          const std::string &fallback = "") const;
+
+  private:
+    void openText(std::ifstream &probe);
+    void openBinary();
+    bool nextText(TraceOp &op);
+    bool nextBinary(TraceOp &op);
+
+    std::string _path;
+    TraceEncoding _encoding = TraceEncoding::Text;
+    std::ifstream _in;
+    std::uint64_t _numOps = 0;
+    std::uint64_t _opsRead = 0;
+    std::ifstream::pos_type _payloadPos = 0;
+    std::vector<std::pair<std::string, std::string>> _meta;
+};
+
+/** Replays a trace file as a WorkloadGenerator. */
+class ReplayGenerator : public WorkloadGenerator
+{
+  public:
+    explicit ReplayGenerator(const std::string &path);
+
+    bool next(TraceOp &op) override;
+    const WorkloadCounters *counters() const override { return &_ctr; }
+
+    /** Restart the trace from the first op (multi-cycle experiments). */
+    void rewind();
+
+    const TraceFileReader &reader() const { return *_reader; }
+
+  private:
+    std::unique_ptr<TraceFileReader> _reader;
+    WorkloadCounters _ctr;
+};
+
+/**
+ * Tees an inner generator into a trace file: the stream the consumer
+ * sees is exactly what lands on disk, so a replay of the recording is
+ * byte-identical to the live run.
+ */
+class RecordingGenerator : public WorkloadGenerator
+{
+  public:
+    RecordingGenerator(
+        std::unique_ptr<WorkloadGenerator> inner, const std::string &path,
+        TraceEncoding encoding = TraceEncoding::Binary,
+        std::vector<std::pair<std::string, std::string>> meta = {});
+
+    bool next(TraceOp &op) override;
+
+    const WorkloadCounters *
+    counters() const override
+    {
+        return _inner->counters();
+    }
+
+    /** Close the underlying writer (also done on exhaustion). */
+    void finish();
+
+  private:
+    std::unique_ptr<WorkloadGenerator> _inner;
+    TraceFileWriter _writer;
+    bool _finished = false;
+};
+
+/** Count how a WorkloadCounters advances for one op (shared helper). */
+inline void
+countOp(WorkloadCounters &c, const TraceOp &op)
+{
+    ++c.ops;
+    switch (op.kind) {
+      case TraceOp::Kind::Instr:
+        c.instructions += op.count;
+        break;
+      case TraceOp::Kind::Load:
+        ++c.instructions;
+        ++c.loads;
+        break;
+      case TraceOp::Kind::Store:
+        ++c.instructions;
+        ++c.stores;
+        break;
+      case TraceOp::Kind::Barrier:
+        ++c.instructions;
+        ++c.barriers;
+        break;
+    }
+}
+
+} // namespace secpb
+
+#endif // SECPB_WORKLOAD_TRACE_FILE_HH

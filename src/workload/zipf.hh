@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic Zipfian rank sampling for the heavy-traffic generators.
+ *
+ * Key popularity in production KV stores and multi-tenant request rates
+ * both follow power laws (YCSB's default is Zipf with s = 0.99). The
+ * sampler precomputes the normalized CDF over n ranks once and draws by
+ * binary search on a single uniform variate, so draws cost O(log n),
+ * depend only on the Rng stream, and are bit-identical across hosts.
+ */
+
+#ifndef SECPB_WORKLOAD_ZIPF_HH
+#define SECPB_WORKLOAD_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace secpb
+{
+
+/** Zipf(s) sampler over ranks [0, n); rank 0 is the most popular. */
+class ZipfSampler
+{
+  public:
+    /** Precompute the CDF. @p n must be in [1, 2^24] (table memory). */
+    ZipfSampler(std::uint64_t n, double exponent)
+    {
+        fatal_if(n == 0, "ZipfSampler needs at least one rank");
+        fatal_if(n > (1ULL << 24),
+                 "ZipfSampler rank count %llu too large (max 2^24)",
+                 static_cast<unsigned long long>(n));
+        fatal_if(exponent < 0.0 || !std::isfinite(exponent),
+                 "Zipf exponent %f must be finite and >= 0", exponent);
+        _cdf.resize(n);
+        double sum = 0.0;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+            _cdf[r] = sum;
+        }
+        const double inv = 1.0 / sum;
+        for (double &c : _cdf)
+            c *= inv;
+        _cdf.back() = 1.0;  // guard against rounding at the tail
+    }
+
+    /** Draw one rank using (exactly) one uniform variate from @p rng. */
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const auto it = std::upper_bound(_cdf.begin(), _cdf.end(), u);
+        return static_cast<std::uint64_t>(it - _cdf.begin());
+    }
+
+    std::uint64_t numRanks() const { return _cdf.size(); }
+
+    /** Probability mass of the @p k most popular ranks. */
+    double
+    headMass(std::uint64_t k) const
+    {
+        if (k == 0)
+            return 0.0;
+        return _cdf[std::min<std::uint64_t>(k, _cdf.size()) - 1];
+    }
+
+  private:
+    std::vector<double> _cdf;  ///< cdf[r] = P(rank <= r), ascending.
+};
+
+} // namespace secpb
+
+#endif // SECPB_WORKLOAD_ZIPF_HH

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Convert an external memory trace to the secpb-trace v1 text format.
+
+Bridges third-party trace sources (pin/gem5-style access logs) into
+the replay front end: the output loads with --trace-in / the replay
+workload. The input grammar is the least common denominator of such
+logs, one access per line, '#' comments ignored:
+
+    R <addr> [asid]        load (address hex with 0x or decimal)
+    W <addr> [asid]        store
+    F [asid]               fence / persist barrier
+    I <count>              explicit non-memory instruction bundle
+
+Reads beyond the last-level cache are emitted as mem-level loads (the
+conservative choice for a PM study: every read misses); store values
+are synthesized deterministically from the op index since access logs
+rarely carry data. Store addresses are aligned down to 8 bytes. Use
+--think N to insert an N-instruction bundle between accesses when the
+source log has no timing at all.
+
+Usage: tools/convert_memtrace.py IN.log OUT.trc [--think N]
+"""
+
+import argparse
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"convert_memtrace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_int(word: str, where: str) -> int:
+    try:
+        return int(word, 0)
+    except ValueError:
+        fail(f"{where}: '{word}' is not a number")
+    return 0  # unreachable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("infile", help="external access log")
+    parser.add_argument("outfile", help="secpb-trace text file to write")
+    parser.add_argument("--think", type=int, default=0, metavar="N",
+                        help="instruction bundle inserted between "
+                             "accesses (default 0: none)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.infile, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{args.infile}: {e}")
+
+    ops = []
+    for n, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        where = f"{args.infile}:{n}"
+        kind = words[0].upper()
+        if args.think > 0 and kind in ("R", "W", "F") and ops:
+            ops.append(f"I {args.think}")
+        if kind == "R" and len(words) in (2, 3):
+            addr = parse_int(words[1], where)
+            asid = parse_int(words[2], where) if len(words) == 3 else 0
+            ops.append(f"L mem {addr} {asid}")
+        elif kind == "W" and len(words) in (2, 3):
+            addr = parse_int(words[1], where) & ~0x7
+            asid = parse_int(words[2], where) if len(words) == 3 else 0
+            # Deterministic synthetic payload: logs carry no data.
+            value = (len(ops) * 0x9E3779B97F4A7C15) % (1 << 64)
+            ops.append(f"S {addr} {value} {asid}")
+        elif kind == "F" and len(words) in (1, 2):
+            asid = parse_int(words[1], where) if len(words) == 2 else 0
+            ops.append(f"B {asid}")
+        elif kind == "I" and len(words) == 2:
+            ops.append(f"I {parse_int(words[1], where)}")
+        else:
+            fail(f"{where}: unrecognized record '{line}'")
+
+    if not ops:
+        fail(f"{args.infile}: no accesses found")
+
+    try:
+        with open(args.outfile, "w", encoding="utf-8") as out:
+            out.write("secpb-trace v1 text\n")
+            out.write(f"meta source {args.infile}\n")
+            out.write("meta converter convert_memtrace.py\n")
+            out.write(f"ops {len(ops):020d}\n")
+            out.write("\n".join(ops))
+            out.write("\nend\n")
+    except OSError as e:
+        fail(f"{args.outfile}: {e}")
+
+    print(f"convert_memtrace: OK: {len(ops)} ops -> {args.outfile}")
+
+
+if __name__ == "__main__":
+    main()
