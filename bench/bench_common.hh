@@ -13,7 +13,9 @@
  * Common CLI (BenchCli::parse; env fallbacks in parentheses):
  *   --jobs N            concurrent points        (SECPB_BENCH_JOBS, 1)
  *   --json PATH         write sweep JSON         (SECPB_BENCH_JSON)
- *   --scheme A[,B...]   keep matching schemes    (repeatable)
+ *   --scheme A[,B...]   keep matching schemes    (repeatable; canonical
+ *                       lowercase names, legacy spellings accepted
+ *                       case-insensitively, triad takes "triad:levels=N")
  *   --profile A[,B...]  keep matching profiles   (repeatable)
  *   --instr N           instructions per point   (SECPB_BENCH_INSTR, 300k;
  *                       the paper simulates 250M on gem5 -- the synthetic
@@ -136,6 +138,9 @@ struct BenchCli
     unsigned jobs = 1;
     std::string jsonPath;            ///< Empty = no JSON output.
     std::vector<Scheme> schemes;     ///< Empty = no scheme filter.
+    /** Scheme knobs from parameterized --scheme specs (triad:levels=N);
+     *  defaults elsewhere. Benches thread this into their points. */
+    SchemeParams schemeParams;
     std::vector<std::string> profiles;  ///< Empty = no profile filter.
     std::uint64_t instructions = 300'000;
     std::uint64_t seed = 7;
@@ -198,8 +203,12 @@ struct BenchCli
                 cli.jsonPath = need(i);
                 ++i;
             } else if (a == "--scheme") {
+                // Canonical names are lowercase; legacy spellings parse
+                // case-insensitively, and an unknown name dies listing
+                // every valid one. "triad:levels=N" sets the depth knob.
                 for (const std::string &name : splitCommas(need(i)))
-                    cli.schemes.push_back(parseScheme(name));
+                    cli.schemes.push_back(
+                        parseSchemeSpec(name, &cli.schemeParams));
                 ++i;
             } else if (a == "--profile") {
                 for (const std::string &name : splitCommas(need(i)))

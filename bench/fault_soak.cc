@@ -2,10 +2,12 @@
  * @file
  * Standalone randomized crash-consistency soak driver.
  *
- * A larger, reportier sibling of tests/test_fault_soak.cc: sweeps all six
- * SecPB schemes through randomized crash points, bounded battery budgets,
- * and post-crash tamper attacks, fully deterministic from one seed, and
- * prints a per-scheme summary of what the sweep exercised. Exits nonzero
+ * A larger, reportier sibling of tests/test_fault_soak.cc: sweeps the full
+ * secure scheme zoo -- the paper's six SecPB schemes plus
+ * secpm/triad/eadr/stream, trial t running SchemeZoo[t % 10] -- through
+ * randomized crash points, bounded battery budgets, and post-crash tamper
+ * attacks, fully deterministic from one seed, and prints a per-scheme
+ * summary of what the sweep exercised. Exits nonzero
  * on the first-ever inconsistent recovery or silently accepted tamper,
  * printing a one-line reproducer.
  *
@@ -24,7 +26,7 @@
  * intermittent-power mode instead: each trial is a multi-cycle
  * crash-recover-crash sequence on a physical Capacitor (brownouts,
  * partial recharges, aging, power loss mid-recovery), scheme picked by
- * trial index mod 6 and the adaptive drain policy alternating on/off by
+ * trial index mod 10 and the adaptive drain policy alternating on/off by
  * trial parity. Adaptive trials additionally assert the never-overspend
  * invariant (drain energy <= deliverable at crash). --battery-tech and
  * --battery-derate select the cell.
@@ -65,6 +67,7 @@ struct SchemeTally
 struct TrialParams
 {
     std::uint64_t schemeIdx;
+    SchemeParams schemeParams;
     const char *profile;
     std::uint64_t instructions;
     std::uint64_t wseed;
@@ -76,7 +79,11 @@ drawTrial(std::uint64_t seed, std::uint64_t trial)
 {
     Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
     TrialParams t;
-    t.schemeIdx = rng.below(std::size(SecPbSchemes));
+    // Round-robin over the zoo so every scheme soaks evenly; the triad
+    // depth cycles through its useful range.
+    t.schemeIdx = trial % std::size(SchemeZoo);
+    if (SchemeZoo[t.schemeIdx] == Scheme::Triad)
+        t.schemeParams.triadLevels = 1 + static_cast<unsigned>(trial % 4);
     t.profile = SoakProfiles[rng.below(std::size(SoakProfiles))];
     t.instructions = 8'000 + rng.below(8'000);
     t.wseed = rng.next();
@@ -95,8 +102,8 @@ drawTrial(std::uint64_t seed, std::uint64_t trial)
  * Intermittent-power soak (--power-schedule): each trial runs one full
  * multi-cycle power schedule -- brownouts, crash-recover-crash, power
  * loss during recovery -- on the system Capacitor with the adaptive
- * drain policy enabled. Trial t runs scheme SecPbSchemes[t % 6], so any
- * run of >= 6 trials covers the whole spectrum. Fails on the first
+ * drain policy enabled. Trial t runs scheme SchemeZoo[t % 10], so any
+ * run of >= 10 trials covers the whole zoo. Fails on the first
  * unverified restore, inconsistent recovery, undetected tamper, or
  * drain that spent more than the capacitor held at crash time.
  */
@@ -119,7 +126,7 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
     std::vector<std::uint64_t> schemeOf;
     const CapacitorParams params = cli.batteryParams();
     for (std::uint64_t trial = first; trial < trials; ++trial) {
-        const std::uint64_t si = trial % std::size(SecPbSchemes);
+        const std::uint64_t si = trial % std::size(SchemeZoo);
         schemeOf.push_back(si);
         Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
         const char *profile =
@@ -134,7 +141,10 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
 
         ExperimentPoint p;
         p.label = "trial=" + std::to_string(trial);
-        p.scheme = SecPbSchemes[si];
+        p.scheme = SchemeZoo[si];
+        if (p.scheme == Scheme::Triad)
+            p.schemeParams.triadLevels =
+                1 + static_cast<unsigned>(trial % 4);
         p.profile = profile;
         p.instructions = 0;
         p.seed = spec.seed;
@@ -143,6 +153,7 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
         p.custom = [spec, params, adaptive](const ExperimentPoint &pt) {
             SystemConfig cfg;
             cfg.scheme = pt.scheme;
+            cfg.secpb.params = pt.schemeParams;
             cfg.pmDataBytes = 1ULL << 30;
             cfg.battery.enabled = true;
             cfg.battery.cap = params;
@@ -189,7 +200,7 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
     sweep.run();
 
     int exit_code = 0;
-    std::uint64_t perScheme[std::size(SecPbSchemes)] = {};
+    std::uint64_t perScheme[std::size(SchemeZoo)] = {};
     double tot[7] = {};
     for (std::size_t i = 0; i < idx.size(); ++i) {
         const ExperimentResult &r = sweep.at(idx[i]);
@@ -207,7 +218,7 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
                         "--power-schedule '%s'%s\n",
                         static_cast<unsigned long long>(seed),
                         static_cast<unsigned long long>(first + i),
-                        schemeName(SecPbSchemes[schemeOf[i]]),
+                        schemeName(SchemeZoo[schemeOf[i]]),
                         cli.powerSchedule.c_str(),
                         r.extraValue("overspent_drains") > 0.0
                             ? " (drain exceeded capacitor energy)"
@@ -220,8 +231,8 @@ runIntermittentSoak(const bench::BenchCli &cli, std::uint64_t seed,
                 "%.0f, overspent drains %.0f\n",
                 tot[0], tot[1], tot[2], tot[3], tot[4], tot[5], tot[6]);
     std::printf("scheme coverage:");
-    for (std::size_t i = 0; i < std::size(SecPbSchemes); ++i)
-        std::printf(" %s=%llu", schemeName(SecPbSchemes[i]),
+    for (std::size_t i = 0; i < std::size(SchemeZoo); ++i)
+        std::printf(" %s=%llu", schemeName(SchemeZoo[i]),
                     static_cast<unsigned long long>(perScheme[i]));
     std::printf("\n\n%s\n",
                 exit_code ? "SOAK FAILED" : "intermittent soak clean");
@@ -264,7 +275,8 @@ main(int argc, char **argv)
 
         ExperimentPoint p;
         p.label = "trial=" + std::to_string(trial);
-        p.scheme = SecPbSchemes[t.schemeIdx];
+        p.scheme = SchemeZoo[t.schemeIdx];
+        p.schemeParams = t.schemeParams;
         p.profile = t.profile;
         // --workload crash-soaks a registry workload (WAL commits and
         // journal trains crashing mid-burst) instead of the profiles.
@@ -275,6 +287,7 @@ main(int argc, char **argv)
         p.custom = [t](const ExperimentPoint &pt) {
             SystemConfig cfg;
             cfg.scheme = pt.scheme;
+            cfg.secpb.params = pt.schemeParams;
             cfg.pmDataBytes = 1ULL << 30;
             SecPbSystem sys(cfg);
             std::unique_ptr<WorkloadGenerator> gen;
@@ -307,7 +320,7 @@ main(int argc, char **argv)
 
     sweep.run();
 
-    SchemeTally tally[std::size(SecPbSchemes)];
+    SchemeTally tally[std::size(SchemeZoo)];
     int exit_code = 0;
     for (std::size_t i = 0; i < idx.size(); ++i) {
         const TrialParams &t = params[i];
@@ -334,7 +347,7 @@ main(int argc, char **argv)
                         "profile=%s instrs=%llu wseed=%llu %s (%s)\n",
                         static_cast<unsigned long long>(seed),
                         static_cast<unsigned long long>(first + i),
-                        schemeName(SecPbSchemes[t.schemeIdx]), t.profile,
+                        schemeName(SchemeZoo[t.schemeIdx]), t.profile,
                         static_cast<unsigned long long>(t.instructions),
                         static_cast<unsigned long long>(t.wseed),
                         t.plan.describe().c_str(),
@@ -347,11 +360,11 @@ main(int argc, char **argv)
     std::printf("%-8s %7s %8s %8s %10s %10s %6s %7s %8s %9s\n", "scheme",
                 "trials", "mid-run", "bounded", "exhausted", "abandoned",
                 "torn", "stale", "tampers", "failures");
-    for (std::size_t i = 0; i < std::size(SecPbSchemes); ++i) {
+    for (std::size_t i = 0; i < std::size(SchemeZoo); ++i) {
         const SchemeTally &t = tally[i];
         std::printf("%-8s %7llu %8llu %8llu %10llu %10llu %6llu %7llu "
                     "%8llu %9llu\n",
-                    schemeName(SecPbSchemes[i]),
+                    schemeName(SchemeZoo[i]),
                     static_cast<unsigned long long>(t.trials),
                     static_cast<unsigned long long>(t.midRunCrashes),
                     static_cast<unsigned long long>(t.boundedDrains),
@@ -361,7 +374,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(t.staleConsistent),
                     static_cast<unsigned long long>(t.tampers),
                     static_cast<unsigned long long>(t.failures));
-        sweep.derive("failures", schemeName(SecPbSchemes[i]),
+        sweep.derive("failures", schemeName(SchemeZoo[i]),
                      static_cast<double>(t.failures));
     }
     std::printf("\n%s\n", exit_code ? "SOAK FAILED" : "soak clean");

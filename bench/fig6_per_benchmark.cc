@@ -24,8 +24,11 @@ main(int argc, char **argv)
     const BenchCli cli = BenchCli::parse(argc, argv, "fig6");
     const std::uint64_t instr = cli.instructions;
 
-    const Scheme all_schemes[] = {Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
-                                  Scheme::Cm,    Scheme::M,    Scheme::NoGap};
+    const Scheme all_schemes[] = {Scheme::Cobcm, Scheme::Obcm,
+                                  Scheme::Bcm,   Scheme::Cm,
+                                  Scheme::M,     Scheme::NoGap,
+                                  Scheme::Secpm, Scheme::Triad,
+                                  Scheme::Eadr,  Scheme::Stream};
     std::vector<Scheme> schemes;
     for (Scheme s : all_schemes)
         if (cli.wantScheme(s))
@@ -37,6 +40,7 @@ main(int argc, char **argv)
         ExperimentPoint p;
         p.label = profile + "/" + schemeName(s);
         p.scheme = s;
+        p.schemeParams = cli.schemeParams;
         p.profile = profile;
         p.instructions = instr;
         p.seed = cli.seed;

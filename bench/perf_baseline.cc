@@ -35,6 +35,7 @@
 #include "bench_common.hh"
 #include "metadata/walker.hh"
 #include "stats/json.hh"
+#include "workload/synthetic.hh"
 
 using namespace secpb;
 using namespace secpb::bench;
@@ -98,6 +99,30 @@ bench_workload_smoke(std::uint64_t instr, std::uint64_t seed,
                 auto gen = makeWorkload(spec, instr, seed);
                 sys.run(*gen);
             }
+        }
+    });
+}
+
+/**
+ * The recovery-window smoke slice: crash four zoo endpoints (lazy SecPB,
+ * counter write-through, whole-hierarchy flush, and the triad rebuild
+ * path) at quarter-run and time drain + recovery end to end. This is the
+ * crash path none of the run-to-end slices touch.
+ */
+double
+bench_recovery_window_smoke(std::uint64_t instr, std::uint64_t seed,
+                            unsigned reps)
+{
+    const Scheme schemes[] = {Scheme::Cobcm, Scheme::Secpm, Scheme::Triad,
+                              Scheme::Eadr};
+    const BenchmarkProfile &prof = profileByName("gamess");
+    return best_of(reps, [&] {
+        for (Scheme s : schemes) {
+            SecPbSystem sys(SecPbSystem::configFor(s, prof));
+            SyntheticGenerator gen(prof, instr, seed);
+            sys.start(gen);
+            sys.runUntil(instr / 4);
+            sys.crashNow();
         }
     });
 }
@@ -263,6 +288,8 @@ main(int argc, char **argv)
     std::fprintf(stderr, "  fig6_smoke_wall_s   %.3f\n", fig6_s);
     const double wl_s = bench_workload_smoke(instr, seed, reps);
     std::fprintf(stderr, "  workload_smoke_wall_s %.3f\n", wl_s);
+    const double rw_s = bench_recovery_window_smoke(instr, seed, reps);
+    std::fprintf(stderr, "  recovery_window_wall_s %.3f\n", rw_s);
     const double gen_mops = bench_workload_gen(2'000'000, reps);
     std::fprintf(stderr, "  workload_gen_mops   %.2f\n", gen_mops);
     const double burst = bench_event_burst(kWaves, kPerWave, reps);
@@ -296,6 +323,7 @@ main(int argc, char **argv)
     w.beginObject();
     w.field("fig6_smoke_wall_s", fig6_s);
     w.field("workload_smoke_wall_s", wl_s);
+    w.field("recovery_window_wall_s", rw_s);
     w.field("workload_gen_mops", gen_mops);
     w.field("event_burst_mops", burst);
     w.field("event_chain_mops", chain);

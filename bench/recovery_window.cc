@@ -9,6 +9,15 @@
  * and the battery energy actually spent -- the "cost of laziness" at
  * recovery time, complementing Table V's provisioning cost. Each scheme
  * is a custom experiment point (crash mid-run instead of run-to-end).
+ *
+ * The crash table covers the full scheme zoo (the paper's six plus
+ * secpm/triad/eadr/stream). A second section sweeps Triad-NVM's
+ * `triad:levels=N` knob for N=1..4 against the cobcm/secpm/eadr
+ * endpoints, pairing each candidate's crash window with its run-to-end
+ * execution overhead over the insecure bbb baseline: the
+ * recovery-time-vs-runtime-overhead frontier. Derived rows
+ * (frontier_window_ns, frontier_overhead_pct, frontier_rebuild_nodes)
+ * serialize the frontier into the JSON document.
  */
 
 #include "bench_common.hh"
@@ -16,6 +25,64 @@
 
 using namespace secpb;
 using namespace secpb::bench;
+
+namespace
+{
+
+/** One frontier candidate: a scheme plus its knobs. */
+struct FrontierSpec
+{
+    Scheme scheme;
+    SchemeParams params;
+
+    std::string label() const { return schemeSpecName(scheme, params); }
+};
+
+/** The crash@quarter custom runner shared by both sections. */
+ExperimentPoint
+crashPoint(Scheme s, const SchemeParams &params, const std::string &profile,
+           std::uint64_t instr, std::uint64_t seed, const char *suffix)
+{
+    ExperimentPoint p;
+    p.label = schemeSpecName(s, params) + suffix;
+    p.scheme = s;
+    p.schemeParams = params;
+    p.profile = profile;
+    p.instructions = instr;
+    p.seed = seed;
+    p.tag("crash_at", "instr/4");
+    p.custom = [instr](const ExperimentPoint &pt) {
+        const BenchmarkProfile &prof = profileByName(pt.profile);
+        SystemConfig cfg = SecPbSystem::configFor(pt.scheme, prof);
+        cfg.secpb.numEntries = pt.secpbEntries;
+        cfg.secpb.params = pt.schemeParams;
+        SecPbSystem sys(cfg);
+        SyntheticGenerator gen(prof, pt.instructions, pt.seed);
+        sys.start(gen);
+        sys.runUntil(instr / 4);
+        const CrashReport cr = sys.crashNow();
+        ExperimentResult r;
+        r.sim = sys.result();
+        r.extra = {
+            {"entries_drained",
+             static_cast<double>(cr.work.entriesDrained)},
+            {"late_bmt_updates",
+             static_cast<double>(cr.work.bmtRootUpdates)},
+            {"bmt_nodes_rebuilt",
+             static_cast<double>(cr.work.bmtNodesRebuilt)},
+            {"cache_lines_flushed",
+             static_cast<double>(cr.work.cacheLinesFlushed)},
+            {"window_cycles", static_cast<double>(cr.drainLatency)},
+            {"window_ns", cr.drainLatencyNs},
+            {"energy_uj", cr.actualEnergyJ * 1e6},
+            {"recovered", cr.recovered ? 1.0 : 0.0},
+        };
+        return r;
+    };
+    return p;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,71 +92,123 @@ main(int argc, char **argv)
     const std::uint64_t instr = cli.instructions;
     const std::string profile = "gamess";
 
-    const Scheme all_schemes[] = {Scheme::Bbb,  Scheme::Cobcm, Scheme::Obcm,
-                                  Scheme::Bcm,  Scheme::Cm,    Scheme::M,
-                                  Scheme::NoGap};
-    std::vector<Scheme> schemes;
-    for (Scheme s : all_schemes)
+    // Crash table: the insecure baseline plus the whole secure zoo.
+    std::vector<FrontierSpec> schemes;
+    if (cli.wantScheme(Scheme::Bbb))
+        schemes.push_back({Scheme::Bbb, cli.schemeParams});
+    for (Scheme s : SchemeZoo)
         if (cli.wantScheme(s))
-            schemes.push_back(s);
+            schemes.push_back({s, cli.schemeParams});
+
+    // Frontier candidates: the triad depth sweep between the endpoints.
+    std::vector<FrontierSpec> frontier;
+    for (Scheme s : {Scheme::Cobcm, Scheme::Secpm, Scheme::Eadr})
+        if (cli.wantScheme(s))
+            frontier.push_back({s, SchemeParams{}});
+    if (cli.wantScheme(Scheme::Triad)) {
+        for (unsigned lvl : {1u, 2u, 3u, 4u}) {
+            SchemeParams params;
+            params.triadLevels = lvl;
+            frontier.push_back({Scheme::Triad, params});
+        }
+    }
 
     Sweep sweep(cli);
     std::vector<std::size_t> idx;
-    for (Scheme s : schemes) {
-        ExperimentPoint p;
-        p.label = std::string(schemeName(s)) + "/crash@quarter";
-        p.scheme = s;
-        p.profile = profile;
-        p.instructions = instr;
-        p.seed = cli.seed;
-        p.tag("crash_at", "instr/4");
-        p.custom = [instr](const ExperimentPoint &pt) {
-            const BenchmarkProfile &prof = profileByName(pt.profile);
-            SystemConfig cfg = SecPbSystem::configFor(pt.scheme, prof);
-            cfg.secpb.numEntries = pt.secpbEntries;
-            SecPbSystem sys(cfg);
-            SyntheticGenerator gen(prof, pt.instructions, pt.seed);
-            sys.start(gen);
-            sys.runUntil(instr / 4);
-            const CrashReport cr = sys.crashNow();
-            ExperimentResult r;
-            r.sim = sys.result();
-            r.extra = {
-                {"entries_drained",
-                 static_cast<double>(cr.work.entriesDrained)},
-                {"late_bmt_updates",
-                 static_cast<double>(cr.work.bmtRootUpdates)},
-                {"window_cycles", static_cast<double>(cr.drainLatency)},
-                {"window_ns", cr.drainLatencyNs},
-                {"energy_uj", cr.actualEnergyJ * 1e6},
-                {"recovered", cr.recovered ? 1.0 : 0.0},
-            };
-            return r;
-        };
-        idx.push_back(sweep.add(std::move(p)));
+    for (const FrontierSpec &fs : schemes)
+        idx.push_back(sweep.add(crashPoint(fs.scheme, fs.params, profile,
+                                           instr, cli.seed,
+                                           "/crash@quarter")));
+
+    // Frontier: each candidate contributes a run-to-end point (runtime
+    // overhead vs the insecure baseline) and a crash point (window).
+    std::size_t baseline_idx = 0;
+    std::vector<std::size_t> frontier_run, frontier_crash;
+    if (!frontier.empty()) {
+        ExperimentPoint base;
+        base.label = "bbb/run-to-end";
+        base.scheme = Scheme::Bbb;
+        base.profile = profile;
+        base.instructions = instr;
+        base.seed = cli.seed;
+        baseline_idx = sweep.add(std::move(base));
+        for (const FrontierSpec &fs : frontier) {
+            ExperimentPoint run;
+            run.label = fs.label() + "/run-to-end";
+            run.scheme = fs.scheme;
+            run.schemeParams = fs.params;
+            run.profile = profile;
+            run.instructions = instr;
+            run.seed = cli.seed;
+            frontier_run.push_back(sweep.add(std::move(run)));
+            frontier_crash.push_back(
+                sweep.add(crashPoint(fs.scheme, fs.params, profile, instr,
+                                     cli.seed, "/frontier-crash")));
+        }
     }
 
     sweep.run();
 
     std::printf("Recovery window after a crash at mid-run (gamess, "
                 "32-entry SecPB)\n\n");
-    std::printf("%-8s %10s %12s %14s %14s %12s\n", "scheme", "entries",
-                "late BMT", "window (cyc)", "window (ns)", "energy uJ");
+    std::printf("%-14s %8s %9s %9s %8s %12s %12s %10s\n", "scheme",
+                "entries", "late BMT", "rebuilt", "flushed", "window (cyc)",
+                "window (ns)", "energy uJ");
     for (std::size_t i = 0; i < schemes.size(); ++i) {
         const ExperimentResult &r = sweep.at(idx[i]);
-        std::printf("%-8s %10.0f %12.0f %14.0f %14.1f %12.2f   %s\n",
-                    schemeName(schemes[i]), r.extraValue("entries_drained"),
+        const std::string name = schemes[i].label();
+        std::printf("%-14s %8.0f %9.0f %9.0f %8.0f %12.0f %12.1f %10.2f"
+                    "   %s\n",
+                    name.c_str(), r.extraValue("entries_drained"),
                     r.extraValue("late_bmt_updates"),
+                    r.extraValue("bmt_nodes_rebuilt"),
+                    r.extraValue("cache_lines_flushed"),
                     r.extraValue("window_cycles"), r.extraValue("window_ns"),
                     r.extraValue("energy_uj"),
                     r.extraValue("recovered") != 0.0 ? "recovered"
                                                      : "RECOVERY FAILED");
-        sweep.derive("window_ns", schemeName(schemes[i]),
-                     r.extraValue("window_ns"));
+        sweep.derive("window_ns", name, r.extraValue("window_ns"));
     }
     std::printf("\nlazier schemes block the crash observer longer: the "
                 "other face of the\nperformance/battery trade-off "
                 "(Fig. 3's sec-sync gap).\n");
+
+    if (!frontier.empty()) {
+        const double base_ticks = static_cast<double>(
+            sweep.at(baseline_idx).sim.execTicks);
+        std::printf("\nRecovery-time vs runtime-overhead frontier "
+                    "(overhead vs bbb run-to-end)\n\n");
+        std::printf("%-14s %14s %14s %12s %10s\n", "scheme",
+                    "overhead (%)", "window (ns)", "rebuilt", "energy uJ");
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            const ExperimentResult &run = sweep.at(frontier_run[i]);
+            const ExperimentResult &cr = sweep.at(frontier_crash[i]);
+            const std::string name = frontier[i].label();
+            const double overhead_pct =
+                base_ticks > 0.0
+                    ? (static_cast<double>(run.sim.execTicks) / base_ticks -
+                       1.0) * 100.0
+                    : 0.0;
+            std::printf("%-14s %14.2f %14.1f %12.0f %10.2f   %s\n",
+                        name.c_str(), overhead_pct,
+                        cr.extraValue("window_ns"),
+                        cr.extraValue("bmt_nodes_rebuilt"),
+                        cr.extraValue("energy_uj"),
+                        cr.extraValue("recovered") != 0.0
+                            ? "recovered"
+                            : "RECOVERY FAILED");
+            sweep.derive("frontier_overhead_pct", name, overhead_pct);
+            sweep.derive("frontier_window_ns", name,
+                         cr.extraValue("window_ns"));
+            sweep.derive("frontier_rebuild_nodes", name,
+                         cr.extraValue("bmt_nodes_rebuilt"));
+        }
+        std::printf("\ntriad:levels trades the two axes: shallow "
+                    "persistence (levels=1) is cheap at\nruntime but "
+                    "rebuilds more of the tree at recovery; deeper "
+                    "persistence converges\non the always-persisted "
+                    "endpoints.\n");
+    }
 
     sweep.writeJson();
     return 0;

@@ -49,7 +49,9 @@ main(int argc, char **argv)
 
     std::vector<Scheme> schemes;
     for (Scheme s : {Scheme::Sp, Scheme::NoGap, Scheme::M, Scheme::Cm,
-                     Scheme::Bcm, Scheme::Obcm, Scheme::Cobcm})
+                     Scheme::Bcm, Scheme::Obcm, Scheme::Cobcm,
+                     Scheme::Secpm, Scheme::Triad, Scheme::Eadr,
+                     Scheme::Stream})
         if (cli.wantScheme(s))
             schemes.push_back(s);
 
@@ -58,6 +60,7 @@ main(int argc, char **argv)
         ExperimentPoint p;
         p.label = wl.label + "/" + schemeName(s);
         p.scheme = s;
+        p.schemeParams = cli.schemeParams;
         p.workload = wl.spec;
         p.instructions = instr;
         p.seed = cli.seed;

@@ -7,7 +7,7 @@
  * design space beyond the canned table/figure harnesses.
  *
  * Usage:
- *   secpb_sim [--scheme COBCM] [--bench gamess|all] [--instr N]
+ *   secpb_sim [--scheme cobcm] [--bench gamess|all] [--instr N]
  *             [--entries N] [--bmf none|dbmf|sbmf] [--seed N]
  *             [--stats] [--csv] [--crash TICK] [--list]
  */
@@ -28,7 +28,7 @@ namespace
 
 struct Options
 {
-    std::string scheme = "COBCM";
+    std::string scheme = "cobcm";
     std::string bench = "gamess";
     std::uint64_t instr = 300'000;
     unsigned entries = 32;
@@ -74,8 +74,10 @@ int
 runOne(const Options &opt, const std::string &bench)
 {
     const BenchmarkProfile &profile = profileByName(bench);
-    SystemConfig cfg =
-        SecPbSystem::configFor(parseScheme(opt.scheme), profile);
+    SchemeParams params;
+    SystemConfig cfg = SecPbSystem::configFor(
+        parseSchemeSpec(opt.scheme, &params), profile);
+    cfg.secpb.params = params;
     cfg.secpb.numEntries = opt.entries;
     cfg.walker.bmfMode = parseBmf(opt.bmf);
     SecPbSystem sys(cfg);
@@ -143,7 +145,7 @@ main(int argc, char **argv)
         std::printf("benchmarks:");
         for (const auto &p : spec2006Profiles())
             std::printf(" %s", p.name.c_str());
-        std::printf("\nschemes: bbb sp sec_wt COBCM OBCM BCM CM M NoGap\n");
+        std::printf("\nschemes: %s\n", allSchemeNames().c_str());
         return 0;
     }
 

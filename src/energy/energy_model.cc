@@ -101,6 +101,12 @@ EnergyModel::provisionedEnergy(Scheme scheme, unsigned secpb_entries,
 {
     if (scheme == Scheme::Sp)
         return spAdrEnergy(wpq_entries);
+    if (scheme == Scheme::Eadr) {
+        // eADR: the persist domain is the whole cache hierarchy, every
+        // line assumed dirty with a full late tuple owed (the secure
+        // eADR row of the Table V comparison).
+        return sEadrBatteryEnergy();
+    }
     if (schemeTraits(scheme).secure)
         return secPbBatteryEnergy(scheme, secpb_entries);
     return bbbBatteryEnergy(secpb_entries);
@@ -170,6 +176,12 @@ EnergyModel::actualCrashEnergy(const CrashWork &work) const
          (block * _costs.moveMcToPm + block * _costs.shaPerByte);
     e += work.macsComputed * block * _costs.shaPerByte;
     e += work.pmBlockWrites * block * _costs.moveMcToPm;
+    // eADR hierarchy flush: lines move from the cache levels to PM; the
+    // MC<->PM cost is the common (and cheapest) leg, keeping the actual
+    // spend conservatively below the eadrBatteryEnergy() provisioning.
+    e += work.cacheLinesFlushed * block * _costs.moveMcToPm;
+    // bmtNodesRebuilt is deliberately NOT priced: the Triad-NVM rebuild
+    // runs on mains power at recovery (see DrainLatencyModel).
     return e;
 }
 

@@ -47,6 +47,7 @@ runExperimentPoint(const ExperimentPoint &point)
                                           : profileByName(point.profile);
     SystemConfig cfg = SecPbSystem::configFor(point.scheme, profile);
     cfg.secpb.numEntries = point.secpbEntries;
+    cfg.secpb.params = point.schemeParams;
     cfg.walker.bmfMode = point.bmf;
     cfg.obs.samplePeriod = point.samplePeriod;
     cfg.obs.sampleCapacity = point.sampleCapacity;

@@ -81,6 +81,11 @@ struct ExperimentPoint
 
     Scheme scheme = Scheme::Bbb;
 
+    /** Scheme knobs (triad:levels=N); inert for unparameterized
+     *  schemes. Applied to SystemConfig::secpb.params by the default
+     *  runner before `configure` runs. */
+    SchemeParams schemeParams;
+
     /** Synthetic profile name; "" for points that don't run one. */
     std::string profile;
 

@@ -112,6 +112,45 @@ BonsaiMerkleTree::pathIndices(std::uint64_t leaf_idx,
     }
 }
 
+std::uint64_t
+BonsaiMerkleTree::rebuildFromLevel(unsigned first_level)
+{
+    if (first_level >= _numLevels)
+        return 0;
+    panic_if(first_level < 1,
+             "BMT rebuild must start at level >= 1 (level-0 nodes hold "
+             "leaf digests the tree does not store)");
+
+    // Bottom-up: a level-L node is recomputed from its level-(L-1)
+    // children, which at that point are either persisted (below
+    // first_level) or already rebuilt by the previous iteration.
+    std::uint64_t rebuilt = 0;
+    for (unsigned level = first_level; level < _numLevels; ++level) {
+        for (auto &kv : _nodes) {
+            if (static_cast<unsigned>(kv.first >> 56) != level)
+                continue;
+            const std::uint64_t node_idx = kv.first & ((1ULL << 56) - 1);
+            BmtNode fresh;
+            for (unsigned slot = 0; slot < 8; ++slot) {
+                auto child = _nodes.find(
+                    key(level - 1, node_idx * 8 + slot));
+                fresh.child[slot] = child != _nodes.end()
+                                        ? child->second.digest(_seed)
+                                        : defaultChildDigest(level);
+            }
+            kv.second = fresh;
+            ++rebuilt;
+        }
+    }
+
+    // The root register itself was battery-backed but stale relative to
+    // the rebuilt top node; recompute it.
+    auto top = _nodes.find(key(_numLevels - 1, 0));
+    _root = top != _nodes.end() ? top->second.digest(_seed)
+                                : _defaultDigest[_numLevels];
+    return rebuilt;
+}
+
 bool
 BonsaiMerkleTree::tamperNode(unsigned level, std::uint64_t index,
                              const BmtNode &forged)

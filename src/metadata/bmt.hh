@@ -138,6 +138,19 @@ class BonsaiMerkleTree
     /** Overwrite the root register -- test hook for rollback attacks. */
     void setRoot(Digest d) { _root = d; }
 
+    /**
+     * Recovery-time rebuild of the volatile upper tree (Triad-NVM): the
+     * crash persisted only node levels below @p first_level, so every
+     * stored node at levels >= @p first_level is recomputed bottom-up
+     * from its children, and the root register is recomputed from the
+     * top node. @p first_level must be >= 1 -- level-0 nodes hold leaf
+     * digests that are not stored in the tree, so the persisted frontier
+     * always includes them. No-op (returns 0) when @p first_level covers
+     * the whole tree.
+     * @return the number of nodes recomputed.
+     */
+    std::uint64_t rebuildFromLevel(unsigned first_level);
+
     /** Default digest of an untouched leaf (all-zero counter block). */
     Digest defaultLeafDigest() const { return _defaultDigest[0]; }
 

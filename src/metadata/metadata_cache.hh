@@ -70,6 +70,23 @@ class MetadataCache
         return lat;
     }
 
+    /**
+     * Write-through access (SecPM-style): fetches on miss like a read,
+     * then writes the updated block straight to PCM. The cached copy
+     * stays *clean* -- the persistent copy is always current, so a crash
+     * never owes a flush for this block. Returns the access latency
+     * including the PCM write occupancy.
+     */
+    Cycles
+    writeThroughAccess(Addr addr)
+    {
+        const Cycles lat = readAccess(addr);
+        ++statWritebacks;
+        const Cycles wr = _pcm.writeOccupy(addr);
+        _tags.markClean(addr);
+        return lat + wr;
+    }
+
     /** Probe without side effects. */
     bool contains(Addr addr) const { return _tags.contains(addr); }
 

@@ -202,6 +202,9 @@ class BmtWalker
     BonsaiMerkleTree &tree() { return _tree; }
     const BonsaiMerkleTree &tree() const { return _tree; }
 
+    /** The BMT node cache (Triad-NVM writes path prefixes through it). */
+    MetadataCache &nodeCache() { return _bmtCache; }
+
   private:
     /** Compute the latency of one walk, probing caches as we go. */
     Cycles

@@ -40,18 +40,23 @@ class DrainLatencyModel
     estimate(const CrashWork &work) const
     {
         // Crypto/compute stream: pads, MACs, and BMT node hashes, spread
-        // over the engine's parallel units.
+        // over the engine's parallel units. Triad-NVM's recovery rebuild
+        // is one hash per recomputed node -- it runs on mains power, but
+        // it is inside the observer-blocked window all the same.
         const std::uint64_t compute =
             work.otpsGenerated * _lat.aesPad +
             work.macsComputed * _lat.macHash +
-            work.bmtLevelsWalked * _lat.bmtHash;
+            (work.bmtLevelsWalked + work.bmtNodesRebuilt) * _lat.bmtHash;
 
         // PM stream: counter fetches + node fetches (one read per level
-        // walked, worst case) + all block writes, over the banks.
+        // walked and per node rebuilt, worst case) + all block writes
+        // (including the eADR hierarchy flush), over the banks.
         const std::uint64_t reads =
-            work.counterFetches + work.bmtLevelsWalked;
+            work.counterFetches + work.bmtLevelsWalked +
+            work.bmtNodesRebuilt;
         const std::uint64_t writes =
-            work.pmBlockWrites + work.mdcBlockFlushes;
+            work.pmBlockWrites + work.mdcBlockFlushes +
+            work.cacheLinesFlushed;
         const std::uint64_t pm_traffic =
             reads * _pcm.readLatency + writes * _pcm.writeLatency;
 

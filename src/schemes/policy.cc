@@ -1,0 +1,153 @@
+#include "schemes/policy.hh"
+
+#include <algorithm>
+
+#include "energy/energy_model.hh"
+#include "sim/logging.hh"
+
+namespace secpb
+{
+
+CrashWork
+SchemePolicy::worstEntryWork(unsigned tree_levels) const
+{
+    // Worst-case completion of one entry under this scheme: every lazy
+    // field missing and the counter block absent on-chip. Ciphertext and
+    // MAC are always included -- they are value-dependent, so even an
+    // eager scheme can hold them invalid while a coalescing store's
+    // regeneration is in flight.
+    CrashWork w;
+    if (!_traits.secure) {
+        w.entriesDrained = 1;
+        w.pmBlockWrites = 1;
+        return w;
+    }
+    w.entriesDrained = 1;
+    if (!_traits.earlyCounter) {
+        w.counterFetches = 1;
+        w.countersIncremented = 1;
+    }
+    if (!_traits.earlyOtp)
+        w.otpsGenerated = 1;
+    w.ciphertexts = 1;
+    w.macsComputed = 1;
+    if (!_traits.earlyBmt) {
+        w.bmtRootUpdates = 1;
+        w.bmtLevelsWalked = crashBmtLevels(tree_levels);
+    }
+    w.pmBlockWrites = 3;
+    return w;
+}
+
+namespace
+{
+
+/** SP baseline: the WPQ, not the SecPB, is the persistence domain. */
+class SpPolicy final : public SchemePolicy
+{
+  public:
+    using SchemePolicy::SchemePolicy;
+
+    bool wpqIsPersistDomain() const override { return true; }
+
+    CrashWork
+    worstEntryWork(unsigned /*tree_levels*/) const override
+    {
+        // SP completes the whole tuple at store-persist time and only
+        // then queues the write; the worst unit the gate can admit is a
+        // single WPQ-resident block write (predictCrashDrainWork prices
+        // the full queue the same way).
+        CrashWork w;
+        w.pmBlockWrites = 1;
+        return w;
+    }
+};
+
+/** SecPM (Zuo/Hua/Xie): counter write-through, data+counter atomicity. */
+class SecpmPolicy final : public SchemePolicy
+{
+  public:
+    using SchemePolicy::SchemePolicy;
+
+    bool counterWriteThrough() const override { return true; }
+};
+
+/** Triad-NVM (Awad et al.): persist BMT levels < N, rebuild the rest. */
+class TriadPolicy final : public SchemePolicy
+{
+  public:
+    using SchemePolicy::SchemePolicy;
+
+    unsigned
+    crashBmtLevels(unsigned tree_levels) const override
+    {
+        return persistedLevels(tree_levels);
+    }
+
+    unsigned
+    drainBmtWriteThroughLevels(unsigned tree_levels) const override
+    {
+        return persistedLevels(tree_levels);
+    }
+
+    unsigned
+    recoveryRebuildFromLevel(unsigned tree_levels) const override
+    {
+        return persistedLevels(tree_levels);
+    }
+
+  private:
+    unsigned
+    persistedLevels(unsigned tree_levels) const
+    {
+        return std::min(params().triadLevels, tree_levels);
+    }
+};
+
+/** eADR-ideal: the battery flushes the entire cache hierarchy. */
+class EadrPolicy final : public SchemePolicy
+{
+  public:
+    using SchemePolicy::SchemePolicy;
+
+    std::uint64_t
+    crashCacheFlushLines() const override
+    {
+        const HierarchyFootprint h;
+        return (h.l1Bytes + h.l2Bytes + h.l3Bytes) / BlockSize;
+    }
+};
+
+/** Streamlined BMT updates: strict tree, unblock at walk issue. */
+class StreamPolicy final : public SchemePolicy
+{
+  public:
+    using SchemePolicy::SchemePolicy;
+
+    bool streamlinedBmtIssue() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<SchemePolicy>
+makeSchemePolicy(Scheme scheme, const SchemeParams &params)
+{
+    switch (scheme) {
+      case Scheme::Sp:
+        return std::make_unique<SpPolicy>(scheme, params);
+      case Scheme::Secpm:
+        return std::make_unique<SecpmPolicy>(scheme, params);
+      case Scheme::Triad:
+        fatal_if(params.triadLevels < 1,
+                 "triad needs at least one persisted BMT level");
+        return std::make_unique<TriadPolicy>(scheme, params);
+      case Scheme::Eadr:
+        return std::make_unique<EadrPolicy>(scheme, params);
+      case Scheme::Stream:
+        return std::make_unique<StreamPolicy>(scheme, params);
+      default:
+        return std::make_unique<SchemePolicy>(scheme, params);
+    }
+}
+
+} // namespace secpb

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The pluggable scheme-policy seam (DESIGN.md "SchemePolicy").
+ *
+ * Historically every per-scheme behavioral difference lived as a
+ * `Scheme` enum branch inside src/secpb/secpb.cc. That worked for the
+ * paper's six schemes -- they differ only in which tuple components are
+ * early, which SchemeTraits already captures -- but the related-work zoo
+ * (SecPM, Triad-NVM, eADR, streamlined-BMT) differs along *behavioral*
+ * axes the traits cannot express:
+ *
+ *  - persist-domain membership: what the battery must cover at crash
+ *    time (the SecPB entries? the SP WPQ? the whole cache hierarchy?);
+ *  - metadata write-through vs lazy: does a counter update also write
+ *    through to PCM (SecPM), or stay dirty in the metadata cache?
+ *  - BMT persistence depth: how many tree levels are persisted at
+ *    drain/crash time (all of them, or Triad-NVM's lowest N with a
+ *    recovery-time rebuild of the rest)?
+ *  - crash-drain work model: what the worst-case in-flight entry costs,
+ *    and what mandatory work (hierarchy flush, tree rebuild) a crash
+ *    adds beyond the per-entry completions.
+ *
+ * A SchemePolicy object answers those questions; the SecPB mechanics ask
+ * at the existing decision points. Policies expose *decision values*
+ * rather than overriding the mechanics themselves, which keeps the six
+ * paper schemes byte-identical to the pre-policy code (their policy
+ * returns exactly the defaults the old branches hard-coded).
+ */
+
+#ifndef SECPB_SCHEMES_POLICY_HH
+#define SECPB_SCHEMES_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "secpb/scheme.hh"
+#include "secpb/secpb.hh"
+
+namespace secpb
+{
+
+/**
+ * Per-scheme behavior, factored out of the SecPB enum branches. The
+ * base class implements the default SecPB scheme behavior (entries are
+ * the persist domain, metadata caches are lazy write-back, the full BMT
+ * path persists at crash time); subclasses override the axes their
+ * design changes. Construct through makeSchemePolicy().
+ */
+class SchemePolicy
+{
+  public:
+    SchemePolicy(Scheme scheme, const SchemeParams &params)
+        : _scheme(scheme), _params(params), _traits(schemeTraits(scheme))
+    {}
+    virtual ~SchemePolicy() = default;
+
+    Scheme scheme() const { return _scheme; }
+    const SchemeParams &params() const { return _params; }
+    const SchemeTraits &traits() const { return _traits; }
+
+    /** @name Persist-domain membership. */
+    /** @{ */
+    /**
+     * True when the ADR WPQ -- not the SecPB -- is the persistence
+     * domain (the SP baseline): stores persist on WPQ arrival, and the
+     * crash drain completes the pending tuples instead of entries.
+     */
+    virtual bool wpqIsPersistDomain() const { return false; }
+
+    /**
+     * Cache lines the battery must flush at crash time *beyond* the
+     * SecPB entries. Non-zero only for eADR, where the whole volatile
+     * hierarchy is inside the persist domain.
+     */
+    virtual std::uint64_t crashCacheFlushLines() const { return 0; }
+    /** @} */
+
+    /** @name Metadata write-through vs lazy. */
+    /** @{ */
+    /**
+     * True when counter updates write through to PCM (SecPM's
+     * data+counter atomicity): the counter-cache block stays clean, so
+     * crashes never lose counters, at a per-update PCM write cost.
+     */
+    virtual bool counterWriteThrough() const { return false; }
+    /** @} */
+
+    /** @name BMT persistence depth. */
+    /** @{ */
+    /**
+     * BMT node levels walked on battery power for an entry whose tree
+     * update was deferred. Default: the full path. Triad-NVM persists
+     * only the lowest N levels.
+     */
+    virtual unsigned
+    crashBmtLevels(unsigned tree_levels) const
+    {
+        return tree_levels;
+    }
+
+    /**
+     * BMT path levels written through to PCM when an entry's deferred
+     * tree update runs at drain time (Triad-NVM's runtime cost: the
+     * persisted frontier must actually be in PCM). Default: none (the
+     * tree lives in the walker's cache + battery coverage).
+     */
+    virtual unsigned
+    drainBmtWriteThroughLevels(unsigned tree_levels) const
+    {
+        (void)tree_levels;
+        return 0;
+    }
+
+    /**
+     * First tree level recovery must rebuild (everything at and above
+     * it was volatile). tree_levels (== nothing to rebuild) for schemes
+     * whose crash drain persists the full path.
+     */
+    virtual unsigned
+    recoveryRebuildFromLevel(unsigned tree_levels) const
+    {
+        return tree_levels;
+    }
+
+    /**
+     * Streamlined BMT updates (Freij/Zhou/Solihin): an early tree
+     * update only gates the store-unblock on pipelined walk *issue*;
+     * the coalesced root update retires in the background.
+     */
+    virtual bool streamlinedBmtIssue() const { return false; }
+    /** @} */
+
+    /** @name Crash-drain work model. */
+    /** @{ */
+    /**
+     * Worst-case work for the single in-flight entry a crash can land
+     * on top of (the adaptive-drain gate margin). Default: one full
+     * late tuple -- counter fetch, OTP, full-path BMT walk, MAC, block
+     * write.
+     */
+    virtual CrashWork worstEntryWork(unsigned tree_levels) const;
+    /** @} */
+
+  private:
+    Scheme _scheme;
+    SchemeParams _params;
+    SchemeTraits _traits;
+};
+
+/** Build the policy object for (@p scheme, @p params). */
+std::unique_ptr<SchemePolicy> makeSchemePolicy(Scheme scheme,
+                                               const SchemeParams &params);
+
+} // namespace secpb
+
+#endif // SECPB_SCHEMES_POLICY_HH

@@ -1,6 +1,7 @@
 /**
  * @file
- * The SecPB secure-persistency scheme spectrum (paper Section IV, Table II).
+ * The SecPB secure-persistency scheme spectrum (paper Section IV, Table II),
+ * plus the related-work scheme zoo (ROADMAP item 2).
  *
  * Each scheme decides which components of the memory tuple
  * (counter, OTP, BMT root, ciphertext, MAC) are produced *early* -- on the
@@ -8,11 +9,32 @@
  * entry drains, or post-crash on battery power. Scheme names list the
  * components deferred to late time: e.g. BCM defers Bmt root, Ciphertext,
  * and Mac; COBCM defers everything (Counter, Otp, Bmt, Ciphertext, Mac).
+ *
+ * The zoo adds four designs from the related work as first-class schemes
+ * (see src/schemes/policy.hh for the per-scheme behavior they plug in):
+ *
+ *  - secpm:  SecPM's counter write-through (Zuo/Hua/Xie) -- the counter
+ *    cache writes through to PCM so data+counter persist atomically; the
+ *    BMT stays lazy.
+ *  - triad:  Triad-NVM's selective BMT persistence (Awad et al.) -- only
+ *    the lowest N tree levels are persisted (knob: `triad:levels=N`);
+ *    recovery rebuilds the volatile upper tree, trading recovery time
+ *    against runtime/battery cost.
+ *  - eadr:   the eADR-ideal baseline -- the battery flushes the *entire*
+ *    cache hierarchy at crash time, so runtime is COBCM-lazy but the
+ *    provisioned battery must cover the hierarchy footprint (priced via
+ *    the sEADR row of the energy model).
+ *  - stream: Freij/Zhou/Solihin "Streamlining Integrity Tree Updates" --
+ *    NoGap-strict BMT security, but the store unblocks at pipelined walk
+ *    *issue* (coalesced root updates retire in the background).
  */
 
 #ifndef SECPB_SECPB_SCHEME_HH
 #define SECPB_SECPB_SCHEME_HH
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "sim/logging.hh"
@@ -20,7 +42,7 @@
 namespace secpb
 {
 
-/** Evaluated persistency schemes (paper Table II). */
+/** Evaluated persistency schemes (paper Table II + the scheme zoo). */
 enum class Scheme
 {
     Bbb,    ///< Insecure battery-backed buffer baseline (HPCA'21).
@@ -33,6 +55,22 @@ enum class Scheme
     Bcm,    ///< Defer BMT root, ciphertext, MAC.
     Obcm,   ///< Defer OTP, BMT root, ciphertext, MAC.
     Cobcm,  ///< Defer everything; only the data write is early.
+    Secpm,  ///< SecPM: counter write-through, data+counter atomicity.
+    Triad,  ///< Triad-NVM: persist BMT levels < N, rebuild the rest.
+    Eadr,   ///< eADR-ideal: battery flushes the whole cache hierarchy.
+    Stream, ///< Streamlined BMT: strict tree, unblock at walk issue.
+};
+
+/** Scheme parameters carried alongside the enum (the zoo's knobs). */
+struct SchemeParams
+{
+    /**
+     * Triad-NVM only: number of lowest BMT node levels persisted at
+     * drain/crash time (`triad:levels=N`). Levels >= N are rebuilt at
+     * recovery. Must be >= 1 -- level 0 (the counter-block digests'
+     * parents) anchors the persisted frontier.
+     */
+    unsigned triadLevels = 2;
 };
 
 /** Which tuple components a scheme produces early. */
@@ -76,45 +114,164 @@ schemeTraits(Scheme s)
         return {true, true, false, false, false, false, true};
       case Scheme::Cobcm:
         return {true, false, false, false, false, false, true};
+      case Scheme::Secpm:
+        // Everything early except the BMT root: the write-through counter
+        // persists with the data; the tree is the one lazy component.
+        return {true, true, true, false, true, true, true};
+      case Scheme::Triad:
+        // BCM-like runtime: counter+OTP early, tree/ciphertext/MAC late.
+        // The triad twist (partial tree persistence) lives in the policy.
+        return {true, true, true, false, false, false, true};
+      case Scheme::Eadr:
+        // COBCM-lazy runtime; the battery covers the whole hierarchy.
+        return {true, false, false, false, false, false, true};
+      case Scheme::Stream:
+        // NoGap-strict tuple, but the walk only gates at pipe issue.
+        return {true, true, true, true, true, true, true};
     }
     return {false, false, false, false, false, false, true};
 }
 
-/** Human-readable scheme name (matches the paper's). */
+/** Canonical (lowercase) scheme name, used in CLI and JSON. */
 inline const char *
 schemeName(Scheme s)
 {
     switch (s) {
-      case Scheme::Bbb:   return "bbb";
-      case Scheme::Sp:    return "sp";
-      case Scheme::SecWt: return "sec_wt";
-      case Scheme::NoGap: return "NoGap";
-      case Scheme::M:     return "M";
-      case Scheme::Cm:    return "CM";
-      case Scheme::Bcm:   return "BCM";
-      case Scheme::Obcm:  return "OBCM";
-      case Scheme::Cobcm: return "COBCM";
+      case Scheme::Bbb:    return "bbb";
+      case Scheme::Sp:     return "sp";
+      case Scheme::SecWt:  return "sec_wt";
+      case Scheme::NoGap:  return "nogap";
+      case Scheme::M:      return "m";
+      case Scheme::Cm:     return "cm";
+      case Scheme::Bcm:    return "bcm";
+      case Scheme::Obcm:   return "obcm";
+      case Scheme::Cobcm:  return "cobcm";
+      case Scheme::Secpm:  return "secpm";
+      case Scheme::Triad:  return "triad";
+      case Scheme::Eadr:   return "eadr";
+      case Scheme::Stream: return "stream";
     }
     return "?";
 }
 
-/** Parse a scheme name (case-sensitive, as printed by schemeName). */
+/** Every scheme, for parsing and "valid names" messages. */
+constexpr Scheme SchemeList[] = {
+    Scheme::Bbb, Scheme::Sp, Scheme::SecWt, Scheme::NoGap, Scheme::M,
+    Scheme::Cm, Scheme::Bcm, Scheme::Obcm, Scheme::Cobcm,
+    Scheme::Secpm, Scheme::Triad, Scheme::Eadr, Scheme::Stream,
+};
+
+/** Comma-separated list of every canonical scheme name. */
+inline std::string
+allSchemeNames()
+{
+    std::string out;
+    for (Scheme s : SchemeList) {
+        if (!out.empty())
+            out += ", ";
+        out += schemeName(s);
+    }
+    return out;
+}
+
+/**
+ * Parse a scheme spec: a canonical name, a legacy mixed-case spelling
+ * (accepted case-insensitively with a one-time deprecation note), or a
+ * parameterized form (`triad:levels=N`, stored into @p params when
+ * non-null). Fatal -- listing every valid name -- on anything else.
+ */
+inline Scheme
+parseSchemeSpec(const std::string &spec, SchemeParams *params = nullptr)
+{
+    const std::string::size_type colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    std::string lower = name;
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+
+    Scheme parsed = Scheme::Bbb;
+    bool found = false;
+    for (Scheme s : SchemeList) {
+        if (lower == schemeName(s)) {
+            parsed = s;
+            found = true;
+            break;
+        }
+    }
+    fatal_if(!found,
+             "unknown scheme name '%s' (valid: %s; triad accepts "
+             "'triad:levels=N')",
+             spec.c_str(), allSchemeNames().c_str());
+
+    if (name != schemeName(parsed)) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::fprintf(stderr,
+                         "secpb: note: scheme spelling '%s' is "
+                         "deprecated; canonical names are lowercase "
+                         "('%s')\n",
+                         name.c_str(), schemeName(parsed));
+        }
+    }
+
+    if (colon != std::string::npos) {
+        const std::string tail = spec.substr(colon + 1);
+        fatal_if(parsed != Scheme::Triad,
+                 "scheme '%s' takes no parameters (got '%s')",
+                 schemeName(parsed), spec.c_str());
+        const char *prefix = "levels=";
+        fatal_if(tail.rfind(prefix, 0) != 0,
+                 "bad triad spec '%s' (expected 'triad:levels=N')",
+                 spec.c_str());
+        char *end = nullptr;
+        const std::string num = tail.substr(std::string(prefix).size());
+        const unsigned long levels =
+            std::strtoul(num.c_str(), &end, 10);
+        fatal_if(num.empty() || (end && *end != '\0') || levels < 1 ||
+                     levels > 64,
+                 "bad triad level count in '%s' (need 1 <= N <= 64)",
+                 spec.c_str());
+        if (params)
+            params->triadLevels = static_cast<unsigned>(levels);
+    }
+    return parsed;
+}
+
+/** Parse a bare scheme name (case-insensitive; no parameters). */
 inline Scheme
 parseScheme(const std::string &name)
 {
-    for (Scheme s : {Scheme::Bbb, Scheme::Sp, Scheme::SecWt, Scheme::NoGap,
-                     Scheme::M, Scheme::Cm, Scheme::Bcm, Scheme::Obcm,
-                     Scheme::Cobcm}) {
-        if (name == schemeName(s))
-            return s;
-    }
-    fatal("unknown scheme name '%s'", name.c_str());
+    return parseSchemeSpec(name, nullptr);
 }
 
-/** All six SecPB schemes, laziest first (for sweeps). */
+/** Display label for (scheme, params): "triad:levels=N" or the name. */
+inline std::string
+schemeSpecName(Scheme s, const SchemeParams &params)
+{
+    if (s == Scheme::Triad)
+        return std::string("triad:levels=") +
+               std::to_string(params.triadLevels);
+    return schemeName(s);
+}
+
+/** The paper's six SecPB schemes, laziest first (for paper sweeps). */
 constexpr Scheme SecPbSchemes[] = {
     Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
     Scheme::Cm, Scheme::M, Scheme::NoGap,
+};
+
+/**
+ * The full secure scheme zoo, laziest first: the paper's six plus the
+ * four related-work designs. This is the sweep list for the fault soak
+ * and the widened-spectrum benches (soak trials map scheme = trial mod
+ * std::size(SchemeZoo)).
+ */
+constexpr Scheme SchemeZoo[] = {
+    Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm,
+    Scheme::Cm, Scheme::M, Scheme::NoGap,
+    Scheme::Secpm, Scheme::Triad, Scheme::Eadr, Scheme::Stream,
 };
 
 } // namespace secpb

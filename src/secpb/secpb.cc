@@ -5,6 +5,7 @@
 
 #include "energy/energy_model.hh"
 #include "obs/trace.hh"
+#include "schemes/policy.hh"
 #include "sim/debug.hh"
 
 namespace secpb
@@ -16,7 +17,8 @@ SecPb::SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
              CryptoEngine &crypto, BmtWalker &walker,
              MetadataCache &ctr_cache, MetadataCache &mac_cache,
              WritePendingQueue &wpq, StatGroup &parent)
-    : _eq(eq), _scheme(scheme), _traits(schemeTraits(scheme)), _cfg(cfg),
+    : _eq(eq), _scheme(scheme), _traits(schemeTraits(scheme)),
+      _policy(makeSchemePolicy(scheme, cfg.params)), _cfg(cfg),
       _layout(layout), _keys(keys), _counters(counters), _oracle(oracle),
       _pm(pm), _crypto(crypto), _walker(walker), _ctrCache(ctr_cache),
       _macCache(mac_cache), _wpq(wpq),
@@ -64,11 +66,31 @@ SecPb::SecPb(EventQueue &eq, Scheme scheme, const SecPbConfig &cfg,
              _lowWm, _highWm);
     _index.reserve(cfg.numEntries);
     _freeList.reserve(cfg.numEntries);
-    if (_scheme == Scheme::Sp)
+    if (_policy->wpqIsPersistDomain())
         _spPending.reserve(64);
     for (unsigned i = 0; i < cfg.numEntries; ++i)
         _freeList.push_back(cfg.numEntries - 1 - i);
     _dbg = debug::enabled("SecPb");
+}
+
+SecPb::~SecPb() = default;
+
+Cycles
+SecPb::counterWriteAccess(Addr addr)
+{
+    if (_policy->counterWriteThrough())
+        return _ctrCache.writeThroughAccess(_layout.counterAddr(addr));
+    return _ctrCache.writeAccess(_layout.counterAddr(addr));
+}
+
+void
+SecPb::persistBmtPathPrefix(Addr addr, unsigned levels)
+{
+    std::vector<std::uint64_t> path;
+    _walker.tree().pathIndices(_layout.pageIndex(addr), path);
+    MetadataCache &nodes = _walker.nodeCache();
+    for (unsigned l = 0; l < levels && l < path.size(); ++l)
+        nodes.writeThroughAccess(_layout.bmtNodeAddr(l, path[l]));
 }
 
 PbEntry *
@@ -202,7 +224,7 @@ bool
 SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
                       EventCallback unblocked, std::uint32_t asid)
 {
-    if (_scheme == Scheme::Sp)
+    if (_policy->wpqIsPersistDomain())
         return acceptStoreSp(addr, value, std::move(unblocked));
 
     PbEntry *e = find(addr);
@@ -338,7 +360,7 @@ SecPb::launchEarlyOps(PbEntry &e, Tick base, EventCallback /*unused*/)
     if (_traits.earlyCounter) {
         const bool gates = _traits.earlyOtp || _traits.earlyBmt;
         const Cycles d_ctr =
-            _ctrCache.writeAccess(_layout.counterAddr(e.addr)) +
+            counterWriteAccess(e.addr) +
             _crypto.latencies().counterInc;
         e.counter = incrementCounter(e.addr);
         e.ctrIncremented = true;
@@ -392,10 +414,23 @@ SecPb::launchEarlyOps(PbEntry &e, Tick base, EventCallback /*unused*/)
             const std::uint64_t page = _layout.pageIndex(ep->addr);
             const Digest d =
                 _walker.tree().leafDigest(_counters.block(page));
-            _walker.update(ep->addr, d, [this, ep] {
+            if (_policy->streamlinedBmtIssue()) {
+                // Streamlined updates: the store only waits for the
+                // pipelined walker to *accept* the walk; the coalesced
+                // root update retires in the background (the battery
+                // provisioning covers the in-flight window, exactly as
+                // it does for the drain engine's deferred walks).
+                const BmtWalker::UpdateTiming t =
+                    _walker.updateTimed(ep->addr, d);
                 ep->vBmt = true;
-                opFinished(ep);
-            });
+                _eq.schedule(std::max(t.issue, _eq.curTick()),
+                             [this, ep] { opFinished(ep); });
+            } else {
+                _walker.update(ep->addr, d, [this, ep] {
+                    ep->vBmt = true;
+                    opFinished(ep);
+                });
+            }
         });
     }
 }
@@ -656,37 +691,12 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
     _pricing = pricing;
     _adaptive = cfg;
 
-    // Worst-case completion of one entry under this scheme: every lazy
-    // field missing and the counter block absent on-chip. Ciphertext and
-    // MAC are always included -- they are value-dependent, so even an
-    // eager scheme can hold them invalid while a coalescing store's
-    // regeneration is in flight.
-    CrashWork w;
-    if (_scheme == Scheme::Sp) {
-        // SP completes the whole tuple at store-persist time and only
-        // then queues the write; the worst unit the gate can admit is a
-        // single WPQ-resident block write (predictCrashDrainWork prices
-        // the full queue the same way).
-        w.pmBlockWrites = 1;
-    } else if (_traits.secure) {
-        w.entriesDrained = 1;
-        if (!_traits.earlyCounter) {
-            w.counterFetches = 1;
-            w.countersIncremented = 1;
-        }
-        if (!_traits.earlyOtp)
-            w.otpsGenerated = 1;
-        w.ciphertexts = 1;
-        w.macsComputed = 1;
-        if (!_traits.earlyBmt) {
-            w.bmtRootUpdates = 1;
-            w.bmtLevelsWalked = _walker.tree().numLevels();
-        }
-        w.pmBlockWrites = 3;
-    } else {
-        w.entriesDrained = 1;
-        w.pmBlockWrites = 1;
-    }
+    // Worst-case completion of one entry under this scheme: the policy
+    // knows which lazy fields can be missing, how deep a crash-time BMT
+    // walk goes, and (for SP) that the unit of crash work is a
+    // WPQ-resident block write instead of an entry.
+    const CrashWork w =
+        _policy->worstEntryWork(_walker.tree().numLevels());
     _worstEntryJ = pricing->actualCrashEnergy(w);
 
     // Gate margin: the marginEntries reserve plus one in-flight
@@ -695,7 +705,7 @@ SecPb::attachBatteryMonitor(const Capacitor *battery,
     // SP has no crash-time regeneration -- its value work happens on
     // mains power before the WPQ ever admits the store.
     CrashWork transient;
-    if (_scheme != Scheme::Sp) {
+    if (!_policy->wpqIsPersistDomain()) {
         transient.ciphertexts = 1;
         transient.macsComputed = 1;
     }
@@ -773,6 +783,7 @@ SecPb::adaptiveOccupancyBoundNow() const
         floor_work.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
                                      _macCache.dirtyBlocks().size();
         floor_work.pmBlockWrites += floor_work.mdcBlockFlushes;
+        floor_work.cacheLinesFlushed = _policy->crashCacheFlushLines();
     }
     CrashWork transient;
     transient.ciphertexts = 1;
@@ -874,7 +885,7 @@ SecPb::startDrainOf(PbEntry &e)
     Tick t_ctr = _eq.curTick();
     if (!e.ctrIncremented) {
         const Cycles d_ctr =
-            _ctrCache.writeAccess(_layout.counterAddr(e.addr)) +
+            counterWriteAccess(e.addr) +
             _crypto.latencies().counterInc;
         e.counter = incrementCounter(e.addr);
         e.ctrIncremented = true;
@@ -937,6 +948,13 @@ SecPb::startDrainOf(PbEntry &e)
             const BmtWalker::UpdateTiming t =
                 _walker.updateTimed(ep->addr, d);
             ep->vBmt = true;
+            // Triad-NVM runtime cost: the persisted frontier (the
+            // lowest N path levels) must actually reach PCM at drain
+            // time, not just the walker's volatile node cache.
+            const unsigned wt = _policy->drainBmtWriteThroughLevels(
+                _walker.tree().numLevels());
+            if (wt > 0)
+                persistBmtPathPrefix(ep->addr, wt);
             _eq.schedule(std::max(t.issue, _eq.curTick()),
                          [branch_done] { branch_done(); });
         } else {
@@ -966,7 +984,7 @@ SecPb::finalizeDrain(std::uint64_t entry_idx)
         e.pushedData = true;
         _pm.writeData(e.addr, e.ciphertext);
         if (_traits.secure) {
-            _ctrCache.writeAccess(_layout.counterAddr(e.addr));
+            counterWriteAccess(e.addr);
             _macCache.writeAccess(_layout.macAddr(e.addr));
             const std::uint64_t page = _layout.pageIndex(e.addr);
             _pm.writeCounterBlock(page, _counters.block(page));
@@ -1070,7 +1088,11 @@ SecPb::completeEntryFunctionally(PbEntry &e, CrashWork &work)
             page, _walker.tree().leafDigest(_counters.block(page)));
         e.vBmt = true;
         ++work.bmtRootUpdates;
-        work.bmtLevelsWalked += _walker.tree().numLevels();
+        // Triad-NVM persists only the lowest N path levels on battery
+        // power; the volatile remainder is rebuilt at recovery (counted
+        // separately in bmtNodesRebuilt by crashDrainAll).
+        work.bmtLevelsWalked +=
+            _policy->crashBmtLevels(_walker.tree().numLevels());
     }
 
     const std::uint64_t page = _layout.pageIndex(e.addr);
@@ -1114,7 +1136,7 @@ CrashWork
 SecPb::predictCrashDrainWork() const
 {
     CrashWork w;
-    if (_scheme == Scheme::Sp) {
+    if (_policy->wpqIsPersistDomain()) {
         // SP's crash-time obligation lives in the WPQ, not the PB: every
         // queued write still owes one PCM block write at power failure.
         // The WPQ sits in the ADR domain, but a battery sized for SP has
@@ -1128,6 +1150,10 @@ SecPb::predictCrashDrainWork() const
         w.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
                             _macCache.dirtyBlocks().size();
         w.pmBlockWrites += w.mdcBlockFlushes;
+        // eADR: the whole volatile hierarchy is inside the persist
+        // domain, so every crash owes the full flush regardless of
+        // SecPB occupancy.
+        w.cacheLinesFlushed = _policy->crashCacheFlushLines();
     }
     for (const auto &kv : _index) {
         const CrashWork d = predictEntryWork(_entries[kv.second]);
@@ -1166,7 +1192,8 @@ SecPb::predictEntryWork(const PbEntry &e) const
         ++d.macsComputed;
     if (!e.vBmt) {
         ++d.bmtRootUpdates;
-        d.bmtLevelsWalked += _walker.tree().numLevels();
+        d.bmtLevelsWalked +=
+            _policy->crashBmtLevels(_walker.tree().numLevels());
     }
     d.pmBlockWrites += 3;
     return d;
@@ -1245,6 +1272,10 @@ SecPb::crashDrainAll(
         work.mdcBlockFlushes = _ctrCache.dirtyBlocks().size() +
                                _macCache.dirtyBlocks().size();
         work.pmBlockWrites += work.mdcBlockFlushes;
+        // eADR: the hierarchy flush is as mandatory as the MDC flush --
+        // the battery contract is "everything volatile reaches PM" --
+        // and is charged up front on the same terms.
+        work.cacheLinesFlushed = _policy->crashCacheFlushLines();
     }
 
     // Persist order: complete entries oldest-first. A bounded battery
@@ -1333,6 +1364,19 @@ SecPb::crashDrainAll(
         _freeList.push_back(idx);
     }
     _drainsActive = 0;
+
+    // Triad-NVM recovery: the battery persisted only the lowest path
+    // levels; the volatile upper tree is recomputed bottom-up from the
+    // persisted frontier before verification can run. This happens on
+    // mains power at restart -- it lengthens the recovery window (the
+    // drain-latency model prices bmtNodesRebuilt) but costs the battery
+    // nothing.
+    const unsigned tree_levels = _walker.tree().numLevels();
+    const unsigned rebuild_from =
+        _policy->recoveryRebuildFromLevel(tree_levels);
+    if (rebuild_from < tree_levels)
+        work.bmtNodesRebuilt =
+            _walker.tree().rebuildFromLevel(rebuild_from);
 
     work.energySpentJ = price(work);
     return work;

@@ -29,6 +29,7 @@
 #define SECPB_SECPB_SECPB_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -52,11 +53,14 @@ namespace secpb
 
 class Capacitor;
 class EnergyModel;
+class SchemePolicy;
 
 /** SecPB structural configuration (Table I defaults). */
 struct SecPbConfig
 {
     unsigned numEntries = 32;
+    /** Scheme knobs (e.g. triad:levels=N); inert for the paper's six. */
+    SchemeParams params;
     Cycles accessLatency = 2;
     double highWatermark = 0.75;   ///< Drain trigger (fraction full).
     double lowWatermark = 0.50;    ///< Drain target (fraction full).
@@ -86,6 +90,12 @@ struct CrashWork
     std::uint64_t ciphertexts = 0;
     std::uint64_t pmBlockWrites = 0;
     std::uint64_t mdcBlockFlushes = 0;  ///< Dirty metadata-cache blocks.
+    /** eADR only: cache-hierarchy lines the battery flushes to PM. */
+    std::uint64_t cacheLinesFlushed = 0;
+    /** Triad only: volatile upper-tree nodes recomputed at recovery
+     *  (runs on mains power -- priced into the recovery window, not the
+     *  battery). */
+    std::uint64_t bmtNodesRebuilt = 0;
 
     /** @name Bounded-battery accounting (fault injection). */
     /** @{ */
@@ -136,6 +146,12 @@ class SecPb
           CryptoEngine &crypto, BmtWalker &walker,
           MetadataCache &ctr_cache, MetadataCache &mac_cache,
           WritePendingQueue &wpq, StatGroup &parent);
+
+    /** Out-of-line: _policy is an incomplete type here. */
+    ~SecPb();
+
+    /** The pluggable per-scheme behavior (src/schemes/policy.hh). */
+    const SchemePolicy &policy() const { return *_policy; }
 
     /**
      * Offer the head store of the store buffer to the SecPB.
@@ -353,6 +369,18 @@ class SecPb
     /** Functional counter increment + page re-encryption on overflow. */
     BlockCounter incrementCounter(Addr addr);
 
+    /**
+     * Counter-cache update dispatched on the policy: lazy write-back for
+     * the paper's schemes, write-through to PCM for SecPM.
+     */
+    Cycles counterWriteAccess(Addr addr);
+
+    /**
+     * Triad-NVM drain cost: write the lowest @p levels node levels of
+     * @p addr's BMT path through the node cache to PCM.
+     */
+    void persistBmtPathPrefix(Addr addr, unsigned levels);
+
     /** Re-encrypt a page after a minor-counter overflow. */
     void reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb);
 
@@ -384,6 +412,7 @@ class SecPb
     EventQueue &_eq;
     Scheme _scheme;
     SchemeTraits _traits;
+    std::unique_ptr<SchemePolicy> _policy;
     SecPbConfig _cfg;
     const MetadataLayout &_layout;
     SecurityKeys _keys;

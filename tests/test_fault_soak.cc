@@ -3,10 +3,11 @@
  * Randomized crash-consistency soak: the fault-injection subsystem's
  * acceptance test.
  *
- * Sweeps all six SecPB schemes across randomized crash points (cycle- or
- * persist-triggered), battery budgets (from unbounded down to a sliver),
- * tamper loads, and synthetic workloads -- fully deterministic from one
- * seed. Every trial must satisfy:
+ * Sweeps the full secure scheme zoo -- the paper's six SecPB schemes plus
+ * secpm/triad/eadr/stream (scheme = trial mod std::size(SchemeZoo)) --
+ * across randomized crash points (cycle- or persist-triggered), battery
+ * budgets (from unbounded down to a sliver), tamper loads, and synthetic
+ * workloads -- fully deterministic from one seed. Every trial must satisfy:
  *
  *  - recovery of the (possibly bounded) drain is consistent: the drained
  *    entries form an in-order prefix, abandoned residencies recover at
@@ -53,6 +54,7 @@ constexpr const char *SoakProfiles[] = {
 struct TrialSetup
 {
     Scheme scheme;
+    SchemeParams params;
     const char *profile;
     std::uint64_t instructions;
     std::uint64_t workloadSeed;
@@ -61,7 +63,7 @@ struct TrialSetup
     std::string
     describe() const
     {
-        return std::string("scheme=") + schemeName(scheme) +
+        return std::string("scheme=") + schemeSpecName(scheme, params) +
                " profile=" + profile +
                " instrs=" + std::to_string(instructions) +
                " wseed=" + std::to_string(workloadSeed) + " " +
@@ -70,10 +72,14 @@ struct TrialSetup
 };
 
 TrialSetup
-drawTrial(Rng &rng)
+drawTrial(std::uint64_t trial, Rng &rng)
 {
     TrialSetup t;
-    t.scheme = SecPbSchemes[rng.below(std::size(SecPbSchemes))];
+    // Round-robin over the zoo so every scheme soaks regardless of the
+    // trial count; the triad depth cycles through its useful range.
+    t.scheme = SchemeZoo[trial % std::size(SchemeZoo)];
+    if (t.scheme == Scheme::Triad)
+        t.params.triadLevels = 1 + static_cast<unsigned>(trial % 4);
     t.profile = SoakProfiles[rng.below(std::size(SoakProfiles))];
     t.instructions = 8'000 + rng.below(8'000);
     t.workloadSeed = rng.next();
@@ -112,13 +118,14 @@ TEST(FaultSoak, RandomizedCrashTamperSweep)
         // Independent per-trial stream: one trial is reproducible
         // without replaying its predecessors.
         Rng rng(seed * 0x9e3779b97f4a7c15ULL + trial);
-        const TrialSetup t = drawTrial(rng);
+        const TrialSetup t = drawTrial(trial, rng);
         const std::string repro =
             "SECPB_SOAK_SEED=" + std::to_string(seed) +
             " trial=" + std::to_string(trial) + " " + t.describe();
 
         SystemConfig cfg;
         cfg.scheme = t.scheme;
+        cfg.secpb.params = t.params;
         cfg.pmDataBytes = 1ULL << 30;
         SecPbSystem sys(cfg);
         SyntheticGenerator gen(profileByName(t.profile), t.instructions,
@@ -150,6 +157,8 @@ TEST(FaultSoak, RandomizedCrashTamperSweep)
             // discretionary entry drains must fit in what remains.
             CrashWork flush_only;
             flush_only.pmBlockWrites = r.crash.work.mdcBlockFlushes;
+            // eADR's hierarchy flush is part of the same mandatory floor.
+            flush_only.cacheLinesFlushed = r.crash.work.cacheLinesFlushed;
             const double floor =
                 sys.energyModel().actualCrashEnergy(flush_only);
             const double budget = *t.plan.batteryFraction *

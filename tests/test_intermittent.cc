@@ -145,7 +145,7 @@ TEST(Intermittent, CrashRecoverCrashSurvivesEverySecureScheme)
     // crash must recover prefix-consistently: zero silent acceptance.
     const PowerScheduleSpec spec = PowerScheduleSpec::parse(
         "cycles=3,seed=21,brownout=0.6,interrupt=0.6,tamper-max=2");
-    for (Scheme scheme : SecPbSchemes) {
+    for (Scheme scheme : SchemeZoo) {
         IntermittentPowerInjector inj(batteryConfig(scheme), spec,
                                       "omnetpp");
         const IntermittentReport r = inj.run();

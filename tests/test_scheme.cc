@@ -94,15 +94,79 @@ TEST(Scheme, OnlySecWtSkipsCoalescing)
 
 TEST(Scheme, NamesRoundTrip)
 {
-    for (Scheme s : {Scheme::Bbb, Scheme::Sp, Scheme::SecWt, Scheme::Cobcm,
-                     Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M,
-                     Scheme::NoGap})
+    for (Scheme s : SchemeList)
         EXPECT_EQ(parseScheme(schemeName(s)), s);
+    ASSERT_EQ(std::size(SchemeList), 13u);
 }
 
-TEST(Scheme, ParseUnknownIsFatal)
+TEST(Scheme, NamesAreCanonicalLowercase)
+{
+    for (Scheme s : SchemeList) {
+        const std::string name = schemeName(s);
+        for (char c : name)
+            EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)))
+                << name;
+    }
+}
+
+TEST(Scheme, ParseIsCaseInsensitive)
+{
+    // Legacy mixed-case spellings from older CLIs/configs keep parsing.
+    EXPECT_EQ(parseScheme("COBCM"), Scheme::Cobcm);
+    EXPECT_EQ(parseScheme("CM"), Scheme::Cm);
+    EXPECT_EQ(parseScheme("NoGap"), Scheme::NoGap);
+    EXPECT_EQ(parseScheme("Sec_WT"), Scheme::SecWt);
+    EXPECT_EQ(parseScheme("eADR"), Scheme::Eadr);
+    EXPECT_EQ(parseScheme("SecPM"), Scheme::Secpm);
+}
+
+TEST(Scheme, ParseTriadLevelsSpec)
+{
+    SchemeParams params;
+    EXPECT_EQ(parseSchemeSpec("triad:levels=3", &params), Scheme::Triad);
+    EXPECT_EQ(params.triadLevels, 3u);
+    EXPECT_EQ(schemeSpecName(Scheme::Triad, params), "triad:levels=3");
+    EXPECT_EQ(schemeSpecName(Scheme::Cobcm, params), "cobcm");
+
+    // Bare "triad" keeps the default.
+    SchemeParams def;
+    EXPECT_EQ(parseSchemeSpec("triad", &def), Scheme::Triad);
+    EXPECT_EQ(def.triadLevels, 2u);
+}
+
+TEST(Scheme, BadSpecsAreFatal)
 {
     EXPECT_DEATH(parseScheme("banana"), "unknown scheme");
+    EXPECT_DEATH(parseSchemeSpec("cobcm:levels=2"), "takes no parameters");
+    EXPECT_DEATH(parseSchemeSpec("triad:levels=0"), "triad level");
+    EXPECT_DEATH(parseSchemeSpec("triad:depth=2"), "bad triad spec");
+}
+
+TEST(Scheme, ZooTraits)
+{
+    // SecPM: lazy BMT only; the counter persists with the data.
+    const SchemeTraits secpm = schemeTraits(Scheme::Secpm);
+    EXPECT_TRUE(secpm.secure);
+    EXPECT_TRUE(secpm.earlyCounter);
+    EXPECT_FALSE(secpm.earlyBmt);
+    EXPECT_TRUE(secpm.earlyMac);
+
+    // Triad: BCM-like runtime split.
+    EXPECT_EQ(schemeTraits(Scheme::Triad).earlyOtp,
+              schemeTraits(Scheme::Bcm).earlyOtp);
+    EXPECT_FALSE(schemeTraits(Scheme::Triad).earlyBmt);
+
+    // eADR: COBCM-lazy runtime.
+    const SchemeTraits eadr = schemeTraits(Scheme::Eadr);
+    EXPECT_TRUE(eadr.secure);
+    EXPECT_FALSE(eadr.earlyCounter);
+    EXPECT_FALSE(eadr.earlyMac);
+
+    // Stream: NoGap-eager tuple.
+    const SchemeTraits stream = schemeTraits(Scheme::Stream);
+    EXPECT_TRUE(stream.earlyBmt);
+    EXPECT_TRUE(stream.earlyMac);
+    EXPECT_TRUE(stream.coalesceValueIndependent);
 }
 
 TEST(Scheme, SweepListCoversAllSixLaziestFirst)
@@ -110,4 +174,19 @@ TEST(Scheme, SweepListCoversAllSixLaziestFirst)
     ASSERT_EQ(std::size(SecPbSchemes), 6u);
     EXPECT_EQ(SecPbSchemes[0], Scheme::Cobcm);
     EXPECT_EQ(SecPbSchemes[5], Scheme::NoGap);
+}
+
+TEST(Scheme, ZooExtendsTheSixWithRelatedWork)
+{
+    ASSERT_EQ(std::size(SchemeZoo), 10u);
+    // Prefix is exactly the paper's six, same order.
+    for (unsigned i = 0; i < std::size(SecPbSchemes); ++i)
+        EXPECT_EQ(SchemeZoo[i], SecPbSchemes[i]);
+    EXPECT_EQ(SchemeZoo[6], Scheme::Secpm);
+    EXPECT_EQ(SchemeZoo[7], Scheme::Triad);
+    EXPECT_EQ(SchemeZoo[8], Scheme::Eadr);
+    EXPECT_EQ(SchemeZoo[9], Scheme::Stream);
+    // Every zoo scheme is secure (the zoo sweeps the recovery verifier).
+    for (Scheme s : SchemeZoo)
+        EXPECT_TRUE(schemeTraits(s).secure) << schemeName(s);
 }

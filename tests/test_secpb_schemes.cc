@@ -39,14 +39,16 @@ INSTANTIATE_TEST_SUITE_P(
     Spectrum, AllSchemes,
     ::testing::Values(Scheme::Bbb, Scheme::Sp, Scheme::SecWt,
                       Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm, Scheme::Cm,
-                      Scheme::M, Scheme::NoGap),
+                      Scheme::M, Scheme::NoGap, Scheme::Secpm,
+                      Scheme::Triad, Scheme::Eadr, Scheme::Stream),
     [](const auto &info) { return std::string(schemeName(info.param)); });
 
 INSTANTIATE_TEST_SUITE_P(
     Spectrum, SecureSchemes,
     ::testing::Values(Scheme::Sp, Scheme::SecWt, Scheme::Cobcm,
                       Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M,
-                      Scheme::NoGap),
+                      Scheme::NoGap, Scheme::Secpm, Scheme::Triad,
+                      Scheme::Eadr, Scheme::Stream),
     [](const auto &info) { return std::string(schemeName(info.param)); });
 
 TEST_P(AllSchemes, RunsScriptedWorkloadToCompletion)
@@ -230,4 +232,138 @@ TEST_P(SecureSchemes, ReplayedTupleFailsBmtVerification)
         verifier.verifyAll(sys.pm(), sys.tree(), sys.oracle());
     EXPECT_GT(report.bmtFailures + report.plaintextMismatches, 0u)
         << schemeName(GetParam());
+}
+
+// ---------------------------------------------------------------------------
+// Scheme-zoo invariants: the per-design behavior each related-work scheme
+// plugs in through its SchemePolicy.
+// ---------------------------------------------------------------------------
+
+TEST(SchemeZoo, SecpmCounterWriteThroughKeepsCtrCacheClean)
+{
+    // SecPM writes counters through to PCM, so the persistent copy is
+    // always current and a crash never owes a counter-cache flush.
+    SecPbSystem sys(cfgFor(Scheme::Secpm));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 24 * BlockSize; a += BlockSize)
+        gen.store(a, a + 11);
+    sys.run(gen);
+    EXPECT_TRUE(sys.ctrCache().dirtyBlocks().empty());
+
+    // Contrast: the same run under BCM (also early-counter, but lazy
+    // write-back) leaves dirty counter blocks behind.
+    SecPbSystem lazy(cfgFor(Scheme::Bcm));
+    ScriptedGenerator gen2;
+    for (Addr a = 0; a < 24 * BlockSize; a += BlockSize)
+        gen2.store(a, a + 11);
+    lazy.run(gen2);
+    EXPECT_FALSE(lazy.ctrCache().dirtyBlocks().empty());
+
+    CrashReport cr = sys.crashNow();
+    EXPECT_TRUE(cr.recovered);
+}
+
+TEST(SchemeZoo, TriadFewerPersistedLevelsMeansMoreRebuildWork)
+{
+    std::uint64_t rebuilt_at_two = 0;
+    for (unsigned levels : {2u, 1u}) {
+        SystemConfig cfg = cfgFor(Scheme::Triad);
+        cfg.secpb.params.triadLevels = levels;
+        SecPbSystem sys(cfg);
+        ScriptedGenerator gen;
+        for (int i = 0; i < 40; ++i)
+            gen.store((i % 16) * BlockSize,
+                      0x2000u + static_cast<std::uint64_t>(i));
+        sys.run(gen);
+        CrashReport cr = sys.crashNow();
+        ASSERT_TRUE(cr.recovered) << "triad:levels=" << levels;
+        EXPECT_GT(cr.work.bmtNodesRebuilt, 0u);
+        if (levels == 2)
+            rebuilt_at_two = cr.work.bmtNodesRebuilt;
+        else
+            EXPECT_GT(cr.work.bmtNodesRebuilt, rebuilt_at_two);
+    }
+}
+
+TEST(SchemeZoo, TriadRebuildRepairsTamperedVolatileNode)
+{
+    // The rebuild is not vacuous: forging a node in the volatile upper
+    // region is caught by verification, and rebuildFromLevel() restores
+    // exactly the pre-tamper tree.
+    SystemConfig cfg = cfgFor(Scheme::Triad);
+    cfg.secpb.params.triadLevels = 1;
+    SecPbSystem sys(cfg);
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 12 * BlockSize; a += BlockSize)
+        gen.store(a, a + 9);
+    sys.run(gen);
+    CrashReport cr = sys.crashNow();
+    ASSERT_TRUE(cr.recovered);
+
+    BonsaiMerkleTree &tree = sys.tree();
+    const Digest good_root = tree.root();
+    const unsigned lvl = 1;  // volatile under triad:levels=1
+    ASSERT_TRUE(tree.hasNode(lvl, 0));
+    BmtNode forged = tree.node(lvl, 0);
+    forged.child[0] ^= 0xDEADULL;
+    ASSERT_TRUE(tree.tamperNode(lvl, 0, forged));
+
+    RecoveryVerifier verifier(sys.layout(), sys.config().keys);
+    RecoveryReport bad = verifier.verifyAll(sys.pm(), tree, sys.oracle());
+    EXPECT_GT(bad.bmtFailures, 0u);  // zero silent acceptance
+
+    EXPECT_GT(tree.rebuildFromLevel(lvl), 0u);
+    EXPECT_EQ(tree.root(), good_root);
+    RecoveryReport good = verifier.verifyAll(sys.pm(), tree, sys.oracle());
+    EXPECT_EQ(good.bmtFailures, 0u);
+}
+
+TEST(SchemeZoo, EadrPricesWholeHierarchyFlush)
+{
+    SecPbSystem sys(cfgFor(Scheme::Eadr));
+    ScriptedGenerator gen;
+    for (Addr a = 0; a < 8 * BlockSize; a += BlockSize)
+        gen.store(a, a + 5);
+    sys.run(gen);
+
+    const HierarchyFootprint h;
+    const std::uint64_t lines =
+        (h.l1Bytes + h.l2Bytes + h.l3Bytes) / BlockSize;
+    EXPECT_EQ(sys.secpb().predictCrashDrainWork().cacheLinesFlushed, lines);
+
+    CrashReport cr = sys.crashNow();
+    ASSERT_TRUE(cr.recovered);
+    EXPECT_EQ(cr.work.cacheLinesFlushed, lines);
+    EXPECT_GT(cr.actualEnergyJ, 0.0);
+    EXPECT_LE(cr.actualEnergyJ, cr.provisionedEnergyJ);
+
+    // The provisioned battery must cover the hierarchy: strictly larger
+    // than the same-size COBCM SecPB battery.
+    SecPbSystem cob(cfgFor(Scheme::Cobcm));
+    EXPECT_GT(sys.provisionedCrashEnergy(), cob.provisionedCrashEnergy());
+}
+
+TEST(SchemeZoo, StreamNotSlowerThanNoGapSameSecurity)
+{
+    // Streamlined BMT issue keeps NoGap's eager tuple but unblocks the
+    // store at pipelined walk issue, so it can never run slower.
+    auto runOne = [](Scheme s) {
+        SecPbSystem sys(cfgFor(s));
+        ScriptedGenerator gen;
+        for (int i = 0; i < 60; ++i)
+            gen.store((i % 20) * BlockSize,
+                      0x3000u + static_cast<std::uint64_t>(i));
+        return sys.run(gen).execTicks;
+    };
+    EXPECT_LE(runOne(Scheme::Stream), runOne(Scheme::NoGap));
+
+    // Crash mid-run with walks still retiring in the background: the
+    // functionally-eager tree must still verify.
+    SecPbSystem sys(cfgFor(Scheme::Stream));
+    const BenchmarkProfile &p = profileByName("gcc");
+    SyntheticGenerator gen(p, 20'000, /*seed=*/3);
+    sys.start(gen);
+    sys.runUntil(5'000);
+    CrashReport cr = sys.crashNow();
+    EXPECT_TRUE(cr.recovered);
 }

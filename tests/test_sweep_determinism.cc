@@ -71,7 +71,7 @@ TEST(SweepDeterminism, Jobs1AndJobs8ProduceByteIdenticalJson)
 
     // Sanity: the projection actually contains measured data.
     EXPECT_NE(serial.find("\"exec_ticks\":"), std::string::npos);
-    EXPECT_NE(serial.find("\"label\": \"lbm/NoGap\""), std::string::npos);
+    EXPECT_NE(serial.find("\"label\": \"lbm/nogap\""), std::string::npos);
 }
 
 TEST(SweepDeterminism, OnlyHostSecondsAreBlanked)
