@@ -80,6 +80,23 @@ bench_fig6_smoke(std::uint64_t instr, std::uint64_t seed, unsigned reps)
 }
 
 /**
+ * The full-scale fig6 point: one COBCM run at the paper's 250M-instruction
+ * horizon (gamess, the heaviest-drain profile). Unlike the smoke slice
+ * this runs long enough for every hot table to reach steady-state
+ * occupancy, so allocator and hash-table pathologies that a 20k-instr rep
+ * amortizes away dominate the wall clock. One rep only -- at this horizon
+ * a single run is past timing noise and CI budgets are finite.
+ */
+double
+bench_fig6_full(std::uint64_t instr, std::uint64_t seed)
+{
+    return best_of(1, [&] {
+        runOne(Scheme::Cobcm, profileByName("gamess"), instr, 32,
+               BmfMode::None, seed);
+    });
+}
+
+/**
  * The server-workload smoke slice: the heavy-traffic generators through
  * the full stack on the server machine model, BBB vs COBCM. This is the
  * path the workload front end adds -- registry dispatch, the queue
@@ -232,6 +249,8 @@ main(int argc, char **argv)
     unsigned reps = 3;
     std::uint64_t instr = 20'000;
     std::uint64_t seed = benchSeed();
+    bool fig6_full = false;
+    std::uint64_t fig6_full_instr = 250'000'000;
 
     auto need = [&](int i) -> const char * {
         fatal_if(i + 1 >= argc, "perf_baseline: flag %s needs a value",
@@ -256,6 +275,11 @@ main(int argc, char **argv)
         } else if (a == "--seed") {
             seed = std::strtoull(need(i), nullptr, 10);
             ++i;
+        } else if (a == "--fig6-full") {
+            fig6_full = true;
+        } else if (a == "--fig6-full-instr") {
+            fig6_full_instr = std::strtoull(need(i), nullptr, 10);
+            ++i;
         } else if (a == "--jobs") {
             // Accepted for CLI uniformity with the sweep binaries, but
             // wall-clock timing is inherently single-threaded here.
@@ -265,9 +289,12 @@ main(int argc, char **argv)
             std::printf(
                 "usage: perf_baseline [--json PATH] [--label NAME]\n"
                 "                     [--reps N] [--instr N] [--seed N]\n"
+                "                     [--fig6-full] [--fig6-full-instr N]\n"
                 "Times the fig6 smoke sweep, the event-kernel\n"
                 "microbenches, and the BMT walker; writes a\n"
-                "secpb.perf_baseline JSON for tools/compare_bench.py.\n");
+                "secpb.perf_baseline JSON for tools/compare_bench.py.\n"
+                "--fig6-full adds one paper-scale (250M instr) COBCM\n"
+                "point, reported as fig6_full_wall_s / fig6_full_mips.\n");
             return 0;
         } else {
             fatal("perf_baseline: unknown flag '%s' (try --help)",
@@ -298,6 +325,15 @@ main(int argc, char **argv)
     std::fprintf(stderr, "  event_chain_mops    %.2f\n", chain);
     const double walks = bench_walker_update(kWalks, reps);
     std::fprintf(stderr, "  walker_update_mops  %.2f\n", walks);
+    double fig6_full_s = 0.0;
+    double fig6_full_mips = 0.0;
+    if (fig6_full) {
+        fig6_full_s = bench_fig6_full(fig6_full_instr, seed);
+        fig6_full_mips = static_cast<double>(fig6_full_instr) /
+                         fig6_full_s / 1e6;
+        std::fprintf(stderr, "  fig6_full_wall_s    %.3f (%.2f Minstr/s)\n",
+                     fig6_full_s, fig6_full_mips);
+    }
 
     if (json_path.empty())
         return 0;
@@ -318,6 +354,8 @@ main(int argc, char **argv)
     w.field("event_burst_events", kWaves * kPerWave);
     w.field("event_chain_length", kChain);
     w.field("walker_updates", kWalks);
+    if (fig6_full)
+        w.field("fig6_full_instr", fig6_full_instr);
     w.endObject();
     w.key("metrics");
     w.beginObject();
@@ -328,6 +366,10 @@ main(int argc, char **argv)
     w.field("event_burst_mops", burst);
     w.field("event_chain_mops", chain);
     w.field("walker_update_mops", walks);
+    if (fig6_full) {
+        w.field("fig6_full_wall_s", fig6_full_s);
+        w.field("fig6_full_mips", fig6_full_mips);
+    }
     w.endObject();
     w.endObject();
     out << "\n";

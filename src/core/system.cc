@@ -15,6 +15,12 @@ SecPbSystem::SecPbSystem(const SystemConfig &cfg)
       _counters(_layout),
       _energy(EnergyCosts{}, 0 /* placeholder, fixed below */)
 {
+    // Pre-size the sparse PM image and counter store to the expected
+    // touched footprint so warm-up growth of the open-addressing tables
+    // stops skewing short runs.
+    _pm.reserve(cfg.pmReserveDataBlocks, cfg.pmReserveCounterPages);
+    _counters.reserve(cfg.pmReserveCounterPages);
+
     _pcm = std::make_unique<PcmModel>(_eq, cfg.pcm, _rootStats);
     _dcache = std::make_unique<DataHierarchy>(cfg.dataCache, *_pcm,
                                               _rootStats);

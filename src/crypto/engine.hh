@@ -65,6 +65,32 @@ class PipelinedUnit
     std::uint64_t requests() const { return _requests; }
     Tick readyAt() const { return _readyAt; }
 
+    /**
+     * @name Coalesced request trains
+     * A burst of same-tick requests forms an arithmetic train: op i
+     * issues at first_issue + i*interval and completes latency later,
+     * exactly what sequential request() calls would produce. beginTrain()
+     * snapshots the first issue tick; commitTrain() folds the whole train
+     * into the unit's occupancy in one update. Callbacks are not
+     * supported on trains -- burst users price completions, they don't
+     * wait on them.
+     * @{
+     */
+    Tick beginTrain() const { return std::max(_eq.curTick(), _readyAt); }
+
+    void
+    commitTrain(Tick first_issue, std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        _readyAt = first_issue + count * _interval;
+        _requests += count;
+    }
+
+    Cycles latency() const { return _latency; }
+    Cycles interval() const { return _interval; }
+    /** @} */
+
   private:
     EventQueue &_eq;
     Cycles _latency;
@@ -120,6 +146,80 @@ class CryptoEngine
     const CryptoLatencies &latencies() const { return _lat; }
     PipelinedUnit &aesUnit() { return _aesUnit; }
     PipelinedUnit &macUnit() { return _macUnit; }
+
+    /**
+     * Batched drain crypto: prices a burst of OTP/MAC generations as one
+     * coalesced request train per unit.
+     *
+     * Pricing contract: each otp()/mac() call charges the identical
+     * completion tick, emits the identical trace span, and bumps the
+     * identical stats as the equivalent generateOtp()/generateMac() call
+     * sequence issued at the same tick -- op i of a unit's train issues
+     * at first_issue + i*interval. The only difference is that the unit's
+     * occupancy state is written once per unit at commit instead of once
+     * per op, so a 64-block page regeneration touches each pipeline
+     * twice, not 128 times. Callbacks are not supported (bursts price
+     * work; waiters use the per-call path). No ops may be issued after
+     * commit(); the destructor commits automatically.
+     */
+    class RegenBurst
+    {
+      public:
+        explicit RegenBurst(CryptoEngine &eng)
+            : _eng(eng),
+              _otpBase(eng.aesUnit().beginTrain()),
+              _macBase(eng.macUnit().beginTrain())
+        {}
+
+        RegenBurst(const RegenBurst &) = delete;
+        RegenBurst &operator=(const RegenBurst &) = delete;
+
+        ~RegenBurst() { commit(); }
+
+        /** Price one pad generation. @return finish tick. */
+        Tick
+        otp()
+        {
+            ++_eng.statOtpGenerated;
+            const CryptoLatencies &lat = _eng.latencies();
+            const Tick completion =
+                _otpBase + _otpCount * lat.aesInterval + lat.aesPad;
+            ++_otpCount;
+            TRACE_SPAN("crypto", "otp", completion - lat.aesPad, completion);
+            return completion;
+        }
+
+        /** Price one MAC computation. @return finish tick. */
+        Tick
+        mac()
+        {
+            ++_eng.statMacGenerated;
+            const CryptoLatencies &lat = _eng.latencies();
+            const Tick completion =
+                _macBase + _macCount * lat.macInterval + lat.macHash;
+            ++_macCount;
+            TRACE_SPAN("crypto", "mac", completion - lat.macHash,
+                       completion);
+            return completion;
+        }
+
+        /** Fold the burst into both units' occupancy. */
+        void
+        commit()
+        {
+            _eng.aesUnit().commitTrain(_otpBase, _otpCount);
+            _eng.macUnit().commitTrain(_macBase, _macCount);
+            _otpCount = 0;
+            _macCount = 0;
+        }
+
+      private:
+        CryptoEngine &_eng;
+        Tick _otpBase;
+        Tick _macBase;
+        std::uint64_t _otpCount = 0;
+        std::uint64_t _macCount = 0;
+    };
 
   private:
     CryptoLatencies _lat;

@@ -37,7 +37,12 @@ mix64(std::uint64_t x)
     return x;
 }
 
-/** Hash an arbitrary byte range with a seed. */
+/**
+ * Hash an arbitrary byte range with a seed. This is the heavyweight
+ * generic hash (full per-word mix); workload seeding depends on its
+ * exact values, so it must not change. Digest-producing hot paths use
+ * hashWords/hashBlock below instead.
+ */
 inline Digest
 hashBytes(const std::uint8_t *data, std::size_t len, std::uint64_t seed)
 {
@@ -57,11 +62,40 @@ hashBytes(const std::uint8_t *data, std::size_t len, std::uint64_t seed)
     return mix64(h);
 }
 
-/** Hash a whole 64-byte block. */
+/**
+ * Hash @p n native 64-bit words -- the digest chain of the metadata
+ * models (BMT nodes, counter blocks, MACs). The per-word step
+ * (h ^ w) * odd-prime is a bijection of h for fixed w and of w for
+ * fixed h, so changing any input word always changes the final digest:
+ * single-block tamper detection never aliases away. The splitmix64
+ * finalizer supplies output avalanche. One multiply per word (instead
+ * of a full mix) keeps the functional BMT walk -- seven node hashes per
+ * update -- cheap enough to stay off the simulator's host critical
+ * path; digests are only ever compared internally, so their exact
+ * values are not part of any output contract.
+ */
+inline Digest
+hashWords(const std::uint64_t *words, std::size_t n, std::uint64_t seed)
+{
+    std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL + n * 8);
+    for (std::size_t i = 0; i < n; ++i)
+        h = (h ^ words[i]) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+/**
+ * Hash a whole 64-byte block: hashWords over its eight native words.
+ * Bit-identical to hashWords() on word-structured metadata serialized
+ * with setBlockWord (both sides memcpy the native representation), so
+ * e.g. a BMT node can hash its child array in place and match the
+ * digest of its packed wire form.
+ */
 inline Digest
 hashBlock(const BlockData &b, std::uint64_t seed)
 {
-    return hashBytes(b.data(), b.size(), seed);
+    std::uint64_t w[WordsPerBlock];
+    std::memcpy(w, b.data(), sizeof(w));
+    return hashWords(w, WordsPerBlock, seed);
 }
 
 } // namespace secpb

@@ -5,7 +5,8 @@
  * Everything that would survive power loss lives here: data ciphertext,
  * split-counter blocks, MACs. (BMT nodes are owned by BonsaiMerkleTree,
  * which is likewise treated as PM-resident; the root lives in an on-chip
- * battery-backed register.) Sparse maps keep an 8 GB device cheap to model.
+ * battery-backed register.) Sparse open-addressing tables keep an 8 GB
+ * device cheap to model while staying cache-friendly on the persist path.
  * Tamper hooks let integrity tests corrupt state the way a physical
  * attacker would.
  */
@@ -14,11 +15,11 @@
 #define SECPB_MEM_PM_IMAGE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "crypto/cipher.hh"
 #include "crypto/counters.hh"
 #include "mem/block_data.hh"
+#include "mem/flat_map.hh"
 #include "sim/types.hh"
 
 namespace secpb
@@ -32,8 +33,8 @@ class PmImage
     BlockData
     readData(Addr block_addr) const
     {
-        auto it = _data.find(blockAlign(block_addr));
-        return it != _data.end() ? it->second : zeroBlock();
+        const BlockData *b = _data.find(blockAlign(block_addr));
+        return b ? *b : zeroBlock();
     }
 
     /** Persist the ciphertext of a data block. */
@@ -47,15 +48,15 @@ class PmImage
     bool
     hasData(Addr block_addr) const
     {
-        return _data.count(blockAlign(block_addr)) != 0;
+        return _data.contains(blockAlign(block_addr));
     }
 
     /** Read the counter block for page @p page_idx (default if untouched). */
     CounterBlock
     readCounterBlock(std::uint64_t page_idx) const
     {
-        auto it = _counters.find(page_idx);
-        return it != _counters.end() ? it->second : CounterBlock{};
+        const CounterBlock *cb = _counters.find(page_idx);
+        return cb ? *cb : CounterBlock{};
     }
 
     /** Persist a counter block. */
@@ -69,8 +70,8 @@ class PmImage
     MacValue
     readMac(Addr block_addr) const
     {
-        auto it = _macs.find(blockAlign(block_addr));
-        return it != _macs.end() ? it->second : 0;
+        const MacValue *m = _macs.find(blockAlign(block_addr));
+        return m ? *m : 0;
     }
 
     /** Persist a MAC. */
@@ -83,26 +84,31 @@ class PmImage
     /** Number of distinct data blocks ever persisted. */
     std::size_t numDataBlocks() const { return _data.size(); }
 
-    /** All persisted data block addresses (for recovery scans). */
+    /**
+     * All persisted data block addresses, sorted (recovery scans). The
+     * sorted dump is the canonical order: recovery work is identical
+     * regardless of the table's probe history.
+     */
     std::vector<Addr>
     dataBlockAddrs() const
     {
-        std::vector<Addr> out;
-        out.reserve(_data.size());
-        for (const auto &kv : _data)
-            out.push_back(kv.first);
-        return out;
+        return _data.sortedKeys();
     }
 
-    /** All page indices with a persisted counter block (restore scans). */
+    /** All page indices with a persisted counter block, sorted. */
     std::vector<std::uint64_t>
     counterPages() const
     {
-        std::vector<std::uint64_t> out;
-        out.reserve(_counters.size());
-        for (const auto &kv : _counters)
-            out.push_back(kv.first);
-        return out;
+        return _counters.sortedKeys();
+    }
+
+    /** Pre-size the hot tables (warm-up rehash churn skews short reps). */
+    void
+    reserve(std::size_t data_blocks, std::size_t pages)
+    {
+        _data.reserve(data_blocks);
+        _macs.reserve(data_blocks);
+        _counters.reserve(pages);
     }
 
     /**
@@ -159,9 +165,9 @@ class PmImage
     /** @} */
 
   private:
-    std::unordered_map<Addr, BlockData> _data;
-    std::unordered_map<std::uint64_t, CounterBlock> _counters;
-    std::unordered_map<Addr, MacValue> _macs;
+    FlatMap<Addr, BlockData> _data;
+    FlatMap<std::uint64_t, CounterBlock> _counters;
+    FlatMap<Addr, MacValue> _macs;
 };
 
 } // namespace secpb

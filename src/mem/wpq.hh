@@ -15,9 +15,9 @@
 #define SECPB_MEM_WPQ_HH
 
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
+#include "mem/flat_map.hh"
 #include "mem/pcm.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
@@ -53,7 +53,7 @@ class WritePendingQueue
     push(Addr addr)
     {
         const Addr aligned = blockAlign(addr);
-        if (_queued.count(aligned)) {
+        if (_queued.contains(aligned)) {
             ++statCoalesced;
             return true;
         }
@@ -106,7 +106,7 @@ class WritePendingQueue
     EventQueue &_eq;
     PcmModel &_pcm;
     unsigned _numEntries;
-    std::unordered_set<Addr> _queued;
+    FlatSet<Addr> _queued;
     std::vector<EventCallback> _waiters;
     StatGroup _stats;
 

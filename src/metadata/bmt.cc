@@ -1,5 +1,7 @@
 #include "metadata/bmt.hh"
 
+#include <utility>
+
 #include "crypto/counters.hh"
 
 namespace secpb
@@ -11,12 +13,19 @@ BonsaiMerkleTree::BonsaiMerkleTree(std::uint64_t num_leaves,
 {
     fatal_if(num_leaves == 0, "BMT needs at least one leaf");
 
-    // Count node levels until a single node covers everything.
+    // Count node levels until a single node covers everything, recording
+    // each level's dense width as we go. Chunk pointer tables are sized
+    // up front (a few KB total even for 8 GB PM); the chunks themselves
+    // materialize on first touch.
     _numLevels = 0;
     std::uint64_t width = num_leaves;
     do {
         width = (width + 7) / 8;
         ++_numLevels;
+        Level lv;
+        lv.width = width;
+        lv.chunks.resize((width + kChunkNodes - 1) >> kChunkShift);
+        _levels.push_back(std::move(lv));
     } while (width > 1);
 
     // Default digests, bottom-up. _defaultDigest[0] is the digest of an
@@ -32,19 +41,60 @@ BonsaiMerkleTree::BonsaiMerkleTree(std::uint64_t num_leaves,
     _root = _defaultDigest[_numLevels];
 }
 
+BonsaiMerkleTree::BonsaiMerkleTree(const BonsaiMerkleTree &other)
+    : _numLeaves(other._numLeaves), _numLevels(other._numLevels),
+      _seed(other._seed), _root(other._root),
+      _defaultDigest(other._defaultDigest),
+      _touchedCount(other._touchedCount)
+{
+    _levels.resize(other._levels.size());
+    for (std::size_t l = 0; l < other._levels.size(); ++l) {
+        _levels[l].width = other._levels[l].width;
+        _levels[l].chunks.resize(other._levels[l].chunks.size());
+        for (std::size_t ci = 0; ci < other._levels[l].chunks.size(); ++ci)
+            if (const Chunk *c = other._levels[l].chunks[ci].get())
+                _levels[l].chunks[ci] = std::make_unique<Chunk>(*c);
+    }
+}
+
+BonsaiMerkleTree &
+BonsaiMerkleTree::operator=(const BonsaiMerkleTree &other)
+{
+    if (this != &other) {
+        BonsaiMerkleTree copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
 Digest
 BonsaiMerkleTree::defaultChildDigest(unsigned level) const
 {
     return _defaultDigest[level];
 }
 
+BonsaiMerkleTree::Chunk &
+BonsaiMerkleTree::ensureChunk(unsigned level, std::uint64_t node_idx)
+{
+    auto &slot = _levels[level].chunks[node_idx >> kChunkShift];
+    if (!slot) {
+        slot = std::make_unique<Chunk>();
+        BmtNode fill;
+        fill.child.fill(defaultChildDigest(level));
+        slot->nodes.fill(fill);
+    }
+    return *slot;
+}
+
 BmtNode
 BonsaiMerkleTree::node(unsigned level, std::uint64_t index) const
 {
     panic_if(level >= _numLevels, "BMT node level %u out of range", level);
-    auto it = _nodes.find(key(level, index));
-    if (it != _nodes.end())
-        return it->second;
+    const Level &lv = _levels[level];
+    if (index < lv.width) {
+        if (const Chunk *c = lv.chunks[index >> kChunkShift].get())
+            return c->nodes[index & (kChunkNodes - 1)];
+    }
     BmtNode n;
     n.child.fill(defaultChildDigest(level));
     return n;
@@ -60,11 +110,15 @@ BonsaiMerkleTree::updateLeaf(std::uint64_t leaf_idx, Digest leaf_digest)
     for (unsigned level = 0; level < _numLevels; ++level) {
         const std::uint64_t node_idx = child_idx / 8;
         const unsigned slot = static_cast<unsigned>(child_idx % 8);
-        auto [it, inserted] = _nodes.try_emplace(key(level, node_idx));
-        if (inserted)
-            it->second.child.fill(defaultChildDigest(level));
-        it->second.child[slot] = child_digest;
-        child_digest = it->second.digest(_seed);
+        Chunk &c = ensureChunk(level, node_idx);
+        const std::uint64_t off = node_idx & (kChunkNodes - 1);
+        if (!c.touched[off]) {
+            c.touched[off] = 1;
+            ++_touchedCount;
+        }
+        BmtNode &n = c.nodes[off];
+        n.child[slot] = child_digest;
+        child_digest = n.digest(_seed);
         child_idx = node_idx;
     }
     _root = child_digest;
@@ -123,31 +177,47 @@ BonsaiMerkleTree::rebuildFromLevel(unsigned first_level)
 
     // Bottom-up: a level-L node is recomputed from its level-(L-1)
     // children, which at that point are either persisted (below
-    // first_level) or already rebuilt by the previous iteration.
+    // first_level) or already rebuilt by the previous iteration. The
+    // chunked layout makes this a scan of resident chunks' touched
+    // bitmaps instead of a full-map filter pass per level.
     std::uint64_t rebuilt = 0;
     for (unsigned level = first_level; level < _numLevels; ++level) {
-        for (auto &kv : _nodes) {
-            if (static_cast<unsigned>(kv.first >> 56) != level)
+        Level &lv = _levels[level];
+        const Level &below = _levels[level - 1];
+        for (std::size_t ci = 0; ci < lv.chunks.size(); ++ci) {
+            Chunk *c = lv.chunks[ci].get();
+            if (!c)
                 continue;
-            const std::uint64_t node_idx = kv.first & ((1ULL << 56) - 1);
-            BmtNode fresh;
-            for (unsigned slot = 0; slot < 8; ++slot) {
-                auto child = _nodes.find(
-                    key(level - 1, node_idx * 8 + slot));
-                fresh.child[slot] = child != _nodes.end()
-                                        ? child->second.digest(_seed)
-                                        : defaultChildDigest(level);
+            const std::uint64_t base = static_cast<std::uint64_t>(ci)
+                                       << kChunkShift;
+            for (std::uint64_t off = 0; off < kChunkNodes; ++off) {
+                if (!c->touched[off])
+                    continue;
+                const std::uint64_t node_idx = base + off;
+                BmtNode fresh;
+                for (unsigned slot = 0; slot < 8; ++slot) {
+                    const std::uint64_t child_idx = node_idx * 8 + slot;
+                    const Chunk *bc =
+                        child_idx < below.width
+                            ? below.chunks[child_idx >> kChunkShift].get()
+                            : nullptr;
+                    const std::uint64_t coff = child_idx & (kChunkNodes - 1);
+                    fresh.child[slot] = bc && bc->touched[coff]
+                                            ? bc->nodes[coff].digest(_seed)
+                                            : defaultChildDigest(level);
+                }
+                c->nodes[off] = fresh;
+                ++rebuilt;
             }
-            kv.second = fresh;
-            ++rebuilt;
         }
     }
 
     // The root register itself was battery-backed but stale relative to
     // the rebuilt top node; recompute it.
-    auto top = _nodes.find(key(_numLevels - 1, 0));
-    _root = top != _nodes.end() ? top->second.digest(_seed)
-                                : _defaultDigest[_numLevels];
+    const Level &top = _levels[_numLevels - 1];
+    const Chunk *tc = top.chunks.empty() ? nullptr : top.chunks[0].get();
+    _root = tc && tc->touched[0] ? tc->nodes[0].digest(_seed)
+                                 : _defaultDigest[_numLevels];
     return rebuilt;
 }
 
@@ -155,10 +225,10 @@ bool
 BonsaiMerkleTree::tamperNode(unsigned level, std::uint64_t index,
                              const BmtNode &forged)
 {
-    auto it = _nodes.find(key(level, index));
-    if (it == _nodes.end())
+    if (!hasNode(level, index))
         return false;
-    it->second = forged;
+    _levels[level].chunks[index >> kChunkShift]
+        ->nodes[index & (kChunkNodes - 1)] = forged;
     return true;
 }
 

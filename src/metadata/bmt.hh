@@ -8,10 +8,18 @@
  * nodes hold digests of counter blocks (the leaves); the top node's digest
  * is the root, kept in a battery-backed on-chip register.
  *
- * The tree is sparse: untouched subtrees take per-level default digests, so
- * an 8 GB PM (2M counter blocks) costs memory only proportional to the
- * touched footprint. Timing of updates (one hash per level, serialized in
- * the crypto engine) is modelled separately in metadata/walker.hh.
+ * Storage is a flat structure-of-arrays: each level is a dense index space
+ * of nodes backed by 64-node (4 KB) chunks allocated on first touch, plus
+ * a touched bitmap distinguishing explicitly written nodes from
+ * default-valued ones. A leaf-to-root walk is then pure index arithmetic
+ * over contiguous chunk memory -- no hashing of map keys, no per-node heap
+ * allocation. Chunking keeps materialization proportional to the touched
+ * footprint: an 8 GB PM's level 0 spans 262144 nodes (16 MB), but a
+ * workload touching 400 scattered pages allocates at most 400 chunks
+ * (~1.6 MB), each pre-filled with that level's default-child digest so
+ * sparse-tree semantics are preserved. Timing of updates (one hash per
+ * level, serialized in the crypto engine) is modelled separately in
+ * metadata/walker.hh.
  */
 
 #ifndef SECPB_METADATA_BMT_HH
@@ -19,7 +27,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "crypto/hash.hh"
@@ -44,19 +52,23 @@ struct BmtNode
         return out;
     }
 
-    /** Digest of this node's content. */
+    /**
+     * Digest of this node's content. hashWords over the child array is
+     * bit-identical to hashBlock(pack(), seed) -- pack() is a memcpy of
+     * the same native words -- without materializing the wire form.
+     */
     Digest
     digest(std::uint64_t seed) const
     {
-        const BlockData raw = pack();
-        return hashBlock(raw, seed);
+        return hashWords(child.data(), child.size(), seed);
     }
 
     bool operator==(const BmtNode &) const = default;
 };
 
 /**
- * Sparse arity-8 Merkle tree over counter blocks.
+ * Arity-8 Merkle tree over counter blocks, stored as per-level chunked
+ * dense node arrays (see file comment).
  */
 class BonsaiMerkleTree
 {
@@ -67,6 +79,13 @@ class BonsaiMerkleTree
      */
     explicit BonsaiMerkleTree(std::uint64_t num_leaves,
                               std::uint64_t seed = 0xb0a5a1b0a5a1ULL);
+
+    /** Deep copy (chunk storage is uniquely owned) -- snapshot support
+     *  for the intermittent-power injector. */
+    BonsaiMerkleTree(const BonsaiMerkleTree &other);
+    BonsaiMerkleTree &operator=(const BonsaiMerkleTree &other);
+    BonsaiMerkleTree(BonsaiMerkleTree &&) = default;
+    BonsaiMerkleTree &operator=(BonsaiMerkleTree &&) = default;
 
     /** Number of node levels between leaves and root. */
     unsigned numLevels() const { return _numLevels; }
@@ -132,7 +151,10 @@ class BonsaiMerkleTree
     bool
     hasNode(unsigned level, std::uint64_t index) const
     {
-        return _nodes.count(key(level, index)) != 0;
+        if (level >= _numLevels || index >= _levels[level].width)
+            return false;
+        const Chunk *c = _levels[level].chunks[index >> kChunkShift].get();
+        return c && c->touched[index & (kChunkNodes - 1)];
     }
 
     /** Overwrite the root register -- test hook for rollback attacks. */
@@ -155,14 +177,30 @@ class BonsaiMerkleTree
     Digest defaultLeafDigest() const { return _defaultDigest[0]; }
 
     /** Total number of explicitly stored (touched) nodes. */
-    std::size_t touchedNodes() const { return _nodes.size(); }
+    std::size_t touchedNodes() const { return _touchedCount; }
 
   private:
-    static std::uint64_t
-    key(unsigned level, std::uint64_t index)
+    /** Nodes per chunk: 64 nodes = 4 KB, one allocation granule. */
+    static constexpr std::uint64_t kChunkShift = 6;
+    static constexpr std::uint64_t kChunkNodes = 1ULL << kChunkShift;
+
+    /** One 64-node storage granule: nodes plus their touched bitmap. */
+    struct Chunk
     {
-        return (static_cast<std::uint64_t>(level) << 56) | index;
-    }
+        std::array<BmtNode, kChunkNodes> nodes;
+        std::array<std::uint8_t, kChunkNodes> touched{};
+    };
+
+    /** One node level: a dense index space backed by on-demand chunks. */
+    struct Level
+    {
+        std::uint64_t width = 0;
+        std::vector<std::unique_ptr<Chunk>> chunks;
+    };
+
+    /** Materialize the chunk covering (@p level, @p node_idx),
+     *  default-filled for that level. */
+    Chunk &ensureChunk(unsigned level, std::uint64_t node_idx);
 
     /** Child digest feeding level @p level: leaf digest or node digest. */
     Digest defaultChildDigest(unsigned level) const;
@@ -175,7 +213,11 @@ class BonsaiMerkleTree
     /** Per-level digest of an untouched child: [0] leaf, [l] node l-1. */
     std::vector<Digest> _defaultDigest;
 
-    std::unordered_map<std::uint64_t, BmtNode> _nodes;
+    /** Chunked per-level node storage, level 0 (above leaves) first. */
+    std::vector<Level> _levels;
+
+    /** Number of set bits across all touched bitmaps. */
+    std::size_t _touchedCount = 0;
 };
 
 } // namespace secpb

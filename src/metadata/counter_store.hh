@@ -12,9 +12,9 @@
 #define SECPB_METADATA_COUNTER_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "crypto/counters.hh"
+#include "mem/flat_map.hh"
 #include "metadata/layout.hh"
 
 namespace secpb
@@ -34,13 +34,20 @@ class CounterStore
   public:
     explicit CounterStore(const MetadataLayout &layout) : _layout(layout) {}
 
-    /** Current counter block for page @p page_idx. */
+    /**
+     * Current counter block for page @p page_idx.
+     *
+     * The reference points into the open-addressing table: any mutation
+     * of the store (increment of ANY page, setBlock) may grow or
+     * back-shift the table and invalidate it. Copy the block before
+     * calling back into anything that can touch counters.
+     */
     const CounterBlock &
     block(std::uint64_t page_idx) const
     {
         static const CounterBlock zero{};
-        auto it = _blocks.find(page_idx);
-        return it != _blocks.end() ? it->second : zero;
+        const CounterBlock *cb = _blocks.find(page_idx);
+        return cb ? *cb : zero;
     }
 
     /** Current (major, minor) counter for the block at @p data_addr. */
@@ -71,6 +78,9 @@ class CounterStore
     /** Number of touched counter blocks. */
     std::size_t numTouched() const { return _blocks.size(); }
 
+    /** Pre-size for @p pages touched counter blocks (warm-up churn). */
+    void reserve(std::size_t pages) { _blocks.reserve(pages); }
+
     /**
      * Install a counter block wholesale (power-cycle restore: the
      * working copy is volatile and reboots cold, so recovery reloads it
@@ -84,7 +94,7 @@ class CounterStore
 
   private:
     const MetadataLayout &_layout;
-    std::unordered_map<std::uint64_t, CounterBlock> _blocks;
+    FlatMap<std::uint64_t, CounterBlock> _blocks;
 };
 
 } // namespace secpb

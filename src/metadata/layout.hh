@@ -11,6 +11,7 @@
 #define SECPB_METADATA_LAYOUT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "crypto/counters.hh"
 #include "sim/logging.hh"
@@ -41,6 +42,16 @@ class MetadataLayout
     {
         fatal_if(data_size % PageSize != 0,
                  "PM data size must be page aligned");
+
+        // Precompute level-start offsets while levels still shrink; every
+        // level past the last entry is a single node, so its offset is
+        // reachable by adding one node per level.
+        std::uint64_t nodes = (_numPages + 7) / 8;
+        _bmtLevelOffset.push_back(0);
+        while (nodes > 1) {
+            _bmtLevelOffset.push_back(_bmtLevelOffset.back() + nodes);
+            nodes = (nodes + 7) / 8;
+        }
     }
 
     std::uint64_t dataSize() const { return _dataSize; }
@@ -94,13 +105,12 @@ class MetadataLayout
     bmtNodeAddr(unsigned level, std::uint64_t index) const
     {
         // Offsets: level 0 starts at 0; each level l has
-        // ceil(numLeaves / 8^(l+1)) nodes.
-        std::uint64_t offset = 0;
-        std::uint64_t nodes = (_numPages + 7) / 8;
-        for (unsigned l = 0; l < level; ++l) {
-            offset += nodes;
-            nodes = (nodes + 7) / 8;
-        }
+        // ceil(numLeaves / 8^(l+1)) nodes. Precomputed in the ctor;
+        // single-node levels above the precomputed top add one node each.
+        const std::size_t top = _bmtLevelOffset.size() - 1;
+        const std::uint64_t offset =
+            level <= top ? _bmtLevelOffset[level]
+                         : _bmtLevelOffset[top] + (level - top);
         return _bmtBase + (offset + index) * BlockSize;
     }
 
@@ -115,6 +125,9 @@ class MetadataLayout
     Addr _ctrBase;
     Addr _macBase;
     Addr _bmtBase;
+
+    /** Node offset of each BMT level's start, up to the first 1-node level. */
+    std::vector<std::uint64_t> _bmtLevelOffset;
 };
 
 } // namespace secpb

@@ -23,9 +23,9 @@
 #define SECPB_METADATA_WALKER_HH
 
 #include <memory>
-#include <unordered_map>
 
 #include "crypto/engine.hh"
+#include "mem/flat_map.hh"
 #include "metadata/bmt.hh"
 #include "metadata/layout.hh"
 #include "metadata/metadata_cache.hh"
@@ -128,12 +128,11 @@ class BmtWalker
         // Merge into an in-flight walk of the same leaf: the walk has not
         // retired its root write, so it carries this (already functionally
         // applied) digest as well -- and consumes no new pipe slot.
-        auto it = _inFlight.find(leaf);
-        if (_cfg.enableMerging && it != _inFlight.end() &&
-            it->second > now) {
+        const Tick *in_flight = _inFlight.find(leaf);
+        if (_cfg.enableMerging && in_flight && *in_flight > now) {
             ++statMergedUpdates;
             TRACE_INSTANT("bmt", "merge", now);
-            const Tick completion = it->second;
+            const Tick completion = *in_flight;
             if (done)
                 _eq.schedule(completion, std::move(done));
             return UpdateTiming{now, completion, true};
@@ -149,9 +148,13 @@ class BmtWalker
 
         _inFlight[leaf] = completion;
         _eq.schedule(completion, [this, leaf, completion] {
-            auto fit = _inFlight.find(leaf);
-            if (fit != _inFlight.end() && fit->second == completion)
-                _inFlight.erase(fit);
+            // Erase by key: the completion event may run long after later
+            // walks of other leaves grew or back-shifted the table, so a
+            // stored pointer would dangle -- re-probe, then check this is
+            // still our walk (a merged successor reuses the same slot).
+            const Tick *t = _inFlight.find(leaf);
+            if (t && *t == completion)
+                _inFlight.erase(leaf);
         });
 
         if (done)
@@ -192,9 +195,10 @@ class BmtWalker
     {
         const Tick now = _eq.curTick();
         std::size_t n = 0;
-        for (const auto &kv : _inFlight)
-            if (kv.second > now)
+        _inFlight.forEach([&](const std::uint64_t &, const Tick &t) {
+            if (t > now)
                 ++n;
+        });
         return n;
     }
 
@@ -255,7 +259,7 @@ class BmtWalker
     std::unique_ptr<SetAssocCache> _rootCache;
 
     /** Leaf -> completion tick of its in-flight walk. */
-    std::unordered_map<std::uint64_t, Tick> _inFlight;
+    FlatMap<std::uint64_t, Tick> _inFlight;
     Tick _pipeReadyAt = 0;
 
     /** Reused by walkLatency: the current walk's node path. */

@@ -14,6 +14,10 @@ Tracer::Tracer(std::size_t capacity)
     : _capacity(capacity)
 {
     fatal_if(capacity == 0, "Tracer needs a non-zero capacity");
+    // A system registers on the order of a dozen components; one up-front
+    // reservation keeps tid() interning from rehashing mid-run.
+    _tids.reserve(32);
+    _components.reserve(32);
 }
 
 std::uint32_t

@@ -96,8 +96,8 @@ SecPb::persistBmtPathPrefix(Addr addr, unsigned levels)
 PbEntry *
 SecPb::find(Addr addr)
 {
-    auto it = _index.find(blockAlign(addr));
-    return it != _index.end() ? &_entries[it->second] : nullptr;
+    const std::uint64_t *idx = _index.find(blockAlign(addr));
+    return idx ? &_entries[*idx] : nullptr;
 }
 
 PbEntry *
@@ -112,7 +112,7 @@ SecPb::allocate(Addr addr)
     e.valid = true;
     e.addr = blockAlign(addr);
     e.allocSeq = ++_allocSeq;
-    _index.emplace(e.addr, idx);
+    _index.insert(e.addr, idx);
     return &e;
 }
 
@@ -181,8 +181,18 @@ SecPb::incrementCounter(Addr addr)
 void
 SecPb::reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb)
 {
-    const CounterBlock &nb = _counters.block(page_idx);
+    // Copy, not reference: the counter store is an open-addressing table
+    // now, so a held reference dies with the store's next mutation. The
+    // loop below doesn't touch counters today, but a 64-block walk that
+    // calls back into crypto and PM is exactly where that assumption
+    // would rot silently.
+    const CounterBlock nb = _counters.block(page_idx);
     const Addr page_base = page_idx * PageSize;
+
+    // The whole page regenerates in one burst: OTP/MAC pricing goes
+    // through a coalesced request train per unit (identical per-block
+    // completion ticks, spans, and stats as per-call issue).
+    CryptoEngine::RegenBurst burst(_crypto);
 
     for (unsigned b = 0; b < BlocksPerPage; ++b) {
         const Addr addr = page_base + b * BlockSize;
@@ -192,13 +202,13 @@ SecPb::reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb)
             e->counter = nb.counterFor(b);
             if (e->vOtp) {
                 e->otp = generatePad(_keys, addr, e->counter);
-                _crypto.generateOtp();
+                burst.otp();
             }
             if (e->vCt)
                 refreshCiphertext(*e);
             if (e->vMac) {
                 refreshMac(*e);
-                _crypto.generateMac();
+                burst.mac();
             }
         } else if (_pm.hasData(addr)) {
             // Persisted, non-resident block: transcrypt in place.
@@ -210,10 +220,11 @@ SecPb::reencryptPage(std::uint64_t page_idx, const CounterBlock &old_cb)
             const BlockData ct = encryptBlock(pt, new_pad);
             _pm.writeData(addr, ct);
             _pm.writeMac(addr, computeMac(_keys, addr, ct, nc));
-            _crypto.generateOtp();
-            _crypto.generateMac();
+            burst.otp();
+            burst.mac();
         }
     }
+    burst.commit();
 
     // Persist the fresh counter block and fold it into the BMT.
     _pm.writeCounterBlock(page_idx, nb);
@@ -541,8 +552,7 @@ SecPb::acceptStoreSp(Addr addr, std::uint64_t value,
     // Coalescing window: a store to a block whose tuple update is still
     // in flight persists on arrival (the target WPQ slot is already
     // reserved in the ADR domain); the pending tuple picks up the value.
-    auto pending_it = _spPending.find(block_addr);
-    if (pending_it != _spPending.end()) {
+    if (_spPending.contains(block_addr)) {
         _accept.start = _eq.curTick();
         _accept.cb = std::move(unblocked);
         ++statPersists;
@@ -573,7 +583,7 @@ SecPb::acceptStoreSp(Addr addr, std::uint64_t value,
     const Tick t_ctr = _eq.curTick() + _cfg.spTraversalCycles + d_ctr;
 
     _oracle.applyStore(addr, value);
-    _spPending.emplace(block_addr, ctr);
+    _spPending.insert(block_addr, ctr);
 
     // Shared finalization state for the parallel chains.
     struct SpState
@@ -844,13 +854,13 @@ SecPb::drainNext()
     // Oldest drainable entry: valid, not already draining, no early ops
     // still in flight.
     PbEntry *victim = nullptr;
-    for (auto &kv : _index) {
-        PbEntry &e = _entries[kv.second];
+    _index.forEach([&](const Addr &, const std::uint64_t &idx) {
+        PbEntry &e = _entries[idx];
         if (e.draining || e.pendingEarlyOps != 0)
-            continue;
+            return;
         if (!victim || e.allocSeq < victim->allocSeq)
             victim = &e;
-    }
+    });
     if (!victim)
         return;
     ++_drainsActive;
@@ -862,7 +872,9 @@ void
 SecPb::startDrainOf(PbEntry &e)
 {
     PbEntry *ep = &e;
-    const std::uint64_t idx = _index.at(e.addr);
+    const std::uint64_t *idxp = _index.find(e.addr);
+    panic_if(!idxp, "draining an entry the index does not know");
+    const std::uint64_t idx = *idxp;
     e.drainStart = _eq.curTick();
 
     if (!_traits.secure) {
@@ -899,8 +911,14 @@ SecPb::startDrainOf(PbEntry &e)
             finalizeDrain(idx);
     };
 
-    // Branch A: OTP -> ciphertext -> MAC (skipping already-valid parts).
+    // One fused kick event runs both late-work branches. They used to be
+    // two consecutive same-tick events nothing could schedule between
+    // (back-to-back schedule calls, adjacent sequence numbers), so fusing
+    // them halves drain-path event traffic while keeping pop order -- and
+    // therefore every downstream tick, span, and stat -- bit-identical.
     _eq.schedule(t_ctr, [this, ep, branch_done] {
+        // Branch A: OTP -> ciphertext -> MAC (skipping already-valid
+        // parts).
         auto after_otp = [this, ep, branch_done] {
             auto after_ct = [this, ep, branch_done] {
                 if (!ep->vMac) {
@@ -932,15 +950,13 @@ SecPb::startDrainOf(PbEntry &e)
         } else {
             after_otp();
         }
-    });
 
-    // Branch B: BMT root update, if this residency hasn't done it. The
-    // drain does not wait for the walk to *retire* -- the battery
-    // provisioning includes one in-flight tuple update for exactly that
-    // window -- but it does wait for the pipelined walker to *accept*
-    // the walk, so walker throughput backpressures draining. Merged
-    // same-leaf updates are accepted instantly.
-    _eq.schedule(t_ctr, [this, ep, branch_done] {
+        // Branch B: BMT root update, if this residency hasn't done it.
+        // The drain does not wait for the walk to *retire* -- the battery
+        // provisioning includes one in-flight tuple update for exactly
+        // that window -- but it does wait for the pipelined walker to
+        // *accept* the walk, so walker throughput backpressures draining.
+        // Merged same-leaf updates are accepted instantly.
         if (!ep->vBmt) {
             const std::uint64_t page = _layout.pageIndex(ep->addr);
             const Digest d =
@@ -1030,7 +1046,9 @@ SecPb::releaseEntry(PbEntry &e)
     statNwpe.sample(static_cast<double>(e.numWrites));
     if (_dir && _dir->owner(e.addr) == _coreId)
         _dir->drained(_coreId, e.addr);
-    const std::uint64_t idx = _index.at(e.addr);
+    const std::uint64_t *idxp = _index.find(e.addr);
+    panic_if(!idxp, "releasing an entry the index does not know");
+    const std::uint64_t idx = *idxp;
     _index.erase(e.addr);
     e.clear();
     _freeList.push_back(idx);
@@ -1113,14 +1131,14 @@ SecPb::applicationCrash(std::uint32_t asid, AppCrashPolicy policy)
     // application crash does not stop the clock, so in-flight hardware
     // operations retire normally.
     std::vector<PbEntry *> victims;
-    for (auto &kv : _index) {
-        PbEntry &e = _entries[kv.second];
+    _index.forEach([&](const Addr &, const std::uint64_t &idx) {
+        PbEntry &e = _entries[idx];
         if (e.draining || e.pendingEarlyOps != 0)
-            continue;
+            return;
         if (policy == AppCrashPolicy::DrainProcess && e.asid != asid)
-            continue;
+            return;
         victims.push_back(&e);
-    }
+    });
     std::sort(victims.begin(), victims.end(),
               [](const PbEntry *a, const PbEntry *b)
               { return a->allocSeq < b->allocSeq; });
@@ -1155,8 +1173,8 @@ SecPb::predictCrashDrainWork() const
         // SecPB occupancy.
         w.cacheLinesFlushed = _policy->crashCacheFlushLines();
     }
-    for (const auto &kv : _index) {
-        const CrashWork d = predictEntryWork(_entries[kv.second]);
+    _index.forEach([&](const Addr &, const std::uint64_t &idx) {
+        const CrashWork d = predictEntryWork(_entries[idx]);
         w.entriesDrained += d.entriesDrained;
         w.countersIncremented += d.countersIncremented;
         w.counterFetches += d.counterFetches;
@@ -1166,7 +1184,7 @@ SecPb::predictCrashDrainWork() const
         w.macsComputed += d.macsComputed;
         w.ciphertexts += d.ciphertexts;
         w.pmBlockWrites += d.pmBlockWrites;
-    }
+    });
     return w;
 }
 
@@ -1245,9 +1263,11 @@ SecPb::crashDrainAll(
 
     // SP: the battery completes every pending tuple update so the
     // functional BMT/counter state and the PM image stay consistent.
-    for (const auto &kv : _spPending) {
-        persistSpTuple(kv.first, kv.second);
-        const std::uint64_t page = _layout.pageIndex(kv.first);
+    // Visit order is slot order, which is fine: each tuple touches only
+    // its own block/page, and the work counters are order-insensitive.
+    _spPending.forEach([&](const Addr &addr, const BlockCounter &ctr) {
+        persistSpTuple(addr, ctr);
+        const std::uint64_t page = _layout.pageIndex(addr);
         _walker.tree().updateLeaf(
             page, _walker.tree().leafDigest(_counters.block(page)));
         ++work.entriesDrained;
@@ -1256,7 +1276,7 @@ SecPb::crashDrainAll(
         ++work.bmtRootUpdates;
         work.bmtLevelsWalked += _walker.tree().numLevels();
         work.pmBlockWrites += 3;
-    }
+    });
     _spPending.clear();
 
     // Reserve the metadata-cache flush up front: the persistent copies
@@ -1283,8 +1303,10 @@ SecPb::crashDrainAll(
     // entry that no longer fits -- the drained set is an in-order prefix
     // and the abandoned suffix is reported for prefix verification.
     std::vector<PbEntry *> resident;
-    for (auto &kv : _index)
-        resident.push_back(&_entries[kv.second]);
+    resident.reserve(_index.size());
+    _index.forEach([&](const Addr &, const std::uint64_t &idx) {
+        resident.push_back(&_entries[idx]);
+    });
     std::sort(resident.begin(), resident.end(),
               [](const PbEntry *a, const PbEntry *b)
               { return a->allocSeq < b->allocSeq; });
@@ -1358,7 +1380,9 @@ SecPb::crashDrainAll(
     for (PbEntry *ep : drained) {
         if (_dir && _dir->owner(ep->addr) == _coreId)
             _dir->drained(_coreId, ep->addr);
-        const std::uint64_t idx = _index.at(ep->addr);
+        const std::uint64_t *idxp = _index.find(ep->addr);
+        panic_if(!idxp, "crash-drained entry missing from the index");
+        const std::uint64_t idx = *idxp;
         _index.erase(ep->addr);
         ep->clear();
         _freeList.push_back(idx);
@@ -1385,15 +1409,17 @@ SecPb::crashDrainAll(
 std::optional<PbEntry>
 SecPb::extractForMigration(Addr addr)
 {
-    auto it = _index.find(blockAlign(addr));
-    if (it == _index.end())
+    const std::uint64_t *idxp = _index.find(blockAlign(addr));
+    if (!idxp)
         return std::nullopt;
-    PbEntry &e = _entries[it->second];
+    // Copy the slot index out before erasing: erase back-shifts the
+    // probe cluster, so the pointer from find() does not survive it.
+    const std::uint64_t idx = *idxp;
+    PbEntry &e = _entries[idx];
     if (e.draining || e.pendingEarlyOps != 0)
         return std::nullopt;
     PbEntry copy = e;
-    const std::uint64_t idx = it->second;
-    _index.erase(it);
+    _index.erase(e.addr);
     e.clear();
     _freeList.push_back(idx);
     wakeSpaceWaiters();
@@ -1413,7 +1439,7 @@ SecPb::injectMigrated(const PbEntry &entry)
     e.pendingEarlyOps = 0;
     e.drainPending = 0;
     e.pushedData = false;
-    _index.emplace(e.addr, idx);
+    _index.insert(e.addr, idx);
 }
 
 bool

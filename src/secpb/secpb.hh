@@ -31,11 +31,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/cipher.hh"
 #include "crypto/engine.hh"
+#include "mem/flat_map.hh"
 #include "mem/pm_image.hh"
 #include "mem/wpq.hh"
 #include "metadata/counter_store.hh"
@@ -426,7 +426,7 @@ class SecPb
     WritePendingQueue &_wpq;
 
     std::vector<PbEntry> _entries;
-    std::unordered_map<Addr, std::uint64_t> _index;  ///< addr -> entry idx.
+    FlatMap<Addr, std::uint64_t> _index;  ///< addr -> entry idx.
     std::vector<std::uint64_t> _freeList;
     std::uint64_t _allocSeq = 0;
 
@@ -480,7 +480,7 @@ class SecPb
      * update completes. On a crash the battery completes every pending
      * tuple -- covered by the in-flight provisioning margin.
      */
-    std::unordered_map<Addr, BlockCounter> _spPending;
+    FlatMap<Addr, BlockCounter> _spPending;
 
     /**
      * Begin tracking one early op for the in-flight acceptance.

@@ -7,18 +7,29 @@
  * deterministic. The kernel is deliberately simple: every hardware model in
  * this project expresses timing by scheduling closures.
  *
- * Hot-path layout: the time order lives in a binary heap of 24-byte
- * {when, seq, slot} records, while the callbacks themselves sit in a
- * pooled slot array indexed by the heap records. Heap sift operations
- * therefore move small PODs instead of closures, and popped slots recycle
- * through a free list, so steady-state schedule/pop performs no heap
- * allocation at all (InlineCallback keeps typical captures inline too).
+ * Hot-path layout: a two-level queue. Events landing inside the near
+ * window (the next kRingSize ticks -- which is nearly all of them: model
+ * latencies top out around 600 cycles) go into a bucket ring, one FIFO
+ * vector per tick, making schedule and pop O(1) with no sift at all.
+ * Events beyond the window fall back to a binary heap of 24-byte
+ * {when, seq, slot} records. Callbacks themselves sit in a pooled slot
+ * array indexed by both structures, and popped slots recycle through a
+ * free list, so steady-state schedule/pop performs no heap allocation at
+ * all (InlineCallback keeps typical captures inline too).
+ *
+ * Determinism across the two levels: for any tick T, every heap-resident
+ * event was scheduled while curTick <= T - kRingSize, strictly before any
+ * ring insert for T (which requires curTick > T - kRingSize); scheduling
+ * order is seq order, so draining the heap's T-events (themselves
+ * seq-ordered by the heap tie-break) before the T-bucket's FIFO
+ * reproduces the exact global (tick, seq) order of a single heap.
  */
 
 #ifndef SECPB_SIM_EVENT_QUEUE_HH
 #define SECPB_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -75,8 +86,17 @@ class EventQueue
             _freeSlots.pop_back();
             _slots[slot] = std::move(cb);
         }
-        _heap.push_back(HeapItem{when, _nextSeq++, slot});
-        std::push_heap(_heap.begin(), _heap.end(), Later{});
+        if (when - _curTick < kRingSize) {
+            _ring[when & kRingMask].slots.push_back(slot);
+            ++_ringCount;
+            // The scan cursor may already sit past this tick (it advances
+            // over buckets that were empty when last probed).
+            if (when < _ringScan)
+                _ringScan = when;
+        } else {
+            _heap.push_back(HeapItem{when, _nextSeq++, slot});
+            std::push_heap(_heap.begin(), _heap.end(), Later{});
+        }
     }
 
     /** Schedule @p cb to fire @p delta cycles from now. */
@@ -87,7 +107,7 @@ class EventQueue
     }
 
     /** True when no events remain. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _heap.empty() && _ringCount == 0; }
 
     /**
      * @name Execution interposition (fault injection)
@@ -109,7 +129,7 @@ class EventQueue
     Tick
     nextTick() const
     {
-        return _heap.empty() ? MaxTick : _heap.front().when;
+        return empty() ? MaxTick : nextPendingTick();
     }
 
     /**
@@ -126,12 +146,13 @@ class EventQueue
     Tick
     run(Tick limit = MaxTick)
     {
-        while (!_heap.empty() && !_stopRequested) {
-            if (_heap.front().when > limit) {
+        while (!empty() && !_stopRequested) {
+            const Tick t = nextPendingTick();
+            if (t > limit) {
                 _curTick = limit;
                 return _curTick;
             }
-            popAndExecute();
+            popAndExecute(t);
         }
         if (limit != MaxTick && !_stopRequested && _curTick < limit)
             _curTick = limit;
@@ -142,9 +163,9 @@ class EventQueue
     bool
     step()
     {
-        if (_heap.empty())
+        if (empty())
             return false;
-        popAndExecute();
+        popAndExecute(nextPendingTick());
         return true;
     }
 
@@ -160,9 +181,26 @@ class EventQueue
         _heap.clear();
         _slots.clear();
         _freeSlots.clear();
+        for (Bucket &b : _ring) {
+            b.slots.clear();
+            b.head = 0;
+        }
+        _ringCount = 0;
+        _ringScan = 0;
     }
 
   private:
+    /** Near-window span: events within this many ticks take the ring. */
+    static constexpr std::size_t kRingSize = 1024;
+    static constexpr Tick kRingMask = kRingSize - 1;
+
+    /** One ring bucket: FIFO of slot ids for a single pending tick. */
+    struct Bucket
+    {
+        std::vector<std::uint32_t> slots;
+        std::size_t head = 0;
+    };
+
     /** Heap record: time order only; the callback lives in _slots. */
     struct HeapItem
     {
@@ -182,18 +220,59 @@ class EventQueue
         }
     };
 
-    void
-    popAndExecute()
+    /**
+     * Tick of the earliest pending event; requires !empty(). Advances the
+     * (mutable) ring scan cursor over empty buckets -- amortized O(1) per
+     * tick of simulated time, since the cursor only moves forward except
+     * when schedule() re-arms a closer tick.
+     */
+    Tick
+    nextPendingTick() const
     {
-        const HeapItem top = _heap.front();
-        std::pop_heap(_heap.begin(), _heap.end(), Later{});
-        _heap.pop_back();
-        _curTick = top.when;
+        const Tick heap_t = _heap.empty() ? MaxTick : _heap.front().when;
+        if (_ringCount == 0)
+            return heap_t;
+        if (_ringScan < _curTick)
+            _ringScan = _curTick;
+        // A non-empty bucket within the window holds exactly the tick the
+        // cursor is probing: two ticks kRingSize apart can never be
+        // resident together (the later one was >= kRingSize away at
+        // schedule time and went to the heap).
+        while (true) {
+            const Bucket &b = _ring[_ringScan & kRingMask];
+            if (b.head < b.slots.size())
+                break;
+            ++_ringScan;
+        }
+        return std::min(heap_t, _ringScan);
+    }
+
+    void
+    popAndExecute(Tick t)
+    {
+        std::uint32_t slot;
+        if (!_heap.empty() && _heap.front().when == t) {
+            // Heap events for a tick always precede its ring events in
+            // seq order (see file comment), so drain them first.
+            slot = _heap.front().slot;
+            std::pop_heap(_heap.begin(), _heap.end(), Later{});
+            _heap.pop_back();
+        } else {
+            Bucket &b = _ring[t & kRingMask];
+            slot = b.slots[b.head++];
+            --_ringCount;
+            if (b.head == b.slots.size()) {
+                // Drained: recycle in place, keeping the capacity.
+                b.slots.clear();
+                b.head = 0;
+            }
+        }
+        _curTick = t;
         // Move the callback out and recycle the slot *before* invoking:
         // the callback may schedule (growing the pool) or reset() the
         // queue, and moved-from InlineCallback is guaranteed empty.
-        EventCallback cb = std::move(_slots[top.slot]);
-        _freeSlots.push_back(top.slot);
+        EventCallback cb = std::move(_slots[slot]);
+        _freeSlots.push_back(slot);
         ++_numExecuted;
         cb();
         if (_postHook)
@@ -203,6 +282,10 @@ class EventQueue
     std::vector<HeapItem> _heap;
     std::vector<EventCallback> _slots;
     std::vector<std::uint32_t> _freeSlots;
+    std::array<Bucket, kRingSize> _ring;
+    std::size_t _ringCount = 0;
+    /** No pending ring entries at ticks below this (scan memoization). */
+    mutable Tick _ringScan = 0;
     Tick _curTick = 0;
     std::uint64_t _numExecuted = 0;
     std::uint64_t _nextSeq = 0;

@@ -113,13 +113,29 @@ TEST_P(SecureSchemes, EarlyBitsMatchTraits)
     // After the early phase completes, the entry's valid bits must match
     // the scheme's early set (Figure 5's per-design field table).
     const Scheme s = GetParam();
-    if (s == Scheme::Sp)
-        GTEST_SKIP() << "SP keeps no SecPB entries";
     const SchemeTraits t = schemeTraits(s);
     SecPbSystem sys(cfgFor(s));
     ScriptedGenerator gen;
     gen.store(0x5000, 0xFEED);
     sys.run(gen);
+
+    BonsaiMerkleTree fresh(sys.layout().numPages(),
+                           sys.config().keys.macKey ^ 0xb037);
+
+    if (s == Scheme::Sp) {
+        // SP keeps no SecPB entries -- the WPQ is the persistence domain
+        // -- so its invariant is the converse of the buffered schemes':
+        // zero occupancy, the counter bumped synchronously at accept,
+        // and (after the battery completes any in-flight tuple) the
+        // block durable with the eagerly-updated root.
+        EXPECT_EQ(sys.secpb().occupancy(), 0u);
+        EXPECT_EQ(sys.counters().counterFor(0x5000).minor, 1u);
+        CrashReport cr = sys.crashNow();
+        EXPECT_TRUE(cr.recovered);
+        EXPECT_TRUE(sys.pm().hasData(0x5000));
+        EXPECT_NE(sys.tree().root(), fresh.root());
+        return;
+    }
 
     // Inspect the functional state through side effects: counter
     // increments and crypto-engine op counts.
@@ -127,8 +143,6 @@ TEST_P(SecureSchemes, EarlyBitsMatchTraits)
     EXPECT_EQ(c.minor, t.earlyCounter ? 1u : 0u);
 
     // BMT root moved only for early-BMT schemes.
-    BonsaiMerkleTree fresh(sys.layout().numPages(),
-                           sys.config().keys.macKey ^ 0xb037);
     if (t.earlyBmt)
         EXPECT_NE(sys.tree().root(), fresh.root());
     else
