@@ -39,6 +39,15 @@
  *                       --workload replay:file=PATH; SECPB_BENCH_TRACE_IN)
  *   --trace-record PATH record the first point's op stream to a trace
  *                       file                (SECPB_BENCH_TRACE_RECORD)
+ *   --cores N           simulated cores for spec-driven runs (default 1)
+ *   --shards N          host worker threads for multi-core runs; results
+ *                       are bit-identical for every value
+ *
+ * The simulation-level flags (everything except --jobs/--json/--scheme/
+ * --profile/--no-progress/--trace-out/--sample-every/--stats/--debug)
+ * are parsed by SimulationSpec::fromCli -- the single parse point shared
+ * with every non-bench driver; the SECPB_BENCH_* env fallbacks still
+ * work there but are deprecated (one-time stderr note).
  *
  * bench/micro_ops.cc is the one exception: google-benchmark owns its
  * argv, so these flags do not apply there (its tracing macros stay
@@ -60,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simulation.hh"
 #include "core/system.hh"
 #include "energy/capacitor.hh"
 #include "exp/report.hh"
@@ -142,26 +152,32 @@ struct BenchCli
      *  defaults elsewhere. Benches thread this into their points. */
     SchemeParams schemeParams;
     std::vector<std::string> profiles;  ///< Empty = no profile filter.
-    std::uint64_t instructions = 300'000;
-    std::uint64_t seed = 7;
     bool progress = true;
     std::string traceOut;            ///< Empty = no trace capture.
     Tick sampleEvery = 0;            ///< 0 = no epoch sampling.
     bool captureStats = false;       ///< Embed stats dump per point.
+
+    /**
+     * The simulation-level knobs, parsed by SimulationSpec::fromCli
+     * (the single parse point for --instr/--seed/--workload/--trace-in/
+     * --trace-record/--battery-tech/--battery-derate/--power-schedule/
+     * --cores/--shards and their deprecated SECPB_BENCH_* fallbacks).
+     */
+    SimulationSpec spec;
+
+    /** @name Mirrors of `spec` fields (kept for bench-code brevity). */
+    /** @{ */
+    std::uint64_t instructions = 300'000;
+    std::uint64_t seed = 7;
     std::string batteryTech = "ideal";  ///< Capacitor physics preset.
     double batteryDerate = 1.0;      ///< End-of-life capacity derate.
     std::string powerSchedule;       ///< Empty = no intermittent power.
     std::string workload;            ///< Registry selector; "" = profiles.
     std::string traceRecord;         ///< Record first point; "" = off.
+    /** @} */
 
     /** The parsed physics preset with the derate applied. */
-    CapacitorParams
-    batteryParams() const
-    {
-        CapacitorParams p = capacitorPresetFor(batteryTech);
-        p.capacitanceDerate = batteryDerate;
-        return p;
-    }
+    CapacitorParams batteryParams() const { return spec.batteryParams(); }
 
     /** Parse argv; prints usage and exits on unknown flags. */
     static BenchCli
@@ -169,24 +185,22 @@ struct BenchCli
     {
         BenchCli cli;
         cli.bench = bench_name;
+        // The spec flags (and their env fallbacks) are owned by the
+        // facade's parser; it consumes them from argv, leaving only the
+        // sweep-level flags below for this loop.
+        cli.spec = SimulationSpec::fromCli(argc, argv, bench_name);
+        cli.instructions = cli.spec.instructions;
+        cli.seed = cli.spec.seed;
+        cli.batteryTech = cli.spec.batteryTech;
+        cli.batteryDerate = cli.spec.batteryDerate;
+        cli.powerSchedule = cli.spec.powerSchedule;
+        cli.workload = cli.spec.workload;
+        cli.traceRecord = cli.spec.traceRecord;
+
         cli.jobs = static_cast<unsigned>(
             std::max<std::uint64_t>(1, envU64("SECPB_BENCH_JOBS", 1)));
         if (const char *p = std::getenv("SECPB_BENCH_JSON"))
             cli.jsonPath = p;
-        cli.instructions = benchInstructions();
-        cli.seed = benchSeed();
-        if (const char *p = std::getenv("SECPB_BENCH_BATTERY_TECH"))
-            cli.batteryTech = p;
-        cli.batteryDerate = envDouble("SECPB_BENCH_BATTERY_DERATE", 1.0);
-        if (const char *p = std::getenv("SECPB_BENCH_POWER_SCHEDULE"))
-            cli.powerSchedule = p;
-        if (const char *p = std::getenv("SECPB_BENCH_WORKLOAD"))
-            cli.workload = p;
-        std::string traceIn;
-        if (const char *p = std::getenv("SECPB_BENCH_TRACE_IN"))
-            traceIn = p;
-        if (const char *p = std::getenv("SECPB_BENCH_TRACE_RECORD"))
-            cli.traceRecord = p;
 
         auto need = [&](int i) -> const char * {
             fatal_if(i + 1 >= argc, "%s: flag %s needs a value",
@@ -214,12 +228,6 @@ struct BenchCli
                 for (const std::string &name : splitCommas(need(i)))
                     cli.profiles.push_back(name);
                 ++i;
-            } else if (a == "--instr") {
-                cli.instructions = std::strtoull(need(i), nullptr, 10);
-                ++i;
-            } else if (a == "--seed") {
-                cli.seed = std::strtoull(need(i), nullptr, 10);
-                ++i;
             } else if (a == "--no-progress") {
                 cli.progress = false;
             } else if (a == "--trace-out") {
@@ -230,29 +238,6 @@ struct BenchCli
                 ++i;
             } else if (a == "--stats") {
                 cli.captureStats = true;
-            } else if (a == "--battery-tech") {
-                cli.batteryTech = need(i);
-                ++i;
-            } else if (a == "--battery-derate") {
-                const char *v = need(i);
-                char *end = nullptr;
-                cli.batteryDerate = std::strtod(v, &end);
-                fatal_if(end == v || *end != '\0',
-                         "%s: --battery-derate '%s' is not a number",
-                         bench_name, v);
-                ++i;
-            } else if (a == "--power-schedule") {
-                cli.powerSchedule = need(i);
-                ++i;
-            } else if (a == "--workload") {
-                cli.workload = need(i);
-                ++i;
-            } else if (a == "--trace-in") {
-                traceIn = need(i);
-                ++i;
-            } else if (a == "--trace-record") {
-                cli.traceRecord = need(i);
-                ++i;
             } else if (a == "--debug") {
                 for (const std::string &flag : splitCommas(need(i))) {
                     const auto &known = debug::knownFlags();
@@ -273,8 +258,8 @@ struct BenchCli
                     "          [--battery-tech ideal|supercap|li-thin]\n"
                     "          [--battery-derate F] [--power-schedule S]\n"
                     "          [--workload SPEC] [--trace-in PATH]\n"
-                    "          [--trace-record PATH]\n"
-                    "          [--debug FLAG[,FLAG]]\n"
+                    "          [--trace-record PATH] [--cores N]\n"
+                    "          [--shards N] [--debug FLAG[,FLAG]]\n"
                     "  --trace-out PATH    Perfetto trace_event JSON of the"
                     " sweep's\n"
                     "                      first point (load in"
@@ -284,31 +269,10 @@ struct BenchCli
                     "                      ticks into each point's JSON\n"
                     "  --stats             embed the full stats dump per"
                     " point\n"
-                    "  --battery-tech T    capacitor physics preset for"
-                    " battery\n"
-                    "                      sizing/soak (default ideal)\n"
-                    "  --battery-derate F  end-of-life capacity derate in"
-                    " (0,1]\n"
-                    "  --power-schedule S  seeded intermittent-power"
-                    " schedule\n"
-                    "                      \"k=v,...\" (keys: cycles, seed,"
-                    " min-instr,\n"
-                    "                      max-instr, brownout, retain-min,"
-                    " retain-max,\n"
-                    "                      interrupt, partial-recharge,"
-                    " recharge-floor,\n"
-                    "                      fade, tamper-max)\n"
-                    "  --workload SPEC     drive default-runner points with"
-                    " a registry\n"
-                    "                      workload \"name:k=v,...\""
-                    " (names: %s)\n"
-                    "  --trace-in PATH     replay a recorded trace (="
-                    " --workload\n"
-                    "                      replay:file=PATH)\n"
-                    "  --trace-record PATH record the first point's op"
-                    " stream\n"
+                    "%s"
+                    "                      (workload names: %s)\n"
                     "  --debug FLAGS       enable DPRINTF flags: %s\n",
-                    bench_name,
+                    bench_name, SimulationSpec::cliHelp(),
                     joinCommas(registeredWorkloadNames()).c_str(),
                     joinCommas(debug::knownFlags()).c_str());
                 std::exit(0);
@@ -318,34 +282,9 @@ struct BenchCli
             }
         }
         // Validate profile filters eagerly: typos fail before a sweep.
+        // (The spec-level knobs were already validated by fromCli.)
         for (const std::string &p : cli.profiles)
             profileByName(p);
-        // Same for the battery knobs: an unknown tech, out-of-range
-        // derate, or malformed schedule dies here, not mid-sweep.
-        capacitorPresetFor(cli.batteryTech);
-        fatal_if(cli.batteryDerate <= 0.0 || cli.batteryDerate > 1.0,
-                 "%s: --battery-derate %.3f out of (0, 1]", bench_name,
-                 cli.batteryDerate);
-        if (!cli.powerSchedule.empty())
-            PowerScheduleSpec::parse(cli.powerSchedule);
-        // --trace-in is sugar for the replay workload; combining them
-        // would silently drop one, so refuse instead.
-        if (!traceIn.empty()) {
-            fatal_if(!cli.workload.empty(),
-                     "%s: --trace-in and --workload are mutually "
-                     "exclusive (replay IS a workload)",
-                     bench_name);
-            cli.workload = "replay:file=" + traceIn;
-        }
-        // Validate the selector eagerly: an unknown name or a bad
-        // parameter dies here, not thousands of points into a sweep.
-        if (!cli.workload.empty()) {
-            const WorkloadSpec spec = WorkloadSpec::parse(cli.workload);
-            fatal_if(!isRegisteredWorkload(spec.name),
-                     "%s: unknown workload '%s' (registered: %s)",
-                     bench_name, spec.name.c_str(),
-                     joinCommas(registeredWorkloadNames()).c_str());
-        }
         return cli;
     }
 
@@ -553,12 +492,15 @@ runOne(Scheme scheme, const BenchmarkProfile &profile,
        std::uint64_t instructions, unsigned secpb_entries = 32,
        BmfMode bmf = BmfMode::None, std::uint64_t seed = benchSeed())
 {
-    SystemConfig cfg = SecPbSystem::configFor(scheme, profile);
-    cfg.secpb.numEntries = secpb_entries;
-    cfg.walker.bmfMode = bmf;
-    SecPbSystem sys(cfg);
+    SimulationSpec spec;
+    spec.base = SecPbSystem::configFor(scheme, profile);
+    spec.base.secpb.numEntries = secpb_entries;
+    spec.base.walker.bmfMode = bmf;
+    spec.instructions = instructions;
+    spec.seed = seed;
+    Simulation sim(spec);
     SyntheticGenerator gen(profile, instructions, seed);
-    return sys.run(gen);
+    return sim.run(gen);
 }
 
 /** Geometric mean of a vector of ratios. */

@@ -285,11 +285,14 @@ main(int argc, char **argv)
         p.seed = t.wseed;
         p.tag("plan", t.plan.describe());
         p.custom = [t](const ExperimentPoint &pt) {
-            SystemConfig cfg;
-            cfg.scheme = pt.scheme;
-            cfg.secpb.params = pt.schemeParams;
-            cfg.pmDataBytes = 1ULL << 30;
-            SecPbSystem sys(cfg);
+            SimulationSpec spec;
+            spec.base.scheme = pt.scheme;
+            spec.base.secpb.params = pt.schemeParams;
+            spec.base.pmDataBytes = 1ULL << 30;
+            spec.instructions = pt.instructions;
+            spec.seed = pt.seed;
+            Simulation sim(spec);
+            SecPbSystem &sys = sim.system();
             std::unique_ptr<WorkloadGenerator> gen;
             if (!pt.workload.empty()) {
                 gen = makeWorkload(pt.workload, pt.instructions, pt.seed);

@@ -8,7 +8,9 @@
  * grows, entries ping-pong between SecPBs; migration keeps the
  * no-replication invariant while forwarding value-independent metadata,
  * and the cost shows up as extra acceptance latency. Each (scheme, share)
- * cell is one custom experiment point building its own MultiCoreSystem.
+ * cell is one custom experiment point building a 4-core machine through
+ * the Simulation facade; `--shards N` fans the epoch engine out across
+ * host threads without changing a byte of the output.
  */
 
 #include <memory>
@@ -71,22 +73,23 @@ class SharingGenerator : public WorkloadGenerator
 ExperimentResult
 runSharingPoint(const ExperimentPoint &pt, double share)
 {
-    MultiCoreConfig cfg;
-    cfg.numCores = 4;
-    cfg.base.scheme = pt.scheme;
-    MultiCoreSystem sys(cfg);
+    SimulationSpec spec;
+    spec.base.scheme = pt.scheme;
+    spec.cores = pt.cores;
+    spec.shards = pt.shards;  // Host parallelism only; never the results.
+    Simulation sim(spec);
     std::vector<std::unique_ptr<SharingGenerator>> gens;
     std::vector<WorkloadGenerator *> raw;
-    for (unsigned c = 0; c < cfg.numCores; ++c) {
+    for (unsigned c = 0; c < spec.cores; ++c) {
         gens.push_back(std::make_unique<SharingGenerator>(
             pt.instructions, share, 0x1000000ULL * (c + 1), pt.seed + c));
         raw.push_back(gens.back().get());
     }
-    const MultiCoreResult mr = sys.run(raw);
+    const MultiCoreResult mr = sim.run(raw);
     std::uint64_t stores = 0;
     for (const auto &pc : mr.perCore)
         stores += pc.persists;
-    const CrashReport cr = sys.crashNow();
+    const CrashReport cr = sim.crashNow();
 
     ExperimentResult r;
     r.extra = {
@@ -128,6 +131,11 @@ main(int argc, char **argv)
             p.scheme = schemes[si];
             p.instructions = instr;
             p.seed = cli.seed;
+            p.cores = 4;
+            // --shards only changes which host threads advance the
+            // slices; the sweep JSON stays byte-identical for every
+            // value (the CI determinism gate diffs it).
+            p.shards = cli.spec.shards;
             p.tag("cores", "4");
             p.custom = [share](const ExperimentPoint &pt) {
                 return runSharingPoint(pt, share);

@@ -109,12 +109,16 @@ bench_workload_smoke(std::uint64_t instr, std::uint64_t seed,
     const char *specs[] = {"kv_wal", "fs_journal", "zipf_mix:tenants=256"};
     const Scheme schemes[] = {Scheme::Bbb, Scheme::Cobcm};
     return best_of(reps, [&] {
-        for (const char *spec : specs) {
+        for (const char *wl : specs) {
             for (Scheme s : schemes) {
-                SecPbSystem sys(
-                    SecPbSystem::configFor(s, serverWorkloadProfile()));
-                auto gen = makeWorkload(spec, instr, seed);
-                sys.run(*gen);
+                SimulationSpec spec;
+                spec.base =
+                    SecPbSystem::configFor(s, serverWorkloadProfile());
+                spec.instructions = instr;
+                spec.seed = seed;
+                Simulation sim(spec);
+                auto gen = makeWorkload(wl, instr, seed);
+                sim.run(*gen);
             }
         }
     });
@@ -135,12 +139,85 @@ bench_recovery_window_smoke(std::uint64_t instr, std::uint64_t seed,
     const BenchmarkProfile &prof = profileByName("gamess");
     return best_of(reps, [&] {
         for (Scheme s : schemes) {
-            SecPbSystem sys(SecPbSystem::configFor(s, prof));
+            SimulationSpec spec;
+            spec.base = SecPbSystem::configFor(s, prof);
+            spec.instructions = instr;
+            spec.seed = seed;
+            Simulation sim(spec);
             SyntheticGenerator gen(prof, instr, seed);
-            sys.start(gen);
-            sys.runUntil(instr / 4);
-            sys.crashNow();
+            sim.start(gen);
+            sim.runUntil(instr / 4);
+            sim.crashNow();
         }
+    });
+}
+
+/** Per-core private-region writer for the shard-scaling probe: cores
+ *  never share a page, so the epoch engine's parallel section dominates
+ *  and the measured ratio isolates host-thread scaling. */
+class PrivateWriter : public WorkloadGenerator
+{
+  public:
+    PrivateWriter(std::uint64_t instructions, Addr base, std::uint64_t seed)
+        : _budget(instructions), _base(base), _rng(seed)
+    {}
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (_emitted >= _budget)
+            return false;
+        if (_rng.chance(0.08)) {
+            ++_emitted;
+            op.kind = TraceOp::Kind::Store;
+            op.addr = _base +
+                      blockAlign(_rng.below(512) * BlockSize) +
+                      8 * _rng.below(8);
+            op.value = _rng.next();
+            return true;
+        }
+        std::uint32_t count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(16, _budget - _emitted));
+        _emitted += count;
+        op.kind = TraceOp::Kind::Instr;
+        op.count = count;
+        return true;
+    }
+
+  private:
+    std::uint64_t _budget;
+    std::uint64_t _emitted = 0;
+    Addr _base;
+    Rng _rng;
+};
+
+/**
+ * One 4-core COBCM run through the epoch-barrier engine at @p shards
+ * host threads. Identical simulated behavior at every shard count (that
+ * is the engine's contract, gated elsewhere); what this measures is the
+ * wall-clock ratio, reported as shard_speedup = serial / sharded.
+ */
+double
+bench_shard_run(std::uint64_t instr_per_core, std::uint64_t seed,
+                unsigned shards, unsigned reps)
+{
+    return best_of(reps, [&] {
+        SimulationSpec spec;
+        spec.base.scheme = Scheme::Cobcm;
+        spec.cores = 4;
+        spec.shards = shards;
+        // Coarse epochs amortize the barrier; private pages mean the
+        // grant queue is empty past the first-touch epoch.
+        spec.epochTicks = 4096;
+        Simulation sim(spec);
+        std::vector<std::unique_ptr<PrivateWriter>> gens;
+        std::vector<WorkloadGenerator *> raw;
+        for (unsigned c = 0; c < spec.cores; ++c) {
+            gens.push_back(std::make_unique<PrivateWriter>(
+                instr_per_core, 0x4000000ULL * (c + 1), seed + c));
+            raw.push_back(gens.back().get());
+        }
+        sim.run(raw);
     });
 }
 
@@ -251,6 +328,8 @@ main(int argc, char **argv)
     std::uint64_t seed = benchSeed();
     bool fig6_full = false;
     std::uint64_t fig6_full_instr = 250'000'000;
+    std::uint64_t shard_instr = 250'000;  ///< Per core, 4 cores.
+    unsigned shard_count = 4;
 
     auto need = [&](int i) -> const char * {
         fatal_if(i + 1 >= argc, "perf_baseline: flag %s needs a value",
@@ -280,6 +359,13 @@ main(int argc, char **argv)
         } else if (a == "--fig6-full-instr") {
             fig6_full_instr = std::strtoull(need(i), nullptr, 10);
             ++i;
+        } else if (a == "--shard-instr") {
+            shard_instr = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--shards") {
+            shard_count = static_cast<unsigned>(
+                std::max(1ULL, std::strtoull(need(i), nullptr, 10)));
+            ++i;
         } else if (a == "--jobs") {
             // Accepted for CLI uniformity with the sweep binaries, but
             // wall-clock timing is inherently single-threaded here.
@@ -290,8 +376,11 @@ main(int argc, char **argv)
                 "usage: perf_baseline [--json PATH] [--label NAME]\n"
                 "                     [--reps N] [--instr N] [--seed N]\n"
                 "                     [--fig6-full] [--fig6-full-instr N]\n"
+                "                     [--shard-instr N] [--shards N]\n"
                 "Times the fig6 smoke sweep, the event-kernel\n"
-                "microbenches, and the BMT walker; writes a\n"
+                "microbenches, the BMT walker, and the multi-core shard\n"
+                "engine (4 cores at --shards 1 vs N host threads,\n"
+                "reported as shard_speedup); writes a\n"
                 "secpb.perf_baseline JSON for tools/compare_bench.py.\n"
                 "--fig6-full adds one paper-scale (250M instr) COBCM\n"
                 "point, reported as fig6_full_wall_s / fig6_full_mips.\n");
@@ -325,6 +414,14 @@ main(int argc, char **argv)
     std::fprintf(stderr, "  event_chain_mops    %.2f\n", chain);
     const double walks = bench_walker_update(kWalks, reps);
     std::fprintf(stderr, "  walker_update_mops  %.2f\n", walks);
+    const double shard1_s = bench_shard_run(shard_instr, seed, 1, reps);
+    const double shardN_s =
+        bench_shard_run(shard_instr, seed, shard_count, reps);
+    const double shard_speedup = shardN_s > 0.0 ? shard1_s / shardN_s : 0.0;
+    std::fprintf(stderr,
+                 "  shard_serial_wall_s %.3f\n"
+                 "  shard_wall_s        %.3f (%ux, speedup %.2f)\n",
+                 shard1_s, shardN_s, shard_count, shard_speedup);
     double fig6_full_s = 0.0;
     double fig6_full_mips = 0.0;
     if (fig6_full) {
@@ -354,6 +451,8 @@ main(int argc, char **argv)
     w.field("event_burst_events", kWaves * kPerWave);
     w.field("event_chain_length", kChain);
     w.field("walker_updates", kWalks);
+    w.field("shard_instr", shard_instr);
+    w.field("shards", shard_count);
     if (fig6_full)
         w.field("fig6_full_instr", fig6_full_instr);
     w.endObject();
@@ -366,6 +465,9 @@ main(int argc, char **argv)
     w.field("event_burst_mops", burst);
     w.field("event_chain_mops", chain);
     w.field("walker_update_mops", walks);
+    w.field("shard_serial_wall_s", shard1_s);
+    w.field("shard_wall_s", shardN_s);
+    w.field("shard_speedup", shard_speedup);
     if (fig6_full) {
         w.field("fig6_full_wall_s", fig6_full_s);
         w.field("fig6_full_mips", fig6_full_mips);

@@ -53,16 +53,19 @@ crashPoint(Scheme s, const SchemeParams &params, const std::string &profile,
     p.tag("crash_at", "instr/4");
     p.custom = [instr](const ExperimentPoint &pt) {
         const BenchmarkProfile &prof = profileByName(pt.profile);
-        SystemConfig cfg = SecPbSystem::configFor(pt.scheme, prof);
-        cfg.secpb.numEntries = pt.secpbEntries;
-        cfg.secpb.params = pt.schemeParams;
-        SecPbSystem sys(cfg);
+        SimulationSpec spec;
+        spec.base = SecPbSystem::configFor(pt.scheme, prof);
+        spec.base.secpb.numEntries = pt.secpbEntries;
+        spec.base.secpb.params = pt.schemeParams;
+        spec.instructions = pt.instructions;
+        spec.seed = pt.seed;
+        Simulation sim(spec);
         SyntheticGenerator gen(prof, pt.instructions, pt.seed);
-        sys.start(gen);
-        sys.runUntil(instr / 4);
-        const CrashReport cr = sys.crashNow();
+        sim.start(gen);
+        sim.runUntil(instr / 4);
+        const CrashReport cr = sim.crashNow();
         ExperimentResult r;
-        r.sim = sys.result();
+        r.sim = sim.result();
         r.extra = {
             {"entries_drained",
              static_cast<double>(cr.work.entriesDrained)},

@@ -82,16 +82,20 @@ main(int argc, char **argv)
         p.tag("battery", "provision=0.6,adaptive=on");
         p.custom = [cap](const ExperimentPoint &pt) {
             const BenchmarkProfile &prof = profileByName(pt.profile);
-            SystemConfig cfg = SecPbSystem::configFor(pt.scheme, prof);
-            cfg.secpb.numEntries = pt.secpbEntries;
-            cfg.battery.enabled = true;
-            cfg.battery.cap = cap;
-            cfg.battery.provisionFraction = 0.6;
-            cfg.battery.adaptive.enabled = true;
-            SecPbSystem sys(cfg);
+            SimulationSpec spec;
+            spec.base = SecPbSystem::configFor(pt.scheme, prof);
+            spec.base.secpb.numEntries = pt.secpbEntries;
+            spec.base.battery.enabled = true;
+            spec.base.battery.cap = cap;
+            spec.base.battery.provisionFraction = 0.6;
+            spec.base.battery.adaptive.enabled = true;
+            spec.instructions = pt.instructions;
+            spec.seed = pt.seed;
+            Simulation sim(spec);
+            SecPbSystem &sys = sim.system();
             SyntheticGenerator gen(prof, pt.instructions, pt.seed);
             ExperimentResult res;
-            res.sim = sys.run(gen);
+            res.sim = sim.run(gen);
             res.extra = {
                 {"mdc_shed_writes",
                  sys.secpb().statMdcShedWrites.value()},

@@ -14,7 +14,7 @@
 
 #include <cstdio>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "recovery/verifier.hh"
 #include "workload/scripted.hh"
 
@@ -34,6 +34,15 @@ runAndDrain(SecPbSystem &sys)
     CrashReport cr = sys.crashNow();
     if (!cr.recovered)
         std::fprintf(stderr, "unexpected: clean drain failed recovery\n");
+}
+
+/** A fresh single-core machine through the facade. */
+Simulation
+makeSim(const SystemConfig &cfg)
+{
+    SimulationSpec spec;
+    spec.base = cfg;
+    return Simulation(spec);
 }
 
 int failures = 0;
@@ -64,7 +73,8 @@ main()
 
     // --- Spoofing -------------------------------------------------------
     {
-        SecPbSystem sys(cfg);
+        Simulation sim = makeSim(cfg);
+        SecPbSystem &sys = sim.system();
         runAndDrain(sys);
         sys.pm().tamperData(0x040, 9, 0x80);
         RecoveryVerifier v(sys.layout(), cfg.keys);
@@ -74,7 +84,8 @@ main()
 
     // --- Splicing --------------------------------------------------------
     {
-        SecPbSystem sys(cfg);
+        Simulation sim = makeSim(cfg);
+        SecPbSystem &sys = sim.system();
         runAndDrain(sys);
         const BlockData a = sys.pm().readData(0x000);
         const BlockData b = sys.pm().readData(0x040);
@@ -87,7 +98,8 @@ main()
 
     // --- Counter tampering ------------------------------------------------
     {
-        SecPbSystem sys(cfg);
+        Simulation sim = makeSim(cfg);
+        SecPbSystem &sys = sim.system();
         runAndDrain(sys);
         sys.pm().tamperCounter(0, 3);
         RecoveryVerifier v(sys.layout(), cfg.keys);
@@ -98,7 +110,8 @@ main()
 
     // --- Full-tuple replay -------------------------------------------------
     {
-        SecPbSystem sys(cfg);
+        Simulation sim = makeSim(cfg);
+        SecPbSystem &sys = sim.system();
         // Persist version 1 of block 0 and capture its whole tuple.
         ScriptedGenerator gen1;
         gen1.store(0x000, 0x1111);

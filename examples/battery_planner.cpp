@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "energy/energy_model.hh"
 #include "workload/synthetic.hh"
 
@@ -37,17 +37,23 @@ double
 slowdownOn(const BenchmarkProfile &profile, Scheme scheme, BmfMode bmf,
            std::uint64_t instr)
 {
-    SystemConfig base_cfg = SecPbSystem::configFor(Scheme::Bbb, profile);
-    SecPbSystem base(base_cfg);
+    SimulationSpec base_spec;
+    base_spec.base = SecPbSystem::configFor(Scheme::Bbb, profile);
+    base_spec.instructions = instr;
+    base_spec.seed = 11;
+    Simulation base(base_spec);
     SyntheticGenerator base_gen(profile, instr, 11);
     const double base_ticks =
         static_cast<double>(base.run(base_gen).execTicks);
 
-    SystemConfig cfg = SecPbSystem::configFor(scheme, profile);
-    cfg.walker.bmfMode = bmf;
-    SecPbSystem sys(cfg);
+    SimulationSpec spec;
+    spec.base = SecPbSystem::configFor(scheme, profile);
+    spec.base.walker.bmfMode = bmf;
+    spec.instructions = instr;
+    spec.seed = 11;
+    Simulation sim(spec);
     SyntheticGenerator gen(profile, instr, 11);
-    return sys.run(gen).execTicks / base_ticks;
+    return sim.run(gen).execTicks / base_ticks;
 }
 
 } // namespace

@@ -22,7 +22,7 @@
 #include <cstdio>
 #include <map>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "recovery/verifier.hh"
 #include "workload/scripted.hh"
 
@@ -77,9 +77,11 @@ main()
 {
     setQuietLogging(true);
 
-    SystemConfig cfg;
-    cfg.scheme = Scheme::Cobcm;
-    SecPbSystem sys(cfg);
+    SimulationSpec spec;
+    spec.base.scheme = Scheme::Cobcm;
+    const SystemConfig &cfg = spec.base;
+    Simulation sim(spec);
+    SecPbSystem &sys = sim.system();
 
     // --- 1. Run a put() workload and crash it mid-way ------------------
     KvTrace trace;

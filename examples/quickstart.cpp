@@ -12,7 +12,7 @@
 #include <cinttypes>
 #include <cstdio>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "workload/synthetic.hh"
 
 using namespace secpb;
@@ -24,8 +24,11 @@ main()
 
     // --- 1. Assemble -----------------------------------------------------
     const BenchmarkProfile &profile = profileByName("gamess");
-    SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, profile);
-    SecPbSystem sys(cfg);
+    SimulationSpec spec;
+    spec.base = SecPbSystem::configFor(Scheme::Cobcm, profile);
+    const SystemConfig &cfg = spec.base;
+    Simulation sim(spec);
+    SecPbSystem &sys = sim.system();
 
     std::printf("SecPB quickstart\n");
     std::printf("  scheme          : %s\n", schemeName(cfg.scheme));

@@ -18,7 +18,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "workload/synthetic.hh"
 
 using namespace secpb;
@@ -75,12 +75,16 @@ runOne(const Options &opt, const std::string &bench)
 {
     const BenchmarkProfile &profile = profileByName(bench);
     SchemeParams params;
-    SystemConfig cfg = SecPbSystem::configFor(
+    SimulationSpec spec;
+    spec.base = SecPbSystem::configFor(
         parseSchemeSpec(opt.scheme, &params), profile);
-    cfg.secpb.params = params;
-    cfg.secpb.numEntries = opt.entries;
-    cfg.walker.bmfMode = parseBmf(opt.bmf);
-    SecPbSystem sys(cfg);
+    spec.base.secpb.params = params;
+    spec.base.secpb.numEntries = opt.entries;
+    spec.base.walker.bmfMode = parseBmf(opt.bmf);
+    spec.instructions = opt.instr;
+    spec.seed = opt.seed;
+    Simulation sim(spec);
+    SecPbSystem &sys = sim.system();
     SyntheticGenerator gen(profile, opt.instr, opt.seed);
 
     if (opt.crashAt > 0) {

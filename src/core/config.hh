@@ -69,6 +69,13 @@ struct SystemConfig
     /** Which secure-persistency scheme to run (Table II). */
     Scheme scheme = Scheme::Cobcm;
 
+    /**
+     * Root name of the system's stat tree. Single-core systems keep the
+     * historical "system" root (stat dumps are byte-stable); the sharded
+     * multi-core engine names each per-core slice "core<N>".
+     */
+    const char *statsName = "system";
+
     SecPbConfig secpb;
     PcmConfig pcm;
     DataHierarchyConfig dataCache;

@@ -1,193 +1,469 @@
 #include "core/multicore.hh"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "exp/thread_pool.hh"
+#include "sim/logging.hh"
+
 namespace secpb
 {
 
+namespace
+{
+
+void
+accumulate(CrashWork &into, const CrashWork &w)
+{
+    into.entriesDrained += w.entriesDrained;
+    into.countersIncremented += w.countersIncremented;
+    into.counterFetches += w.counterFetches;
+    into.otpsGenerated += w.otpsGenerated;
+    into.bmtRootUpdates += w.bmtRootUpdates;
+    into.bmtLevelsWalked += w.bmtLevelsWalked;
+    into.macsComputed += w.macsComputed;
+    into.ciphertexts += w.ciphertexts;
+    into.pmBlockWrites += w.pmBlockWrites;
+    into.mdcBlockFlushes += w.mdcBlockFlushes;
+    into.cacheLinesFlushed += w.cacheLinesFlushed;
+    into.bmtNodesRebuilt += w.bmtNodesRebuilt;
+    into.batteryExhausted = into.batteryExhausted || w.batteryExhausted;
+    into.energySpentJ += w.energySpentJ;
+    into.drainedBlocks.insert(into.drainedBlocks.end(),
+                              w.drainedBlocks.begin(),
+                              w.drainedBlocks.end());
+    into.abandoned.insert(into.abandoned.end(), w.abandoned.begin(),
+                          w.abandoned.end());
+    into.absorbedApplied += w.absorbedApplied;
+    into.absorbedLost += w.absorbedLost;
+}
+
+void
+accumulate(RecoveryReport &into, const RecoveryReport &r)
+{
+    into.blocksChecked += r.blocksChecked;
+    into.macFailures += r.macFailures;
+    into.bmtFailures += r.bmtFailures;
+    into.plaintextMismatches += r.plaintextMismatches;
+    into.spuriousBlocks += r.spuriousBlocks;
+    into.missingBlocks += r.missingBlocks;
+    into.prefixViolations += r.prefixViolations;
+    into.tornDetected += r.tornDetected;
+    into.staleConsistent += r.staleConsistent;
+    into.faults.insert(into.faults.end(), r.faults.begin(), r.faults.end());
+}
+
+} // namespace
+
 MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
     : _cfg(cfg),
+      _epochTicks(cfg.epochTicks
+                      ? cfg.epochTicks
+                      : std::max<Tick>(cfg.migrationLatency, 64)),
       _rootStats("mc_system"),
-      _layout(cfg.base.pmDataBytes),
-      _counters(_layout),
-      _energy(EnergyCosts{}, 8)
+      _dir(cfg.numCores, _rootStats)
 {
     fatal_if(cfg.numCores == 0, "need at least one core");
-
-    const SystemConfig &base = cfg.base;
-    _pcm = std::make_unique<PcmModel>(_eq, base.pcm, _rootStats);
-    _wpq = std::make_unique<WritePendingQueue>(_eq, *_pcm,
-                                               base.wpqEntries, _rootStats);
-    _ctrCache = std::make_unique<MetadataCache>(
-        "ctr_cache", base.ctrCacheGeom, base.metadataCacheHitLatency,
-        *_pcm, _rootStats);
-    _bmtCache = std::make_unique<MetadataCache>(
-        "bmt_cache", base.bmtCacheGeom, base.metadataCacheHitLatency,
-        *_pcm, _rootStats, /*writeback_dirty=*/false);
-    _macCache = std::make_unique<MetadataCache>(
-        "mac_cache", base.macCacheGeom, base.metadataCacheHitLatency,
-        *_pcm, _rootStats);
-    _crypto = std::make_unique<CryptoEngine>(_eq, base.crypto, _rootStats);
-    _tree = std::make_unique<BonsaiMerkleTree>(_layout.numPages(),
-                                               base.keys.macKey ^ 0xb037);
-    _walker = std::make_unique<BmtWalker>(_eq, base.walker, _layout,
-                                          *_tree, *_bmtCache, *_pcm,
-                                          base.crypto, _rootStats);
-    _dir = std::make_unique<SecPbDirectory>(cfg.numCores, _rootStats);
-
-    _energy = EnergyModel(EnergyCosts{}, _tree->numLevels() + 1);
-
-    _cores.resize(cfg.numCores);
+    // Slice stat roots borrow their names (SystemConfig::statsName is a
+    // raw pointer), so fill the name vector up front and never touch it
+    // again.
+    _sliceNames.reserve(cfg.numCores);
+    for (unsigned i = 0; i < cfg.numCores; ++i)
+        _sliceNames.push_back("core" + std::to_string(i));
+    _slices.reserve(cfg.numCores);
+    _gates.reserve(cfg.numCores);
     for (unsigned i = 0; i < cfg.numCores; ++i) {
-        Core &core = _cores[i];
-        core.stats = std::make_unique<StatGroup>(
-            "core" + std::to_string(i), &_rootStats);
-        core.pb = std::make_unique<SecPb>(
-            _eq, base.scheme, base.secpb, _layout, base.keys, _counters,
-            _oracle, _pm, *_crypto, *_walker, *_ctrCache, *_macCache,
-            *_wpq, *core.stats);
-        core.pb->attachCoherence(
-            _dir.get(), i,
-            [this](CoreId id) { return _cores.at(id).pb.get(); },
-            cfg.migrationLatency);
-        core.sb = std::make_unique<StoreBuffer>(
-            _eq, *core.pb, base.storeBufferEntries, *core.stats);
-        core.cpu = std::make_unique<TraceCpu>(_eq, *core.sb, base.cpu,
-                                              *core.stats);
+        SystemConfig sc = cfg.base;
+        sc.statsName = _sliceNames[i].c_str();
+        _slices.push_back(std::make_unique<SecPbSystem>(sc));
+        _gates.push_back(std::make_unique<CoherenceGate>(_dir, i));
+        _slices.back()->secpb().attachGate(_gates.back().get());
     }
 }
 
 void
-MultiCoreSystem::start(const std::vector<WorkloadGenerator *> &gens)
+MultiCoreSystem::start(std::vector<WorkloadGenerator *> gens)
 {
     panic_if(_started, "MultiCoreSystem::start called twice");
-    fatal_if(gens.size() != _cores.size(),
-             "need exactly one workload per core (%zu != %zu)",
-             gens.size(), _cores.size());
+    panic_if(gens.size() != _slices.size(),
+             "%zu generators for %zu cores", gens.size(), _slices.size());
     _started = true;
-    for (unsigned i = 0; i < _cores.size(); ++i) {
-        Core *core = &_cores[i];
-        core->cpu->run(*gens[i], [this, core] {
-            core->done = true;
-            core->sb->notifyWhenEmpty([this, core] {
-                core->sbEmpty = true;
-                if (finished())
-                    _endTick = _eq.curTick();
-            });
-        });
+
+    // When the caller traces, record into per-slice buffers: shard
+    // threads may not share one Tracer, and merging in core order keeps
+    // the output independent of the shard count.
+    _parentTracer = obs::current();
+    if (_parentTracer) {
+        _sliceTracers.reserve(_slices.size());
+        for (std::size_t i = 0; i < _slices.size(); ++i)
+            _sliceTracers.push_back(
+                std::make_unique<obs::Tracer>(_parentTracer->capacity()));
+    }
+
+    for (std::size_t i = 0; i < _slices.size(); ++i) {
+        obs::TraceSession session(
+            _sliceTracers.empty() ? nullptr : _sliceTracers[i].get());
+        _slices[i]->start(*gens[i]);
     }
 }
 
 bool
 MultiCoreSystem::finished() const
 {
-    for (const Core &core : _cores)
-        if (!core.done || !core.sbEmpty)
+    for (const auto &slice : _slices)
+        if (!slice->finished())
             return false;
     return true;
+}
+
+bool
+MultiCoreSystem::anyWorkPending() const
+{
+    for (std::size_t i = 0; i < _slices.size(); ++i) {
+        if (!_slices[i]->eventQueue().empty())
+            return true;
+        if (!_gates[i]->pending().empty())
+            return true;
+    }
+    return false;
+}
+
+void
+MultiCoreSystem::advanceSlices(Tick target)
+{
+    const auto advanceOne = [&](std::size_t i) {
+        obs::TraceSession session(
+            _sliceTracers.empty() ? nullptr : _sliceTracers[i].get());
+        _slices[i]->runUntil(target);
+    };
+    if (_cfg.shards <= 1 || _slices.size() <= 1) {
+        for (std::size_t i = 0; i < _slices.size(); ++i)
+            advanceOne(i);
+        return;
+    }
+    // Shard workers draw from the one global pool (shared with sweep
+    // --jobs); the cap keeps one simulation from claiming every worker.
+    ThreadPool::global().parallelFor(_slices.size(), advanceOne,
+                                     _cfg.shards);
+}
+
+void
+MultiCoreSystem::kickCore(CoreId core, Tick when)
+{
+    SecPbSystem &s = *_slices[core];
+    SecPb *pb = &s.secpb();
+    s.eventQueue().schedule(std::max(when, s.eventQueue().curTick()),
+                            [pb] { pb->kickSpaceWaiters(); });
+}
+
+void
+MultiCoreSystem::processBarrier(Tick T)
+{
+    struct Req
+    {
+        Tick tick;
+        CoreId core;
+        std::uint64_t seq;
+        std::uint64_t page;
+    };
+    std::vector<Req> reqs;
+    for (CoreId c = 0; c < numCores(); ++c)
+        for (const PageRequest &r : _gates[c]->pending())
+            reqs.push_back(Req{r.tick, c, r.seq, r.page});
+    if (reqs.empty())
+        return;
+    // The canonical total order: request time, then core, then per-gate
+    // filing order. A pure function of the simulated run -- never of
+    // shard scheduling.
+    std::sort(reqs.begin(), reqs.end(), [](const Req &a, const Req &b) {
+        if (a.tick != b.tick)
+            return a.tick < b.tick;
+        if (a.core != b.core)
+            return a.core < b.core;
+        return a.seq < b.seq;
+    });
+
+    // One action per page per barrier: later requests for a page this
+    // barrier already served retry next barrier, against the new owner.
+    std::unordered_set<std::uint64_t> handled;
+    for (const Req &r : reqs) {
+        if (handled.count(r.page))
+            continue;
+        const CoreId owner = _dir.ownerOfPage(r.page);
+
+        if (owner == r.core) {
+            // We own it but a stop mark (from a quiesce whose requester
+            // was served or lost) blocked the store. Lift it.
+            _gates[r.core]->clearStop(r.page);
+            _gates[r.core]->retireRequest(r.page);
+            kickCore(r.core, T);
+            handled.insert(r.page);
+            continue;
+        }
+
+        if (owner == NoOwner) {
+            const CoreId res = _dir.residenceOfPage(r.page);
+            if (res == NoOwner) {
+                // Cold page: claim it, nothing moves.
+                _dir.setOwner(r.page, r.core);
+                _dir.setResidence(r.page, r.core);
+                ++_dir.statFirstTouches;
+                _gates[r.core]->retireRequest(r.page);
+                kickCore(r.core, T);
+                handled.insert(r.page);
+            } else if (res == r.core) {
+                // Reclaim after a remote read dropped our ownership;
+                // the durable state never left.
+                _dir.setOwner(r.page, r.core);
+                _gates[r.core]->retireRequest(r.page);
+                kickCore(r.core, T);
+                handled.insert(r.page);
+            } else {
+                // Unowned but resident elsewhere (a remote read flushed
+                // it). Wait for the forced drains to settle, then move
+                // the durable state over.
+                SecPb &pb = _slices[res]->secpb();
+                if (pb.entriesForPage(r.page).empty() &&
+                    pb.pageQuiescent(r.page)) {
+                    movePageState(res, r.core, r.page);
+                    _dir.setOwner(r.page, r.core);
+                    _dir.setResidence(r.page, r.core);
+                    ++_dir.statMigrations;
+                    _gates[r.core]->retireRequest(r.page);
+                    kickCore(r.core, T + _cfg.migrationLatency);
+                    handled.insert(r.page);
+                }
+            }
+            continue;
+        }
+
+        // Remote write miss: migrate the owner's entries -- with their
+        // data-value-independent metadata, per Section IV-C(c) -- plus
+        // the page's durable state, if the page is quiescent and the
+        // requester has room for every entry.
+        SecPb &src = _slices[owner]->secpb();
+        SecPb &dst = _slices[r.core]->secpb();
+        const std::vector<Addr> entries = src.entriesForPage(r.page);
+        if (src.pageQuiescent(r.page) &&
+            entries.size() <= dst.freeEntries()) {
+            for (Addr a : entries) {
+                auto e = src.extractForMigration(a);
+                panic_if(!e, "quiescent page %llu lost entry mid-barrier",
+                         static_cast<unsigned long long>(r.page));
+                dst.injectMigrated(*e);
+            }
+            movePageState(owner, r.core, r.page);
+            _dir.setOwner(r.page, r.core);
+            _dir.setResidence(r.page, r.core);
+            ++_dir.statMigrations;
+            _gates[owner]->clearStop(r.page);
+            _gates[r.core]->retireRequest(r.page);
+            kickCore(r.core, T + _cfg.migrationLatency);
+        } else {
+            // Quiesce the page: no new stores at the owner, and every
+            // extractable entry starts draining so a later barrier can
+            // move the page. The request stays pending.
+            _gates[owner]->markStop(r.page);
+            for (Addr a : entries)
+                src.flushForRemoteRead(a);
+        }
+        handled.insert(r.page);
+    }
+}
+
+void
+MultiCoreSystem::movePageState(CoreId from, CoreId to, std::uint64_t page)
+{
+    SecPbSystem &a = *_slices[from];
+    SecPbSystem &b = *_slices[to];
+    const Addr base = static_cast<Addr>(page) * PageSize;
+
+    for (Addr addr = base; addr < base + PageSize; addr += BlockSize) {
+        if (!a.pm().hasData(addr))
+            continue;
+        b.pm().writeData(addr, a.pm().readData(addr));
+        b.pm().writeMac(addr, a.pm().readMac(addr));
+        a.pm().eraseDataBlock(addr);
+    }
+    if (a.pm().hasCounterBlock(page)) {
+        b.pm().writeCounterBlock(page, a.pm().readCounterBlock(page));
+        a.pm().eraseCounterBlock(page);
+    }
+    if (a.counters().hasBlock(page)) {
+        b.counters().setBlock(page, a.counters().block(page));
+        a.counters().erase(page);
+    }
+    a.oracle().movePageTo(b.oracle(), base, PageSize);
+
+    // The destination's BMT leaf must cover the page's *working* counter
+    // block: eager schemes already hashed in-buffer increments into the
+    // source tree, and the migrated entries carry those counters. (The
+    // source leaf is left stale; the source no longer holds any state
+    // its verifier would check against it.)
+    b.tree().updateLeaf(page, b.tree().leafDigest(b.counters().block(page)));
 }
 
 void
 MultiCoreSystem::runUntil(Tick limit)
 {
-    _eq.run(limit);
+    panic_if(!_started, "runUntil before start");
+    while (_now < limit) {
+        const Tick barrier = nextBarrier(_now);
+        const Tick target = std::min(limit, barrier);
+        advanceSlices(target);
+        _now = target;
+        // Barriers live on the absolute epoch grid, so a runUntil that
+        // stops mid-epoch never shifts when coherence is processed --
+        // crash-at-tick experiments see the same schedule as full runs.
+        if (target == barrier)
+            processBarrier(target);
+    }
 }
 
 MultiCoreResult
-MultiCoreSystem::run(const std::vector<WorkloadGenerator *> &gens)
+MultiCoreSystem::run(std::vector<WorkloadGenerator *> gens)
 {
-    start(gens);
+    if (!_started)
+        start(std::move(gens));
     while (!finished()) {
-        if (_eq.empty()) {
-            panic("multi-core deadlock: no events pending but %u cores "
-                  "have not finished", numCores());
-        }
-        _eq.step();
+        panic_if(!anyWorkPending(),
+                 "multi-core deadlock: no events and no page requests "
+                 "pending, but not all %u cores have finished",
+                 numCores());
+        const Tick barrier = nextBarrier(_now);
+        advanceSlices(barrier);
+        _now = barrier;
+        processBarrier(barrier);
     }
+    flushTraces();
 
-    MultiCoreResult result;
-    result.execTicks = _endTick;
-    for (const Core &core : _cores) {
-        result.perCore.push_back(coreResult(core));
-        result.totalInstructions += result.perCore.back().instructions;
+    MultiCoreResult res;
+    res.perCore.reserve(_slices.size());
+    for (const auto &slice : _slices) {
+        res.perCore.push_back(slice->result());
+        res.execTicks = std::max(res.execTicks, res.perCore.back().execTicks);
+        res.totalInstructions += res.perCore.back().instructions;
     }
-    result.migrations =
-        static_cast<std::uint64_t>(_dir->statMigrations.value());
-    result.remoteReadFlushes =
-        static_cast<std::uint64_t>(_dir->statRemoteReadFlushes.value());
-    return result;
-}
-
-SimulationResult
-MultiCoreSystem::coreResult(const Core &core) const
-{
-    SimulationResult r;
-    r.execTicks = _endTick ? _endTick : _eq.curTick();
-    r.instructions = core.cpu->instructions();
-    r.ipc = r.execTicks
-        ? static_cast<double>(r.instructions) / r.execTicks : 0.0;
-    r.persists =
-        static_cast<std::uint64_t>(core.pb->statPersists.value());
-    r.allocations =
-        static_cast<std::uint64_t>(core.pb->statAllocs.value());
-    r.nwpe = core.pb->statNwpe.count() ? core.pb->statNwpe.mean() : 0.0;
-    r.drainedEntries =
-        static_cast<std::uint64_t>(core.pb->statDrainedEntries.value());
-    return r;
+    res.migrations =
+        static_cast<std::uint64_t>(_dir.statMigrations.value());
+    res.remoteReadFlushes =
+        static_cast<std::uint64_t>(_dir.statRemoteReadFlushes.value());
+    res.firstTouches =
+        static_cast<std::uint64_t>(_dir.statFirstTouches.value());
+    return res;
 }
 
 bool
 MultiCoreSystem::coreRead(CoreId core, Addr addr)
 {
-    const CoreId owner_before = _dir->owner(addr);
-    const bool flushed = _dir->read(core, addr);
-    if (flushed)
-        _cores.at(owner_before).pb->flushForRemoteRead(addr);
-    return flushed;
+    panic_if(core >= numCores(), "core id %u out of range", core);
+    const std::uint64_t page = coherencePage(addr);
+    const CoreId owner = _dir.ownerOfPage(page);
+    if (owner == NoOwner || owner == core)
+        return false;
+    // The datum is forwarded from the owner's buffer; durably, the
+    // owner's entries for the page flush to its PM and write permission
+    // drops (residence stays put until someone writes the page again).
+    SecPb &pb = _slices[owner]->secpb();
+    for (Addr a : pb.entriesForPage(page))
+        pb.flushForRemoteRead(a);
+    _dir.clearOwner(page);
+    _gates[owner]->clearStop(page);
+    ++_dir.statRemoteReadFlushes;
+    return true;
 }
 
 CrashReport
-MultiCoreSystem::crashNow()
+MultiCoreSystem::crashNow(const CrashOptions &opts)
 {
-    CrashReport cr;
-    for (Core &core : _cores) {
-        const CrashWork w = core.pb->crashDrainAll(
-            _cfg.base.batteryBackedStoreBuffer
-                ? core.sb->pendingStores()
-                : std::vector<std::pair<Addr, std::uint64_t>>{});
-        cr.work.entriesDrained += w.entriesDrained;
-        cr.work.countersIncremented += w.countersIncremented;
-        cr.work.counterFetches += w.counterFetches;
-        cr.work.otpsGenerated += w.otpsGenerated;
-        cr.work.bmtRootUpdates += w.bmtRootUpdates;
-        cr.work.bmtLevelsWalked += w.bmtLevelsWalked;
-        cr.work.macsComputed += w.macsComputed;
-        cr.work.ciphertexts += w.ciphertexts;
-        cr.work.pmBlockWrites += w.pmBlockWrites;
-        cr.work.mdcBlockFlushes += w.mdcBlockFlushes;
-    }
-    cr.actualEnergyJ = _energy.actualCrashEnergy(cr.work);
-    cr.provisionedEnergyJ =
-        numCores() * (schemeTraits(_cfg.base.scheme).secure
-                          ? _energy.secPbBatteryEnergy(
-                                _cfg.base.scheme,
-                                _cfg.base.secpb.numEntries)
-                          : _energy.bbbBatteryEnergy(
-                                _cfg.base.secpb.numEntries));
+    flushTraces();
 
-    if (schemeTraits(_cfg.base.scheme).secure) {
-        RecoveryVerifier verifier(_layout, _cfg.base.keys);
-        cr.recovery = verifier.verifyAll(_pm, *_tree, _oracle);
-        cr.recovered = cr.recovery.ok();
-    } else {
-        cr.recovered = true;
-        for (Addr addr : _oracle.touchedBlocks()) {
-            ++cr.recovery.blocksChecked;
-            if (_pm.readData(addr) != _oracle.blockContent(addr)) {
-                ++cr.recovery.plaintextMismatches;
-                cr.recovered = false;
-            }
+    CrashReport agg;
+    agg.batteryBudgetJ = opts.batteryEnergyJ;
+    std::optional<double> remaining = opts.batteryEnergyJ;
+    bool recovered = true;
+
+    // Serial core order: with one shared pool each core drains from what
+    // the previous cores left, so the persist-order prefix guarantee
+    // holds per core and the pool exhausts deterministically.
+    for (const auto &slice : _slices) {
+        CrashOptions per;
+        per.batteryEnergyJ = remaining;
+        const CrashReport cr = slice->crashNow(per);
+        if (remaining)
+            remaining = std::max(0.0, *remaining - cr.work.energySpentJ);
+        accumulate(agg.work, cr.work);
+        accumulate(agg.recovery, cr.recovery);
+        agg.actualEnergyJ += cr.actualEnergyJ;
+        // Per-core batteries drain in parallel; the observer-blocked
+        // window is the slowest core's.
+        agg.drainLatency = std::max(agg.drainLatency, cr.drainLatency);
+        agg.drainLatencyNs = std::max(agg.drainLatencyNs, cr.drainLatencyNs);
+        recovered = recovered && cr.recovered;
+    }
+
+    const EnergyModel &em = _slices[0]->energyModel();
+    const SystemConfig &base = _cfg.base;
+    agg.provisionedEnergyJ =
+        numCores() *
+        (schemeTraits(base.scheme).secure
+             ? em.secPbBatteryEnergy(base.scheme, base.secpb.numEntries)
+             : em.bbbBatteryEnergy(base.secpb.numEntries));
+    agg.recovered = recovered;
+    return agg;
+}
+
+SecPbSystem &
+MultiCoreSystem::residentSystem(Addr addr)
+{
+    const CoreId res = _dir.residence(addr);
+    return *_slices[res == NoOwner ? 0 : res];
+}
+
+std::uint64_t
+MultiCoreSystem::totalPersists() const
+{
+    std::uint64_t total = 0;
+    for (const auto &slice : _slices)
+        total += slice->oracle().numPersists();
+    return total;
+}
+
+bool
+MultiCoreSystem::invariantNoReplication() const
+{
+    std::unordered_set<Addr> seen;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        for (Addr a : _slices[c]->secpb().residentAddrs()) {
+            if (!seen.insert(a).second)
+                return false;
+            if (_dir.owner(a) != c)
+                return false;
         }
     }
-    return cr;
+    return _dir.invariantSingleOwner();
+}
+
+void
+MultiCoreSystem::dumpStats(std::ostream &os) const
+{
+    _rootStats.dump(os);
+    for (const auto &slice : _slices)
+        slice->dumpStats(os);
+}
+
+void
+MultiCoreSystem::flushTraces()
+{
+    if (!_parentTracer || _sliceTracers.empty())
+        return;
+    std::vector<const obs::Tracer *> sources;
+    sources.reserve(_sliceTracers.size());
+    for (const auto &t : _sliceTracers)
+        sources.push_back(t.get());
+    _parentTracer->mergeFrom(sources);
+    for (const auto &t : _sliceTracers)
+        t->clear();
 }
 
 } // namespace secpb

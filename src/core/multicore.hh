@@ -1,45 +1,53 @@
 /**
  * @file
- * MultiCoreSystem: N cores, each with its own SecPB, sharing the memory
- * controller (crypto engine, metadata caches, BMT walker, WPQ, PCM) and
- * coordinated by the SecPB directory of paper Section IV-C(c).
+ * Multi-core SecPB machine: one fully private SecPbSystem slice per
+ * core, coupled only at epoch barriers.
  *
- * The paper's timing evaluation is single-core (Table I); the multi-core
- * protocol is described but not measured. This system realizes it: a
- * remote write migrates the owning SecPB's entry -- moving the data-value-
- * independent metadata with it so the receiving core skips counter/OTP/
- * BMT work -- and a remote read forces the owner to flush the entry to PM
- * while the datum is forwarded. The no-replication invariant is enforced
- * by the directory and property-tested.
+ * Each core owns a complete machine slice -- TraceCpu, StoreBuffer,
+ * SecPB, crypto engine, metadata caches, BMT, WPQ, PCM channel, PM
+ * image, persist oracle -- with its own EventQueue. Slices share no
+ * mutable state while an epoch runs, so the engine may advance them on
+ * separate OS threads (`--shards N`) and the simulation stays
+ * bit-identical to the serial schedule: all cross-core interaction is
+ * deferred to the barrier, which runs serially in a canonical order.
  *
- * Crash semantics extend naturally: the battery drains every core's
- * SecPB; ownership is per-block, so per-buffer drain order preserves the
- * persist-order invariant globally.
+ * Conservative epoch-barrier protocol (see DESIGN.md):
+ *
+ *   1. Pick the next barrier tick T on the absolute epoch grid
+ *      (multiples of epochTicks, independent of shard count and of
+ *      runUntil() slicing).
+ *   2. Advance every slice to T (in parallel across at most `shards`
+ *      pool workers; each slice is deterministic on its own, so the
+ *      thread assignment is irrelevant).
+ *   3. Process the coherence mailbox serially: every CoherenceGate
+ *      rejection filed during the epoch is a PageRequest stamped
+ *      (tick, core, seq); requests are granted in that total order.
+ *      A page ownership transfer extracts the owner's persist-buffer
+ *      entries -- carrying their data-value-independent metadata, per
+ *      paper Section IV-C(c) -- and moves the page's durable state
+ *      (PM blocks, MACs, counter block, oracle records, BMT leaf) to
+ *      the requester's slice. Non-quiescent pages get a stop mark plus
+ *      a forced drain, and the request retries at a later barrier.
+ *
+ * The epoch length (lookahead) is a pure timing knob: any value is
+ * *correct* because slices cannot observe each other mid-epoch; it
+ * only quantizes when ownership transfers happen. It defaults to the
+ * migration latency (floored for efficiency), the natural scale of
+ * cross-core events.
  */
 
 #ifndef SECPB_CORE_MULTICORE_HH
 #define SECPB_CORE_MULTICORE_HH
 
 #include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
 #include <vector>
 
-#include "core/config.hh"
-#include "core/results.hh"
-#include "cpu/store_buffer.hh"
-#include "cpu/trace_cpu.hh"
-#include "energy/energy_model.hh"
-#include "mem/pcm.hh"
-#include "mem/pm_image.hh"
-#include "mem/wpq.hh"
-#include "metadata/bmt.hh"
-#include "metadata/counter_store.hh"
-#include "metadata/layout.hh"
-#include "metadata/metadata_cache.hh"
-#include "metadata/walker.hh"
-#include "recovery/oracle.hh"
-#include "recovery/verifier.hh"
+#include "core/system.hh"
+#include "obs/trace.hh"
 #include "secpb/coherence.hh"
-#include "secpb/secpb.hh"
 
 namespace secpb
 {
@@ -47,102 +55,161 @@ namespace secpb
 /** Configuration of the multi-core machine. */
 struct MultiCoreConfig
 {
-    SystemConfig base;            ///< Per-core + shared-MC parameters.
+    /** Per-core slice configuration (every core gets a copy). */
+    SystemConfig base;
+
     unsigned numCores = 4;
-    Cycles migrationLatency = 24; ///< SecPB-to-SecPB entry transfer.
+
+    /** Cycles to hand a PB entry and its page to another core. */
+    Cycles migrationLatency = 24;
+
+    /**
+     * Worker threads advancing slices concurrently. 1 = serial (the
+     * reference schedule); N <= numCores shards the epoch across the
+     * global pool. Results are identical for every value -- shards is
+     * host parallelism, not simulated behavior.
+     */
+    unsigned shards = 1;
+
+    /**
+     * Epoch (barrier period) in ticks; 0 derives it from
+     * migrationLatency. Affects simulated transfer timing (coarser
+     * epochs delay ownership grants), never correctness.
+     */
+    Tick epochTicks = 0;
 };
 
-/** Per-core and aggregate results of a multi-core run. */
+/** Aggregate outcome of a multi-core run. */
 struct MultiCoreResult
 {
     std::vector<SimulationResult> perCore;
-    std::uint64_t execTicks = 0;        ///< Last core's finish time.
+    Tick execTicks = 0;                    ///< Last core's finish tick.
     std::uint64_t totalInstructions = 0;
-    std::uint64_t migrations = 0;       ///< Entries moved between SecPBs.
+    std::uint64_t migrations = 0;          ///< Page ownership transfers.
     std::uint64_t remoteReadFlushes = 0;
+    std::uint64_t firstTouches = 0;        ///< Cold ownership claims.
 };
 
-/** The assembled N-core machine. */
+/**
+ * N private machine slices + page directory + epoch-barrier engine.
+ */
 class MultiCoreSystem
 {
   public:
-    explicit MultiCoreSystem(const MultiCoreConfig &cfg);
+    explicit MultiCoreSystem(const MultiCoreConfig &cfg = {});
+
+    /** Begin executing one generator per core (size must match). */
+    void start(std::vector<WorkloadGenerator *> gens);
 
     /**
-     * Run one workload per core to completion (every generator
-     * exhausted, every store buffer empty).
+     * Advance simulated time to @p limit. Epochs end on the absolute
+     * grid, so splitting a run into arbitrary runUntil() calls (e.g.
+     * to crash mid-epoch) cannot change behavior.
      */
-    MultiCoreResult run(const std::vector<WorkloadGenerator *> &gens);
-
-    /** Begin execution without advancing time. */
-    void start(const std::vector<WorkloadGenerator *> &gens);
-
-    /** Advance simulated time up to @p limit. */
     void runUntil(Tick limit);
 
+    /** Run all cores to completion and aggregate the results. */
+    MultiCoreResult run(std::vector<WorkloadGenerator *> gens);
+
+    /** True once every core retired and drained its store buffer. */
     bool finished() const;
 
     /**
-     * A load on @p core to a block possibly owned by a remote SecPB:
-     * the directory decides; a remote owner's entry is flushed (datum
-     * forwarded). Exposed for workloads with read sharing.
-     * @return true if a remote flush was triggered.
+     * A core loads @p addr that another core may own: the owner's
+     * page entries are flushed to PM (timed) and ownership is dropped
+     * so the reader observes persisted data. Quiescent-time API (call
+     * between run segments, not mid-epoch).
+     * @return true if a remote owner was found and flushed.
      */
     bool coreRead(CoreId core, Addr addr);
 
-    /** Crash: battery-drain every core's SecPB, then verify recovery. */
-    CrashReport crashNow();
+    /** Crash with the classic unbounded per-core batteries. */
+    CrashReport crashNow() { return crashNow(CrashOptions{}); }
 
-    /** @name Component access. */
+    /**
+     * Crash every core now. A bounded CrashOptions budget is one
+     * shared energy pool: cores drain in core order, each spending
+     * from what the previous cores left. Recovery verification runs
+     * per slice (each core recovers its resident pages) and the report
+     * aggregates work, energy, and verification across cores.
+     */
+    CrashReport crashNow(const CrashOptions &opts);
+
+    unsigned numCores() const { return static_cast<unsigned>(_slices.size()); }
+    Tick now() const { return _now; }
+    Tick epochTicks() const { return _epochTicks; }
+
+    /** @name Component access (tests, examples). */
     /** @{ */
-    unsigned numCores() const { return static_cast<unsigned>(_cores.size()); }
-    SecPb &secpb(CoreId core) { return *_cores.at(core).pb; }
-    StoreBuffer &storeBuffer(CoreId core) { return *_cores.at(core).sb; }
-    TraceCpu &cpu(CoreId core) { return *_cores.at(core).cpu; }
-    SecPbDirectory &directory() { return *_dir; }
-    PersistOracle &oracle() { return _oracle; }
-    PmImage &pm() { return _pm; }
-    BonsaiMerkleTree &tree() { return *_tree; }
-    EventQueue &eventQueue() { return _eq; }
-    const MetadataLayout &layout() const { return _layout; }
+    SecPbSystem &slice(unsigned core) { return *_slices.at(core); }
+    const SecPbSystem &slice(unsigned core) const { return *_slices.at(core); }
+    SecPb &secpb(unsigned core) { return _slices.at(core)->secpb(); }
+    StoreBuffer &storeBuffer(unsigned core)
+    {
+        return _slices.at(core)->storeBuffer();
+    }
+    TraceCpu &cpu(unsigned core) { return _slices.at(core)->cpu(); }
+    PageDirectory &directory() { return _dir; }
+    const PageDirectory &directory() const { return _dir; }
+    const MultiCoreConfig &config() const { return _cfg; }
+
+    /** The slice holding @p addr's durable state (slice 0 if untouched). */
+    SecPbSystem &residentSystem(Addr addr);
     /** @} */
 
-  private:
-    struct Core
-    {
-        std::unique_ptr<StatGroup> stats;
-        std::unique_ptr<SecPb> pb;
-        std::unique_ptr<StoreBuffer> sb;
-        std::unique_ptr<TraceCpu> cpu;
-        bool done = false;
-        bool sbEmpty = false;
-    };
+    /** Sum of per-core persist counts (the oracle's view). */
+    std::uint64_t totalPersists() const;
 
-    SimulationResult coreResult(const Core &core) const;
+    /**
+     * No block is resident in two persist buffers, and every resident
+     * block's page is owned by the slice holding it.
+     */
+    bool invariantNoReplication() const;
+
+    /** Dump directory stats plus every slice's stat tree. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    /** Next barrier strictly after @p t on the absolute epoch grid. */
+    Tick nextBarrier(Tick t) const
+    {
+        return (t / _epochTicks + 1) * _epochTicks;
+    }
+
+    /** Advance every slice to @p target (parallel across shards). */
+    void advanceSlices(Tick target);
+
+    /** Serially grant/defer the epoch's page requests at tick @p T. */
+    void processBarrier(Tick T);
+
+    /** Move page @p page's durable state between slices. */
+    void movePageState(CoreId from, CoreId to, std::uint64_t page);
+
+    /** Schedule a space-waiter kick in @p core's queue at @p when. */
+    void kickCore(CoreId core, Tick when);
+
+    /** True if any slice has pending events or any gate has requests. */
+    bool anyWorkPending() const;
+
+    /** Merge per-slice trace buffers into the ambient tracer. */
+    void flushTraces();
 
     MultiCoreConfig _cfg;
-    EventQueue _eq;
+    Tick _epochTicks;
+    Tick _now = 0;
+
     StatGroup _rootStats;
+    PageDirectory _dir;
+    std::vector<std::string> _sliceNames;
+    std::vector<std::unique_ptr<SecPbSystem>> _slices;
+    std::vector<std::unique_ptr<CoherenceGate>> _gates;
 
-    MetadataLayout _layout;
-    PmImage _pm;
-    CounterStore _counters;
-    PersistOracle _oracle;
-    EnergyModel _energy;
+    /** Per-slice trace buffers (only when an ambient tracer exists):
+     *  shard threads must not share the caller's tracer. */
+    obs::Tracer *_parentTracer = nullptr;
+    std::vector<std::unique_ptr<obs::Tracer>> _sliceTracers;
 
-    std::unique_ptr<PcmModel> _pcm;
-    std::unique_ptr<WritePendingQueue> _wpq;
-    std::unique_ptr<MetadataCache> _ctrCache;
-    std::unique_ptr<MetadataCache> _bmtCache;
-    std::unique_ptr<MetadataCache> _macCache;
-    std::unique_ptr<CryptoEngine> _crypto;
-    std::unique_ptr<BonsaiMerkleTree> _tree;
-    std::unique_ptr<BmtWalker> _walker;
-    std::unique_ptr<SecPbDirectory> _dir;
-
-    std::vector<Core> _cores;
     bool _started = false;
-    Tick _endTick = 0;
 };
 
 } // namespace secpb

@@ -1,0 +1,364 @@
+#include "core/simulation.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/power.hh"
+#include "sim/logging.hh"
+#include "workload/registry.hh"
+
+namespace secpb
+{
+
+namespace
+{
+
+/** One-time stderr note when a deprecated SECPB_BENCH_* fallback fires. */
+void
+noteDeprecatedEnv(const char *name)
+{
+    static bool noted = false;
+    if (!noted) {
+        std::fprintf(stderr,
+                     "note: %s is deprecated; pass the matching command-line "
+                     "flag instead (env fallbacks will be removed)\n",
+                     name);
+        noted = true;
+    }
+}
+
+/**
+ * Strict env-var parse: the whole value must be one non-negative decimal
+ * integer that fits in 64 bits; anything else (trailing garbage, sign,
+ * overflow) is a fatal misconfiguration, never a silent truncation.
+ */
+std::uint64_t
+specEnvU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    noteDeprecatedEnv(name);
+    fatal_if(v[0] == '-' || v[0] == '+',
+             "%s='%s': must be a plain non-negative decimal integer",
+             name, v);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    fatal_if(end == v || *end != '\0',
+             "%s='%s': not a decimal integer (trailing garbage at '%s')",
+             name, v, end);
+    fatal_if(errno == ERANGE, "%s='%s': out of range for a 64-bit value",
+             name, v);
+    return parsed;
+}
+
+/** Strict env-var parse for a floating-point knob (same contract). */
+double
+specEnvDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    noteDeprecatedEnv(name);
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    fatal_if(end == v || *end != '\0',
+             "%s='%s': not a decimal number (trailing garbage at '%s')",
+             name, v, end);
+    fatal_if(errno == ERANGE || !std::isfinite(parsed),
+             "%s='%s': out of range for a finite double", name, v);
+    return parsed;
+}
+
+std::string
+specEnvStr(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return {};
+    noteDeprecatedEnv(name);
+    return v;
+}
+
+std::string
+joinNames(const std::vector<std::string> &v)
+{
+    std::string out;
+    for (const std::string &s : v) {
+        if (!out.empty())
+            out += ",";
+        out += s;
+    }
+    return out;
+}
+
+} // namespace
+
+CapacitorParams
+SimulationSpec::batteryParams() const
+{
+    CapacitorParams p = capacitorPresetFor(batteryTech);
+    p.capacitanceDerate = batteryDerate;
+    return p;
+}
+
+SimulationSpec
+SimulationSpec::fromCli(int &argc, char **argv, const char *prog)
+{
+    SimulationSpec spec;
+
+    // Deprecated environment fallbacks (flags below override them).
+    spec.instructions = specEnvU64("SECPB_BENCH_INSTR", spec.instructions);
+    spec.seed = specEnvU64("SECPB_BENCH_SEED", spec.seed);
+    spec.workload = specEnvStr("SECPB_BENCH_WORKLOAD");
+    std::string traceIn = specEnvStr("SECPB_BENCH_TRACE_IN");
+    spec.traceRecord = specEnvStr("SECPB_BENCH_TRACE_RECORD");
+    if (std::string t = specEnvStr("SECPB_BENCH_BATTERY_TECH"); !t.empty())
+        spec.batteryTech = std::move(t);
+    spec.batteryDerate =
+        specEnvDouble("SECPB_BENCH_BATTERY_DERATE", spec.batteryDerate);
+    spec.powerSchedule = specEnvStr("SECPB_BENCH_POWER_SCHEDULE");
+
+    // Parse our flags out of argv, compacting the survivors in place so
+    // the caller's parser never sees what we consumed.
+    auto parseU64 = [&](const char *flag, const char *v) -> std::uint64_t {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(v, &end, 10);
+        fatal_if(v[0] == '-' || end == v || *end != '\0' || errno == ERANGE,
+                 "%s: %s '%s' is not a non-negative integer", prog, flag, v);
+        return parsed;
+    };
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s: flag %s needs a value", prog,
+                     a.c_str());
+            return argv[++i];
+        };
+        if (a == "--instr") {
+            spec.instructions = parseU64("--instr", need());
+        } else if (a == "--seed") {
+            spec.seed = parseU64("--seed", need());
+        } else if (a == "--workload") {
+            spec.workload = need();
+        } else if (a == "--trace-in") {
+            traceIn = need();
+        } else if (a == "--trace-record") {
+            spec.traceRecord = need();
+        } else if (a == "--battery-tech") {
+            spec.batteryTech = need();
+        } else if (a == "--battery-derate") {
+            const char *v = need();
+            char *end = nullptr;
+            spec.batteryDerate = std::strtod(v, &end);
+            fatal_if(end == v || *end != '\0',
+                     "%s: --battery-derate '%s' is not a number", prog, v);
+        } else if (a == "--power-schedule") {
+            spec.powerSchedule = need();
+        } else if (a == "--cores") {
+            spec.cores =
+                static_cast<unsigned>(parseU64("--cores", need()));
+        } else if (a == "--shards") {
+            spec.shards =
+                static_cast<unsigned>(parseU64("--shards", need()));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    // Validate eagerly: a bad value dies here, before any run starts,
+    // with a diagnostic that lists the valid choices.
+    fatal_if(spec.cores < 1, "%s: --cores must be >= 1", prog);
+    fatal_if(spec.shards < 1,
+             "%s: --shards must be >= 1 (1 = serial; N caps the worker "
+             "threads and never changes results)",
+             prog);
+    capacitorPresetFor(spec.batteryTech);
+    fatal_if(spec.batteryDerate <= 0.0 || spec.batteryDerate > 1.0,
+             "%s: --battery-derate %.3f out of (0, 1]", prog,
+             spec.batteryDerate);
+    if (!spec.powerSchedule.empty())
+        PowerScheduleSpec::parse(spec.powerSchedule);
+    // --trace-in is sugar for the replay workload; combining them would
+    // silently drop one, so refuse instead.
+    if (!traceIn.empty()) {
+        fatal_if(!spec.workload.empty(),
+                 "%s: --trace-in and --workload are mutually exclusive "
+                 "(replay IS a workload)",
+                 prog);
+        spec.workload = "replay:file=" + traceIn;
+    }
+    if (!spec.workload.empty()) {
+        const WorkloadSpec ws = WorkloadSpec::parse(spec.workload);
+        fatal_if(!isRegisteredWorkload(ws.name),
+                 "%s: unknown workload '%s' (registered: %s)", prog,
+                 ws.name.c_str(),
+                 joinNames(registeredWorkloadNames()).c_str());
+    }
+    return spec;
+}
+
+const char *
+SimulationSpec::cliHelp()
+{
+    return
+        "  --instr N           instructions per point/core\n"
+        "  --seed N            base workload seed\n"
+        "  --workload SPEC     registry workload \"name:k=v,...\"\n"
+        "  --trace-in PATH     replay a recorded trace (= --workload\n"
+        "                      replay:file=PATH)\n"
+        "  --trace-record PATH record the first point's op stream\n"
+        "  --battery-tech T    capacitor physics preset\n"
+        "                      (ideal|supercap|li-thin)\n"
+        "  --battery-derate F  end-of-life capacity derate in (0,1]\n"
+        "  --power-schedule S  seeded intermittent-power schedule"
+        " \"k=v,...\"\n"
+        "  --cores N           simulated cores (default 1)\n"
+        "  --shards N          host worker threads for multi-core runs;\n"
+        "                      results are identical for every value\n";
+}
+
+Simulation::Simulation(const SimulationSpec &spec)
+{
+    if (spec.cores <= 1) {
+        // The classic machine, byte-identical to pre-facade drivers: no
+        // gate, no directory, the "system" stat root.
+        _single = std::make_unique<SecPbSystem>(spec.base);
+    } else {
+        _multi = std::make_unique<MultiCoreSystem>(spec.multiCoreConfig());
+    }
+}
+
+SecPbSystem &
+Simulation::system()
+{
+    panic_if(!_single,
+             "Simulation::system(): this is a %u-core simulation; use "
+             "multi() / slice access",
+             numCores());
+    return *_single;
+}
+
+MultiCoreSystem &
+Simulation::multi()
+{
+    panic_if(!_multi,
+             "Simulation::multi(): this is a single-core simulation; use "
+             "system()");
+    return *_multi;
+}
+
+void
+Simulation::start(WorkloadGenerator &gen)
+{
+    if (_single) {
+        _single->start(gen);
+        return;
+    }
+    panic_if(_multi->numCores() != 1,
+             "Simulation::start(gen): %u cores need one generator each "
+             "(use the vector overload)",
+             _multi->numCores());
+    _multi->start({&gen});
+}
+
+void
+Simulation::start(std::vector<WorkloadGenerator *> gens)
+{
+    if (_multi) {
+        _multi->start(std::move(gens));
+        return;
+    }
+    panic_if(gens.size() != 1,
+             "Simulation::start: single-core simulation got %zu generators",
+             gens.size());
+    _single->start(*gens.front());
+}
+
+void
+Simulation::runUntil(Tick limit)
+{
+    if (_single)
+        _single->runUntil(limit);
+    else
+        _multi->runUntil(limit);
+}
+
+SimulationResult
+Simulation::run(WorkloadGenerator &gen)
+{
+    if (_single)
+        return _single->run(gen);
+    panic_if(_multi->numCores() != 1,
+             "Simulation::run(gen): %u cores need one generator each "
+             "(use the vector overload)",
+             _multi->numCores());
+    return _multi->run({&gen}).perCore.front();
+}
+
+MultiCoreResult
+Simulation::run(std::vector<WorkloadGenerator *> gens)
+{
+    if (_multi)
+        return _multi->run(std::move(gens));
+    panic_if(gens.size() != 1,
+             "Simulation::run: single-core simulation got %zu generators",
+             gens.size());
+    MultiCoreResult mr;
+    mr.perCore.push_back(_single->run(*gens.front()));
+    mr.execTicks = mr.perCore.front().execTicks;
+    mr.totalInstructions = mr.perCore.front().instructions;
+    return mr;
+}
+
+bool
+Simulation::finished() const
+{
+    return _single ? _single->finished() : _multi->finished();
+}
+
+CrashReport
+Simulation::crashNow(const CrashOptions &opts)
+{
+    return _single ? _single->crashNow(opts) : _multi->crashNow(opts);
+}
+
+SimulationResult
+Simulation::result() const
+{
+    return _single ? _single->result() : _multi->slice(0).result();
+}
+
+obs::Sampler *
+Simulation::sampler()
+{
+    return _single ? _single->sampler() : _multi->slice(0).sampler();
+}
+
+const StatGroup &
+Simulation::stats() const
+{
+    return _single ? _single->stats() : _multi->slice(0).stats();
+}
+
+void
+Simulation::dumpStats(std::ostream &os) const
+{
+    if (_single)
+        _single->dumpStats(os);
+    else
+        _multi->dumpStats(os);
+}
+
+} // namespace secpb

@@ -10,7 +10,7 @@ namespace secpb
 
 SecPbSystem::SecPbSystem(const SystemConfig &cfg)
     : _cfg(cfg),
-      _rootStats("system"),
+      _rootStats(cfg.statsName),
       _layout(cfg.pmDataBytes),
       _counters(_layout),
       _energy(EnergyCosts{}, 0 /* placeholder, fixed below */)

@@ -104,6 +104,18 @@ struct ExperimentPoint
     unsigned secpbEntries = 32;
     BmfMode bmf = BmfMode::None;
 
+    /**
+     * Simulated cores (1 = the classic single-core machine). Multi-core
+     * points run one generator per core, seeded seed+core, and report
+     * the aggregate in `sim` (per-core counters summed, rates from the
+     * aggregate).
+     */
+    unsigned cores = 1;
+
+    /** Host worker threads for multi-core points. Never affects
+     *  results -- `--shards 1` and `--shards N` are bit-identical. */
+    unsigned shards = 1;
+
     /** Workload seed. Determinism is per-point: same seed, same result,
      *  regardless of which thread runs it or in what order. */
     std::uint64_t seed = 7;

@@ -84,21 +84,18 @@ SweepRunner::run(const std::vector<ExperimentPoint> &points) const
         return results;
     }
 
-    std::vector<std::future<void>> futures;
-    futures.reserve(points.size());
-    {
-        ThreadPool pool(_opts.jobs);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            futures.push_back(pool.submit([&, i] {
-                results[i] = timedPoint(points[i]);
-                meter.completed();
-            }));
-        }
-        // Pool destruction drains every queued task before joining, so
-        // all futures below are ready (or hold the task's exception).
-    }
-    for (auto &f : futures)
-        f.get();
+    // One process-wide worker budget: sweep points and the shard workers
+    // they may spawn (multi-core points under --shards) all draw from
+    // ThreadPool::global(), so `--jobs N` never multiplies into N x M
+    // oversubscription. parallelFor caps concurrent points at jobs and
+    // rethrows the first point failure after every point ran.
+    ThreadPool::global().parallelFor(
+        points.size(),
+        [&](std::size_t i) {
+            results[i] = timedPoint(points[i]);
+            meter.completed();
+        },
+        _opts.jobs);
     return results;
 }
 

@@ -1,5 +1,9 @@
 #include "exp/thread_pool.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 namespace secpb
 {
 
@@ -36,6 +40,107 @@ ThreadPool::submit(std::function<void()> fn)
     }
     _cvTask.notify_one();
     return fut;
+}
+
+std::optional<std::future<void>>
+ThreadPool::trySubmit(std::function<void()> fn)
+{
+    Task task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    {
+        std::unique_lock lock(_mx);
+        if (_queued >= _bound)
+            return std::nullopt;
+        _deques[_nextDeque].push_back(std::move(task));
+        _nextDeque = (_nextDeque + 1) % _deques.size();
+        ++_queued;
+    }
+    _cvTask.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t max_concurrency)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t n = 0;
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::mutex mx;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->n = n;
+    shared->fn = &fn;
+
+    // Stray helpers that only start after the caller exhausted the index
+    // space see next >= n immediately and never dereference fn -- which
+    // is what makes borrowing the caller's function object safe.
+    auto work = [shared] {
+        for (;;) {
+            const std::size_t i = shared->next.fetch_add(1);
+            if (i >= shared->n)
+                return;
+            try {
+                (*shared->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(shared->mx);
+                if (!shared->error)
+                    shared->error = std::current_exception();
+            }
+            if (shared->done.fetch_add(1) + 1 == shared->n) {
+                std::lock_guard<std::mutex> g(shared->mx);
+                shared->cv.notify_all();
+            }
+        }
+    };
+
+    std::size_t helpers = std::min<std::size_t>(n - 1, workers());
+    if (max_concurrency > 0)
+        helpers = std::min(helpers, max_concurrency - 1);
+    std::vector<std::future<void>> futs;
+    futs.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        if (auto f = trySubmit(work))
+            futs.push_back(std::move(*f));
+    }
+
+    work();  // The caller claims indices alongside the helpers.
+
+    {
+        std::unique_lock lock(shared->mx);
+        shared->cv.wait(lock,
+                        [&] { return shared->done.load() >= shared->n; });
+    }
+    // done == n means every index ran and every error is in shared->error,
+    // so the helper futures are deliberately abandoned: a helper that is
+    // still queued behind workers blocked in THIS function would never
+    // run, and waiting on it here would deadlock nested calls. Stray
+    // helpers own `shared` and exit via the next >= n check whenever the
+    // pool eventually runs them.
+    futs.clear();
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return pool;
 }
 
 bool

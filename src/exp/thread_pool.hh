@@ -28,6 +28,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -54,6 +55,37 @@ class ThreadPool
      * future completes when the task ran and rethrows anything it threw.
      */
     std::future<void> submit(std::function<void()> fn);
+
+    /**
+     * Non-blocking submit: nullopt when the backlog is at the bound.
+     * The building block for nested helpers that must never wait on the
+     * pool (a worker waiting on its own pool's queue is a deadlock).
+     */
+    std::optional<std::future<void>> trySubmit(std::function<void()> fn);
+
+    /**
+     * Run fn(0..n-1) across the pool, with the CALLING thread claiming
+     * indices too. Helpers are enlisted with trySubmit, so a nested call
+     * from inside a pool task degrades to the caller doing all the work
+     * instead of deadlocking -- this is the nested-parallelism
+     * arbitration between sweep-level jobs and shard-level workers: both
+     * draw from one global worker budget and oversubscription is
+     * impossible by construction. The first exception any index throws
+     * is rethrown here after all indices finish.
+     *
+     * @param max_concurrency  Cap on threads working indices at once
+     *                         (caller included); 0 = no cap beyond the
+     *                         worker count. `--jobs N` maps here.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t max_concurrency = 0);
+
+    /**
+     * The process-wide pool, sized to the hardware concurrency. Sweep
+     * jobs and shard workers share this one budget.
+     */
+    static ThreadPool &global();
 
     unsigned workers() const { return static_cast<unsigned>(_deques.size()); }
     std::size_t queueBound() const { return _bound; }

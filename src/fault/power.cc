@@ -5,7 +5,7 @@
 #include <memory>
 #include <utility>
 
-#include "core/system.hh"
+#include "core/simulation.hh"
 #include "recovery/restore.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -192,7 +192,12 @@ IntermittentPowerInjector::run()
         const PowerCycleDraw d = _spec.draw(cycle);
         PowerCycleOutcome out;
 
-        SecPbSystem sys(_cfg);
+        // Each incarnation is a fresh machine built through the facade;
+        // the injector drives the single-core system underneath.
+        SimulationSpec spec;
+        spec.base = _cfg;
+        Simulation incarnation(spec);
+        SecPbSystem &sys = incarnation.system();
 
         if (cycle == 0) {
             // First boot: pristine machine, nothing to restore.

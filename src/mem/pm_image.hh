@@ -66,6 +66,20 @@ class PmImage
         _counters[page_idx] = cb;
     }
 
+    /** True if the page's counter block was ever persisted. */
+    bool
+    hasCounterBlock(std::uint64_t page_idx) const
+    {
+        return _counters.contains(page_idx);
+    }
+
+    /** Drop a page's persisted counter block (page migration). */
+    void
+    eraseCounterBlock(std::uint64_t page_idx)
+    {
+        _counters.erase(page_idx);
+    }
+
     /** Read the stored MAC for a data block (0 if untouched). */
     MacValue
     readMac(Addr block_addr) const

@@ -92,6 +92,16 @@ class CounterStore
         _blocks[page_idx] = cb;
     }
 
+    /** True if the page's counter block was ever touched. */
+    bool hasBlock(std::uint64_t page_idx) const
+    {
+        return _blocks.contains(page_idx);
+    }
+
+    /** Drop a page's working counter block (page migration: the block
+     *  moves wholesale to the destination core's store). */
+    void erase(std::uint64_t page_idx) { _blocks.erase(page_idx); }
+
   private:
     const MetadataLayout &_layout;
     FlatMap<std::uint64_t, CounterBlock> _blocks;

@@ -110,6 +110,16 @@ class Tracer
     /** Drop all recorded events (the tid registry is kept). */
     void clear();
 
+    /**
+     * Deterministic cross-shard merge: append every event of @p sources
+     * interleaved in (ts, sourceIndex, seq) order -- source index is the
+     * canonical core order, so the merged timeline is a pure function of
+     * the simulated run, never of shard scheduling. Component names are
+     * re-interned here and events receive fresh seqs in merge order, so
+     * writeJson() emits the canonical order directly.
+     */
+    void mergeFrom(const std::vector<const Tracer *> &sources);
+
   private:
     TraceEvent *append();
 

@@ -173,6 +173,27 @@ class PersistOracle
     }
     /** @} */
 
+    /**
+     * Page migration (multi-core): move the shadow content and store log
+     * of every block in [page_base, page_base + page_bytes) into @p dst.
+     * _numPersists stays put on both sides -- each core's oracle counts
+     * the stores *it* accepted, so per-core persist sums stay correct.
+     */
+    void
+    movePageTo(PersistOracle &dst, Addr page_base, std::uint64_t page_bytes)
+    {
+        for (Addr a = page_base; a < page_base + page_bytes;
+             a += BlockSize) {
+            auto it = _blocks.find(a);
+            if (it == _blocks.end())
+                continue;
+            dst._blocks[a] = it->second;
+            dst._log[a] = std::move(_log[a]);
+            _blocks.erase(it);
+            _log.erase(a);
+        }
+    }
+
   private:
     struct StoreRecord
     {

@@ -1,34 +1,48 @@
 /**
  * @file
- * Multi-core SecPB coherence (paper Section IV-C) -- functional model.
+ * Multi-core SecPB coherence (paper Section IV-C) -- page directory and
+ * per-core admission gates for the sharded epoch-barrier engine.
  *
  * With one SecPB per core, two kinds of state must never be replicated:
  *
  *  - security metadata: normally memory-side (no replication possible),
- *    but eager schemes keep counters/MACs inside SecPB entries. A
- *    directory in the MC tracks which core's SecPB may hold metadata for
- *    a block; a miss in another core *migrates* the entry rather than
- *    copying it.
+ *    but eager schemes keep counters/MACs inside SecPB entries. The
+ *    directory tracks which core may hold metadata for a page; a miss in
+ *    another core *migrates* the entries rather than copying them.
  *  - data blocks: a remote read sends the datum from the owner and
- *    triggers a flush of the owner's SecPB entry to PM (read case); a
- *    remote write migrates the SecPB entry to the writer (write case).
- *    Migration moves the data-value-independent metadata with the entry,
- *    so the receiving core does not redo counter/OTP/BMT work.
+ *    triggers a flush of the owner's SecPB entries to PM (read case); a
+ *    remote write migrates the SecPB entries to the writer (write case).
+ *    Migration moves the data-value-independent metadata with the
+ *    entries, so the receiving core does not redo counter/OTP/BMT work.
  *
- * The paper describes but does not evaluate this protocol (the timing
- * study is single-core, Table I); accordingly this is a functional unit
- * with its own invariant checks and tests: at most one SecPB holds a
- * block, the directory always matches reality, and flush-on-remote-read
- * persists the latest value.
+ * Tracking is page-granular because that is the security-metadata
+ * granule: one split-counter block and one BMT leaf cover a 4 KB page,
+ * so ownership of a page is exactly the right to mutate that page's
+ * counter block and leaf.
+ *
+ * Concurrency contract (this is what makes the sharded engine both safe
+ * and deterministic):
+ *
+ *  - during an epoch, the owner map is READ-ONLY; every shard thread may
+ *    call PageDirectory::owner() concurrently;
+ *  - a CoherenceGate belongs to one core and is touched only by that
+ *    core's slice thread during an epoch (allows() files requests into
+ *    per-gate storage);
+ *  - all mutation (ownership transfer, stop marks, request retirement)
+ *    happens at epoch barriers, on one thread, in canonical
+ *    (requestTick, coreId, perGateSeq) order.
  */
 
 #ifndef SECPB_SECPB_COHERENCE_HH
 #define SECPB_SECPB_COHERENCE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "crypto/counters.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
@@ -39,131 +53,123 @@ namespace secpb
 /** Core identifier. */
 using CoreId = unsigned;
 
-/** Sentinel: no SecPB holds the block. */
+/** Sentinel: no SecPB holds the page. */
 constexpr CoreId NoOwner = ~0u;
 
+/** Page index of a data address (counter-block / BMT-leaf granule). */
+inline std::uint64_t
+coherencePage(Addr addr)
+{
+    return addr / PageSize;
+}
+
 /**
- * A minimal per-core SecPB occupancy view used by the directory. The
- * full SecPb class models the single-core timing path; this companion
- * tracks which (core, block) pairs exist across cores and enforces the
- * no-replication invariant.
+ * One denied store admission, filed by a CoherenceGate for its core.
+ * Barriers grant requests in (tick, core, seq) order; tick is the slice
+ * time of the *first* denial for the page, seq the per-gate filing
+ * order -- both are pure functions of the simulated run, never of shard
+ * scheduling.
  */
-class SecPbDirectory
+struct PageRequest
+{
+    std::uint64_t page = 0;
+    Tick tick = 0;
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Which core may write each page (owner) and which core's durable state
+ * (PM image, counter store, BMT leaf, persist oracle) holds the page
+ * (residence). Ownership moves on write misses and clears on remote
+ * reads; residence is sticky -- it moves only when ownership is granted
+ * to a different core, so at any quiescent point exactly one slice can
+ * verify the page end to end.
+ */
+class PageDirectory
 {
   public:
-    SecPbDirectory(unsigned num_cores, StatGroup &parent)
+    PageDirectory(unsigned num_cores, StatGroup &parent)
         : _numCores(num_cores),
           _stats("secpb_directory", &parent),
           statMigrations(_stats, "migrations",
-                         "entries migrated between SecPBs"),
+                         "page ownership transfers between SecPBs"),
           statRemoteReadFlushes(_stats, "remote_read_flushes",
-                                "entries flushed by remote reads"),
-          statLocalHits(_stats, "local_hits",
-                        "accesses that hit the local SecPB")
+                                "pages flushed by remote reads"),
+          statFirstTouches(_stats, "first_touches",
+                           "pages claimed unowned (no transfer needed)")
     {
         fatal_if(num_cores == 0, "directory needs >= 1 core");
     }
 
     unsigned numCores() const { return _numCores; }
 
-    /** Which core's SecPB holds @p addr (NoOwner if none). */
+    /** Which core's SecPB may write the page containing @p addr. */
     CoreId
     owner(Addr addr) const
     {
-        auto it = _owner.find(blockAlign(addr));
+        return ownerOfPage(coherencePage(addr));
+    }
+
+    CoreId
+    ownerOfPage(std::uint64_t page) const
+    {
+        auto it = _owner.find(page);
         return it != _owner.end() ? it->second : NoOwner;
     }
 
-    /**
-     * Core @p core writes @p addr.
-     *
-     * @return the action the hardware performs:
-     *   - LocalHit: entry already in this core's SecPB;
-     *   - Allocate: no SecPB holds it; allocate locally;
-     *   - Migrate: another SecPB holds it; the entry (with its
-     *     value-independent metadata) moves here.
-     */
-    enum class WriteAction
+    /** Which core's durable state holds the page (NoOwner = untouched). */
+    CoreId
+    residenceOfPage(std::uint64_t page) const
     {
-        LocalHit,
-        Allocate,
-        Migrate,
-    };
-
-    WriteAction
-    write(CoreId core, Addr addr)
-    {
-        checkCore(core);
-        const Addr block = blockAlign(addr);
-        const CoreId cur = owner(block);
-        if (cur == core) {
-            ++statLocalHits;
-            return WriteAction::LocalHit;
-        }
-        if (cur == NoOwner) {
-            _owner[block] = core;
-            return WriteAction::Allocate;
-        }
-        // Remote write: migrate the entry; the directory is updated so
-        // the block is never replicated across SecPBs.
-        _owner[block] = core;
-        ++statMigrations;
-        return WriteAction::Migrate;
+        auto it = _residence.find(page);
+        return it != _residence.end() ? it->second : NoOwner;
     }
 
-    /**
-     * Core @p core reads @p addr.
-     *
-     * A remote read forces the owner to flush the entry to PM (and the
-     * datum is forwarded); the block then leaves every SecPB -- it is in
-     * shared state in the caches.
-     *
-     * @return true if a remote SecPB flush was triggered.
-     */
-    bool
-    read(CoreId core, Addr addr)
+    CoreId
+    residence(Addr addr) const
     {
-        checkCore(core);
-        const Addr block = blockAlign(addr);
-        const CoreId cur = owner(block);
-        if (cur == NoOwner || cur == core) {
-            if (cur == core)
-                ++statLocalHits;
-            return false;
-        }
-        _owner.erase(block);
-        ++statRemoteReadFlushes;
-        return true;
+        return residenceOfPage(coherencePage(addr));
     }
 
-    /** The owner's entry drained (watermark/crash): block leaves SecPBs. */
+    /** @name Barrier-only mutation (serial context). */
+    /** @{ */
     void
-    drained(CoreId core, Addr addr)
+    setOwner(std::uint64_t page, CoreId core)
     {
-        const Addr block = blockAlign(addr);
-        auto it = _owner.find(block);
-        panic_if(it == _owner.end() || it->second != core,
-                 "drain from a core that does not own the block");
-        _owner.erase(it);
+        checkCore(core);
+        _owner[page] = core;
     }
 
-    /** Blocks currently owned by @p core. */
-    std::vector<Addr>
-    blocksOwnedBy(CoreId core) const
+    void clearOwner(std::uint64_t page) { _owner.erase(page); }
+
+    void
+    setResidence(std::uint64_t page, CoreId core)
     {
-        std::vector<Addr> out;
+        checkCore(core);
+        _residence[page] = core;
+    }
+    /** @} */
+
+    /** Pages currently owned by @p core, sorted (canonical order). */
+    std::vector<std::uint64_t>
+    pagesOwnedBy(CoreId core) const
+    {
+        std::vector<std::uint64_t> out;
         for (const auto &kv : _owner)
             if (kv.second == core)
                 out.push_back(kv.first);
+        std::sort(out.begin(), out.end());
         return out;
     }
 
-    /** Invariant: every block has at most one owner (holds by
-     *  construction; exposed for property tests over random traces). */
+    /** Invariant: every tracked page has an in-range owner/residence. */
     bool
     invariantSingleOwner() const
     {
         for (const auto &kv : _owner)
+            if (kv.second >= _numCores)
+                return false;
+        for (const auto &kv : _residence)
             if (kv.second >= _numCores)
                 return false;
         return true;
@@ -179,13 +185,85 @@ class SecPbDirectory
     }
 
     unsigned _numCores;
-    std::unordered_map<Addr, CoreId> _owner;
+    std::unordered_map<std::uint64_t, CoreId> _owner;
+    std::unordered_map<std::uint64_t, CoreId> _residence;
     StatGroup _stats;
 
   public:
     Scalar statMigrations;
     Scalar statRemoteReadFlushes;
-    Scalar statLocalHits;
+    Scalar statFirstTouches;
+};
+
+/**
+ * Per-core store-admission gate. SecPb consults it at the very top of
+ * tryAcceptStore(): a store to a page this core does not own (or that a
+ * pending transfer has stop-marked) is rejected exactly like a full
+ * persist buffer -- the store buffer's existing retry machinery waits
+ * for space, and the epoch engine kicks the waiters once the barrier
+ * has granted ownership.
+ */
+class CoherenceGate
+{
+  public:
+    CoherenceGate(PageDirectory &dir, CoreId core)
+        : _dir(dir), _core(core)
+    {}
+
+    CoreId core() const { return _core; }
+
+    /**
+     * May this core accept a store to @p addr right now? On denial the
+     * page is filed as a pending request (deduplicated; the first
+     * denial's tick orders it at the barrier).
+     */
+    bool
+    allows(Addr addr, Tick now)
+    {
+        const std::uint64_t page = coherencePage(addr);
+        if (_dir.ownerOfPage(page) == _core && !_stopMarks.count(page))
+            return true;
+        if (_requested.insert(page).second)
+            _requests.push_back(PageRequest{page, now, _nextSeq++});
+        return false;
+    }
+
+    /** @name Barrier-side interface (serial context). */
+    /** @{ */
+    const std::vector<PageRequest> &pending() const { return _requests; }
+
+    /** Retire a granted request (keeps the others, in filing order). */
+    void
+    retireRequest(std::uint64_t page)
+    {
+        _requested.erase(page);
+        for (std::size_t i = 0; i < _requests.size(); ++i) {
+            if (_requests[i].page == page) {
+                _requests.erase(_requests.begin() + i);
+                return;
+            }
+        }
+    }
+
+    void markStop(std::uint64_t page) { _stopMarks.insert(page); }
+    void clearStop(std::uint64_t page) { _stopMarks.erase(page); }
+    bool stopMarked(std::uint64_t page) const
+    {
+        return _stopMarks.count(page) != 0;
+    }
+    /** @} */
+
+  private:
+    PageDirectory &_dir;
+    CoreId _core;
+
+    /** Pages with a filed, un-granted request (dedup set). */
+    std::unordered_set<std::uint64_t> _requested;
+    std::vector<PageRequest> _requests;
+    std::uint64_t _nextSeq = 0;
+
+    /** Owned pages quiescing for a pending transfer: reject new stores. */
+    std::unordered_set<std::uint64_t> _stopMarks;
 };
 
 } // namespace secpb

@@ -235,6 +235,17 @@ bool
 SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
                       EventCallback unblocked, std::uint32_t asid)
 {
+    // Coherence (Section IV-C(c)): the gate rejects stores to pages this
+    // core does not own, exactly like a full buffer -- the store buffer
+    // waits for space, and the epoch engine kicks the waiters once the
+    // barrier has migrated the page's entries here. Checked before the
+    // SP dispatch so the SPoP-at-the-MC baseline is gated too.
+    if (_gate && !_gate->allows(addr, _eq.curTick())) {
+        ++statFullRejects;
+        TRACE_INSTANT_P("secpb", "gate_reject", _eq.curTick(), asid);
+        return false;
+    }
+
     if (_policy->wpqIsPersistDomain())
         return acceptStoreSp(addr, value, std::move(unblocked));
 
@@ -245,35 +256,6 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
         ++statFullRejects;
         TRACE_INSTANT_P("secpb", "pb_full", _eq.curTick(), asid);
         return false;
-    }
-
-    // Coherence (Section IV-C(c)): a write to a block resident in a
-    // remote SecPB migrates the entry here, carrying its value-
-    // independent metadata. The directory is updated atomically with
-    // the move, so no replication ever exists.
-    Cycles migration_extra = 0;
-    if (!e && _dir) {
-        const CoreId cur = _dir->owner(blockAlign(addr));
-        if (cur != NoOwner && cur != _coreId) {
-            if (_freeList.empty()) {
-                ++statFullRejects;
-                maybeStartDrain();
-                return false;
-            }
-            std::optional<PbEntry> moved =
-                _peers(cur)->extractForMigration(addr);
-            if (!moved) {
-                // Owner entry busy (draining / early ops); retry soon.
-                ++statFullRejects;
-                _eq.scheduleIn(_cfg.accessLatency,
-                               [this] { wakeSpaceWaiters(); });
-                return false;
-            }
-            _dir->write(_coreId, addr);
-            injectMigrated(*moved);
-            e = find(addr);
-            migration_extra = _migrationLatency;
-        }
     }
 
     if (!e && _freeList.empty()) {
@@ -311,8 +293,7 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
     ++statPersists;
     statOccupancy.sample(static_cast<double>(_index.size()));
 
-    const Tick base =
-        _eq.curTick() + _cfg.accessLatency + migration_extra;
+    const Tick base = _eq.curTick() + _cfg.accessLatency;
 
     if (e) {
         ++statCoalescedHits;
@@ -332,8 +313,6 @@ SecPb::tryAcceptStore(Addr addr, std::uint64_t value,
         e = allocate(addr);
         ++statAllocs;
         TRACE_INSTANT_P("secpb", "alloc", _eq.curTick(), asid);
-        if (_dir)
-            _dir->write(_coreId, addr);
         if (_dbg)
             DPRINTF("SecPb", "alloc %#llx occupancy=%zu @%llu",
                     static_cast<unsigned long long>(e->addr),
@@ -1044,8 +1023,6 @@ SecPb::releaseEntry(PbEntry &e)
                 static_cast<unsigned long long>(_eq.curTick()));
     ++statDrainedEntries;
     statNwpe.sample(static_cast<double>(e.numWrites));
-    if (_dir && _dir->owner(e.addr) == _coreId)
-        _dir->drained(_coreId, e.addr);
     const std::uint64_t *idxp = _index.find(e.addr);
     panic_if(!idxp, "releasing an entry the index does not know");
     const std::uint64_t idx = *idxp;
@@ -1378,8 +1355,6 @@ SecPb::crashDrainAll(
     // cell array). Abandoned entries stay resident: their state was
     // never persisted and simply dies with the machine.
     for (PbEntry *ep : drained) {
-        if (_dir && _dir->owner(ep->addr) == _coreId)
-            _dir->drained(_coreId, ep->addr);
         const std::uint64_t *idxp = _index.find(ep->addr);
         panic_if(!idxp, "crash-drained entry missing from the index");
         const std::uint64_t idx = *idxp;
@@ -1452,6 +1427,51 @@ SecPb::flushForRemoteRead(Addr addr)
     ++_drainsActive;
     startDrainOf(*e);
     return true;
+}
+
+std::vector<Addr>
+SecPb::entriesForPage(std::uint64_t page) const
+{
+    std::vector<Addr> out;
+    _index.forEach([&](const Addr &addr, const std::uint64_t &) {
+        if (addr / PageSize == page)
+            out.push_back(addr);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+SecPb::pageQuiescent(std::uint64_t page) const
+{
+    bool quiescent = true;
+    _index.forEach([&](const Addr &addr, const std::uint64_t &idx) {
+        if (addr / PageSize != page)
+            return;
+        const PbEntry &e = _entries[idx];
+        if (e.draining || e.pendingEarlyOps != 0)
+            quiescent = false;
+    });
+    // SP baseline: a pending tuple update is an in-flight WPQ persist for
+    // the page -- its functional effects landed, but the timed completion
+    // closure still references this slice's counter store.
+    _spPending.forEach([&](const Addr &addr, const BlockCounter &) {
+        if (addr / PageSize == page)
+            quiescent = false;
+    });
+    return quiescent;
+}
+
+std::vector<Addr>
+SecPb::residentAddrs() const
+{
+    std::vector<Addr> out;
+    out.reserve(occupancy());
+    _index.forEach([&](const Addr &addr, const std::uint64_t &) {
+        out.push_back(addr);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 } // namespace secpb

@@ -229,34 +229,23 @@ class SecPb
 
     /**
      * @name Multi-core coherence (paper Section IV-C(c))
-     * Each core has its own SecPB; a directory in the MC ensures a block
-     * (and any metadata inside its entry) lives in at most one of them.
-     * A remote write migrates the entry -- carrying its value-independent
-     * metadata so the receiving core does not redo counter/OTP/BMT work;
-     * a remote read forces the owner to flush the entry.
+     * Each core has its own SecPB; a page directory at the MC ensures a
+     * page's entries (and any metadata inside them) live in at most one
+     * of them. Admission is gated: a store to a page this core does not
+     * own is rejected like a full buffer, and the epoch-barrier engine
+     * migrates the page's entries -- carrying their value-independent
+     * metadata so the receiving core does not redo counter/OTP/BMT work.
+     * A remote read forces the owner to flush the page's entries.
      * @{
      */
 
-    /** Resolver from a core id to that core's SecPB. */
-    using PeerLookup = std::function<SecPb *(CoreId)>;
-
-    /** Attach this SecPB to a coherence domain. */
-    void
-    attachCoherence(SecPbDirectory *dir, CoreId core_id,
-                    PeerLookup peers, Cycles migration_latency)
-    {
-        _dir = dir;
-        _coreId = core_id;
-        _peers = std::move(peers);
-        _migrationLatency = migration_latency;
-    }
-
-    CoreId coreId() const { return _coreId; }
+    /** Gate store admission on page ownership (epoch engine wiring). */
+    void attachGate(CoherenceGate *gate) { _gate = gate; }
 
     /**
      * Remove the entry for @p addr so it can migrate to another core.
      * Fails (nullopt) while the entry is draining or has early ops in
-     * flight -- the requester retries.
+     * flight -- the requester retries at a later barrier.
      */
     std::optional<PbEntry> extractForMigration(Addr addr);
 
@@ -273,6 +262,27 @@ class SecPb
      * @return true if an entry was found and its drain started.
      */
     bool flushForRemoteRead(Addr addr);
+
+    /** Free entry slots available for migrated injections. */
+    std::size_t freeEntries() const { return _freeList.size(); }
+
+    /** Resident entry addresses in @p page, sorted (canonical order). */
+    std::vector<Addr> entriesForPage(std::uint64_t page) const;
+
+    /** Every resident entry address, sorted (replication invariants). */
+    std::vector<Addr> residentAddrs() const;
+
+    /**
+     * True when every resident entry in @p page is extractable (not
+     * draining, no early ops in flight) and no SP tuple update for the
+     * page is pending -- the condition under which the page's durable
+     * state can move wholesale to another core.
+     */
+    bool pageQuiescent(std::uint64_t page) const;
+
+    /** Re-fire the store buffer's space-waiter retries (the epoch engine
+     *  schedules this in the slice queue after granting ownership). */
+    void kickSpaceWaiters() { wakeSpaceWaiters(); }
     /** @} */
 
     /**
@@ -451,13 +461,8 @@ class SecPb
     /** Cached at construction: tracing under the "SecPb" debug flag. */
     bool _dbg = false;
 
-    /** @name Coherence-domain state (null/defaults when single-core). */
-    /** @{ */
-    SecPbDirectory *_dir = nullptr;
-    CoreId _coreId = 0;
-    PeerLookup _peers;
-    Cycles _migrationLatency = 24;
-    /** @} */
+    /** Admission gate (null when single-core: every store is allowed). */
+    CoherenceGate *_gate = nullptr;
 
     /**
      * Tracker for the (single) in-flight store acceptance. The store

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Force the "threadsafe" (re-execute) death-test style for the whole
+ * test binary.
+ *
+ * Several suites spin up the process-wide ThreadPool (ThreadPool::
+ * global()), whose workers live for the remainder of the run. The
+ * default "fast" style fork()s the threaded process, and the child can
+ * inherit an allocator lock held by a pool worker at fork time --
+ * deadlocking any later death test in a whole-binary run (ctest runs
+ * each test in its own process, which is why it never sees this).
+ * The threadsafe style re-executes the binary from scratch instead of
+ * forking mid-state, which is immune to inherited thread state.
+ */
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+class ThreadsafeDeathTests : public testing::Environment
+{
+    void
+    SetUp() override
+    {
+        testing::FLAGS_gtest_death_test_style = "threadsafe";
+    }
+};
+
+const testing::Environment *const kForceThreadsafe =
+    testing::AddGlobalTestEnvironment(new ThreadsafeDeathTests);
+
+} // namespace

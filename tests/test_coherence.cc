@@ -1,11 +1,13 @@
 /**
  * @file
- * Tests for the multi-core SecPB directory (paper Section IV-C):
- * migration on remote writes, flush on remote reads, and the
- * no-replication invariant under random traffic.
+ * Tests for the multi-core SecPB coherence primitives (paper Section
+ * IV-C): the page directory's owner/residence maps and the per-core
+ * admission gates that feed the epoch-barrier engine.
  */
 
 #include <gtest/gtest.h>
+
+#include <unordered_map>
 
 #include "secpb/coherence.hh"
 #include "sim/rng.hh"
@@ -18,125 +20,142 @@ namespace
 struct Fixture
 {
     StatGroup g{"g"};
-    SecPbDirectory dir{4, g};
+    PageDirectory dir{4, g};
 };
 
 } // namespace
 
-TEST(Coherence, FirstWriteAllocates)
+TEST(Coherence, UntouchedPageHasNoOwnerOrResidence)
 {
     Fixture f;
-    EXPECT_EQ(f.dir.write(0, 0x100), SecPbDirectory::WriteAction::Allocate);
-    EXPECT_EQ(f.dir.owner(0x100), 0u);
-}
-
-TEST(Coherence, RepeatWriteIsLocalHit)
-{
-    Fixture f;
-    f.dir.write(1, 0x100);
-    EXPECT_EQ(f.dir.write(1, 0x108),
-              SecPbDirectory::WriteAction::LocalHit);
-    EXPECT_DOUBLE_EQ(f.dir.statLocalHits.value(), 1.0);
-}
-
-TEST(Coherence, RemoteWriteMigrates)
-{
-    Fixture f;
-    f.dir.write(0, 0x100);
-    EXPECT_EQ(f.dir.write(2, 0x100),
-              SecPbDirectory::WriteAction::Migrate);
-    EXPECT_EQ(f.dir.owner(0x100), 2u);
-    EXPECT_DOUBLE_EQ(f.dir.statMigrations.value(), 1.0);
-    // No replication: core 0 no longer owns it.
-    EXPECT_TRUE(f.dir.blocksOwnedBy(0).empty());
-}
-
-TEST(Coherence, RemoteReadFlushesOwner)
-{
-    Fixture f;
-    f.dir.write(0, 0x200);
-    EXPECT_TRUE(f.dir.read(3, 0x200));
-    EXPECT_EQ(f.dir.owner(0x200), NoOwner);
-    EXPECT_DOUBLE_EQ(f.dir.statRemoteReadFlushes.value(), 1.0);
-}
-
-TEST(Coherence, LocalReadDoesNotFlush)
-{
-    Fixture f;
-    f.dir.write(0, 0x200);
-    EXPECT_FALSE(f.dir.read(0, 0x200));
-    EXPECT_EQ(f.dir.owner(0x200), 0u);
-}
-
-TEST(Coherence, ReadOfUntrackedBlockIsQuiet)
-{
-    Fixture f;
-    EXPECT_FALSE(f.dir.read(1, 0x300));
+    EXPECT_EQ(f.dir.owner(0x100), NoOwner);
+    EXPECT_EQ(f.dir.residence(0x100), NoOwner);
     EXPECT_EQ(f.dir.numTracked(), 0u);
 }
 
-TEST(Coherence, DrainRemovesOwnership)
+TEST(Coherence, OwnerIsPageGranular)
 {
     Fixture f;
-    f.dir.write(2, 0x400);
-    f.dir.drained(2, 0x400);
-    EXPECT_EQ(f.dir.owner(0x400), NoOwner);
+    f.dir.setOwner(coherencePage(0x100), 2);
+    // Any address in the same 4 KB page shares the owner.
+    EXPECT_EQ(f.dir.owner(0x100), 2u);
+    EXPECT_EQ(f.dir.owner(0xFF8), 2u);
+    EXPECT_EQ(f.dir.owner(0x1000), NoOwner);  // next page
 }
 
-TEST(Coherence, DrainByNonOwnerPanics)
+TEST(Coherence, ClearOwnerKeepsResidence)
+{
+    // A remote read clears write permission but the durable state stays
+    // where it was flushed -- residence is sticky.
+    Fixture f;
+    const std::uint64_t page = coherencePage(0x2000);
+    f.dir.setOwner(page, 1);
+    f.dir.setResidence(page, 1);
+    f.dir.clearOwner(page);
+    EXPECT_EQ(f.dir.ownerOfPage(page), NoOwner);
+    EXPECT_EQ(f.dir.residenceOfPage(page), 1u);
+}
+
+TEST(Coherence, PagesOwnedByEnumeratesSorted)
 {
     Fixture f;
-    f.dir.write(2, 0x400);
-    EXPECT_DEATH(f.dir.drained(1, 0x400), "does not own");
+    f.dir.setOwner(7, 1);
+    f.dir.setOwner(3, 1);
+    f.dir.setOwner(5, 2);
+    const std::vector<std::uint64_t> mine = f.dir.pagesOwnedBy(1);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0], 3u);
+    EXPECT_EQ(mine[1], 7u);
+    EXPECT_EQ(f.dir.pagesOwnedBy(2).size(), 1u);
+    EXPECT_TRUE(f.dir.pagesOwnedBy(3).empty());
 }
 
 TEST(Coherence, OutOfRangeCorePanics)
 {
     Fixture f;
-    EXPECT_DEATH(f.dir.write(7, 0x100), "out of range");
+    EXPECT_DEATH(f.dir.setOwner(1, 7), "out of range");
+}
+
+TEST(Coherence, GateAllowsOwnedPageOnly)
+{
+    Fixture f;
+    CoherenceGate gate(f.dir, 0);
+    const std::uint64_t page = coherencePage(0x3000);
+    EXPECT_FALSE(gate.allows(0x3000, 10));  // unowned: denied + filed
+    f.dir.setOwner(page, 0);
+    EXPECT_TRUE(gate.allows(0x3000, 20));
+    f.dir.setOwner(page, 1);
+    EXPECT_FALSE(gate.allows(0x3000, 30));  // remote-owned: denied
+}
+
+TEST(Coherence, GateDeduplicatesRequestsAndKeepsFirstTick)
+{
+    Fixture f;
+    CoherenceGate gate(f.dir, 0);
+    EXPECT_FALSE(gate.allows(0x3000, 10));
+    EXPECT_FALSE(gate.allows(0x3008, 25));  // same page, later tick
+    EXPECT_FALSE(gate.allows(0x5000, 30));  // different page
+    ASSERT_EQ(gate.pending().size(), 2u);
+    // First denial's tick orders the request; per-gate seq breaks ties.
+    EXPECT_EQ(gate.pending()[0].page, coherencePage(0x3000));
+    EXPECT_EQ(gate.pending()[0].tick, 10u);
+    EXPECT_EQ(gate.pending()[0].seq, 0u);
+    EXPECT_EQ(gate.pending()[1].page, coherencePage(0x5000));
+    EXPECT_EQ(gate.pending()[1].seq, 1u);
+}
+
+TEST(Coherence, RetireRequestAllowsRefiling)
+{
+    Fixture f;
+    CoherenceGate gate(f.dir, 0);
+    EXPECT_FALSE(gate.allows(0x3000, 10));
+    gate.retireRequest(coherencePage(0x3000));
+    EXPECT_TRUE(gate.pending().empty());
+    // Still unowned: the next store files a fresh request.
+    EXPECT_FALSE(gate.allows(0x3000, 50));
+    ASSERT_EQ(gate.pending().size(), 1u);
+    EXPECT_EQ(gate.pending()[0].tick, 50u);
+}
+
+TEST(Coherence, StopMarkRejectsEvenTheOwner)
+{
+    // A pending transfer quiesces the page: the owner itself is denied
+    // until the barrier completes the hand-off.
+    Fixture f;
+    CoherenceGate gate(f.dir, 0);
+    const std::uint64_t page = coherencePage(0x4000);
+    f.dir.setOwner(page, 0);
+    EXPECT_TRUE(gate.allows(0x4000, 10));
+    gate.markStop(page);
+    EXPECT_TRUE(gate.stopMarked(page));
+    EXPECT_FALSE(gate.allows(0x4000, 20));
+    gate.clearStop(page);
+    gate.retireRequest(page);
+    EXPECT_TRUE(gate.allows(0x4000, 30));
 }
 
 TEST(Coherence, SingleOwnerInvariantUnderRandomTraffic)
 {
-    // Property test: random reads/writes/drains from 4 cores; at every
-    // step each block has at most one owner and accessors agree.
+    // Property test: random ownership churn from 4 cores; at every step
+    // each page has at most one in-range owner and accessors agree with
+    // a model map.
     Fixture f;
     Rng rng(2024);
-    std::unordered_map<Addr, CoreId> model;
+    std::unordered_map<std::uint64_t, CoreId> model;
     for (int step = 0; step < 20'000; ++step) {
         const CoreId core = static_cast<CoreId>(rng.below(4));
-        const Addr addr = blockAlign(rng.below(64)) * BlockSize;
+        const std::uint64_t page = rng.below(64);
         const double action = rng.uniform();
-        if (action < 0.5) {
-            f.dir.write(core, addr);
-            model[addr] = core;
-        } else if (action < 0.9) {
-            const CoreId before = f.dir.owner(addr);
-            const bool flushed = f.dir.read(core, addr);
-            if (flushed) {
-                ASSERT_NE(before, core);
-                model.erase(addr);
-            }
-        } else {
-            if (f.dir.owner(addr) != NoOwner) {
-                f.dir.drained(f.dir.owner(addr), addr);
-                model.erase(addr);
-            }
+        if (action < 0.6) {
+            f.dir.setOwner(page, core);
+            f.dir.setResidence(page, core);
+            model[page] = core;
+        } else if (model.count(page)) {
+            f.dir.clearOwner(page);
+            model.erase(page);
         }
         ASSERT_TRUE(f.dir.invariantSingleOwner());
-        const CoreId expect =
-            model.count(addr) ? model[addr] : NoOwner;
-        ASSERT_EQ(f.dir.owner(addr), expect);
+        const CoreId expect = model.count(page) ? model[page] : NoOwner;
+        ASSERT_EQ(f.dir.ownerOfPage(page), expect);
     }
-}
-
-TEST(Coherence, BlocksOwnedByEnumerates)
-{
-    Fixture f;
-    f.dir.write(1, 0x000);
-    f.dir.write(1, 0x040);
-    f.dir.write(2, 0x080);
-    EXPECT_EQ(f.dir.blocksOwnedBy(1).size(), 2u);
-    EXPECT_EQ(f.dir.blocksOwnedBy(2).size(), 1u);
-    EXPECT_TRUE(f.dir.blocksOwnedBy(3).empty());
 }

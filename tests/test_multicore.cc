@@ -46,7 +46,8 @@ TEST(MultiCore, PrivateWorkingSetsRunToCompletion)
     for (const auto &pc : r.perCore)
         EXPECT_EQ(pc.persists, 10u);
     EXPECT_EQ(r.migrations, 0u);  // disjoint sets never migrate
-    EXPECT_EQ(sys.oracle().numPersists(), 40u);
+    EXPECT_EQ(sys.totalPersists(), 40u);
+    EXPECT_TRUE(sys.invariantNoReplication());
 }
 
 TEST(MultiCore, SharedBlockMigratesBetweenCores)
@@ -58,9 +59,12 @@ TEST(MultiCore, SharedBlockMigratesBetweenCores)
     std::vector<WorkloadGenerator *> gens{&g0, &g1};
     MultiCoreResult r = sys.run(gens);
     EXPECT_GE(r.migrations, 1u);
-    // Last writer wins; the oracle saw both persists.
-    EXPECT_EQ(blockWord(sys.oracle().blockContent(0x1000), 0), 0xBBBBu);
-    EXPECT_EQ(sys.oracle().numPersists(), 2u);
+    // Last writer wins; the resident slice's oracle holds the block.
+    EXPECT_EQ(blockWord(
+                  sys.residentSystem(0x1000).oracle().blockContent(0x1000),
+                  0),
+              0xBBBBu);
+    EXPECT_EQ(sys.totalPersists(), 2u);
     // No replication: at most one SecPB holds the block.
     const unsigned holders =
         (sys.secpb(0).occupancy() ? 1 : 0) +
@@ -80,20 +84,16 @@ TEST(MultiCore, MigrationCarriesValueIndependentMetadata)
     std::vector<WorkloadGenerator *> gens{&g0, &g1};
     MultiCoreResult r = sys.run(gens);
     EXPECT_GE(r.migrations, 1u);
-    // One residency, one increment -- across both cores.
-    EXPECT_EQ(sys.tree().numLevels() > 0, true);
-    const BlockCounter c =
-        sys.secpb(0).config().numEntries
-            ? BlockCounter{0, 0}
-            : BlockCounter{};
-    (void)c;
-    // Counter state lives in the shared counter store:
-    // (reach it via a crash: recovery must verify, and the minor is 1).
+    // One residency, one increment -- across both cores. The page's
+    // durable state (counter block included) lives in the slice it
+    // migrated to; a crash must verify and leave the minor at 1.
     CrashReport cr = sys.crashNow();
     EXPECT_TRUE(cr.recovered);
-    EXPECT_EQ(sys.pm().readCounterBlock(
-                  sys.layout().pageIndex(0x2000))
-                  .counterFor(sys.layout().blockInPage(0x2000))
+    SecPbSystem &home = sys.residentSystem(0x2000);
+    EXPECT_GT(home.tree().numLevels(), 0u);
+    EXPECT_EQ(home.pm()
+                  .readCounterBlock(home.layout().pageIndex(0x2000))
+                  .counterFor(home.layout().blockInPage(0x2000))
                   .minor,
               1u);
 }
@@ -109,9 +109,10 @@ TEST(MultiCore, RemoteReadFlushesOwnerEntry)
     ASSERT_EQ(sys.directory().owner(0x3000), 0u);
 
     EXPECT_TRUE(sys.coreRead(1, 0x3000));
-    sys.runUntil(sys.eventQueue().curTick() + 1'000'000);
+    sys.runUntil(sys.now() + 1'000'000);
     EXPECT_EQ(sys.directory().owner(0x3000), NoOwner);
-    EXPECT_TRUE(sys.pm().hasData(0x3000));
+    // Residence stays with the flushing slice: its PM has the data.
+    EXPECT_TRUE(sys.residentSystem(0x3000).pm().hasData(0x3000));
     EXPECT_EQ(sys.secpb(0).occupancy(), 0u);
 }
 
@@ -131,6 +132,9 @@ TEST(MultiCore, PingPongSharingStillRecovers)
 {
     // Heavy migration traffic: two cores alternately writing the same
     // small block set. The persist oracle and PM must agree afterwards.
+    // Coherence is page-granular and grants batch at epoch barriers, so
+    // the four shared blocks (one page) ping-pong as a unit: expect the
+    // page to move both directions, not once per block.
     MultiCoreSystem sys(mcCfg(2, Scheme::Cobcm));
     ScriptedGenerator g0, g1;
     for (int i = 0; i < 30; ++i) {
@@ -139,9 +143,10 @@ TEST(MultiCore, PingPongSharingStillRecovers)
     }
     std::vector<WorkloadGenerator *> gens{&g0, &g1};
     MultiCoreResult r = sys.run(gens);
-    EXPECT_GT(r.migrations, 4u);
+    EXPECT_GE(r.migrations, 2u);
     CrashReport cr = sys.crashNow();
     EXPECT_TRUE(cr.recovered);
+    EXPECT_TRUE(sys.invariantNoReplication());
 }
 
 TEST(MultiCore, RandomSharingPropertyCrash)
@@ -169,6 +174,7 @@ TEST(MultiCore, RandomSharingPropertyCrash)
         CrashReport cr = sys.crashNow();
         EXPECT_TRUE(cr.recovered) << schemeName(s);
         EXPECT_TRUE(sys.directory().invariantSingleOwner());
+        EXPECT_TRUE(sys.invariantNoReplication()) << schemeName(s);
     }
 }
 
@@ -208,7 +214,7 @@ TEST(MultiCore, CrashEnergyProvisionsPerCore)
     EXPECT_TRUE(cr.recovered);
     EXPECT_EQ(cr.work.entriesDrained, 4u);
     // Provisioning covers four SecPBs.
-    EnergyModel em(EnergyCosts{}, sys.tree().numLevels() + 1);
+    EnergyModel em(EnergyCosts{}, sys.slice(0).tree().numLevels() + 1);
     EXPECT_NEAR(cr.provisionedEnergyJ,
                 4 * em.secPbBatteryEnergy(Scheme::Cobcm, 8), 1e-9);
 }

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shard-count determinism for the multi-core epoch-barrier engine.
+ *
+ * `shards` is host parallelism only: slices share no mutable state while
+ * an epoch runs, and the barrier processes page requests serially in
+ * (tick, core, seq) order, so the simulation must be byte-identical for
+ * every shard count -- results, stat dumps, crash reports, and the
+ * experiment engine's captured JSON alike. These tests pin that
+ * contract, which the CI release job re-checks end-to-end on the bench
+ * JSON documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "exp/experiment.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+/** A 4-core spec whose only variable is the shard count. */
+SimulationSpec
+shardSpec(unsigned shards)
+{
+    SimulationSpec spec;
+    spec.base.scheme = Scheme::Cobcm;
+    spec.base.secpb.numEntries = 8;
+    spec.base.pmDataBytes = 1ULL << 30;
+    spec.cores = 4;
+    spec.shards = shards;
+    return spec;
+}
+
+/** Owned generators + the raw-pointer view MultiCoreSystem wants. */
+struct GenSet
+{
+    std::vector<std::unique_ptr<SyntheticGenerator>> owned;
+    std::vector<WorkloadGenerator *> raw;
+};
+
+/**
+ * Four generators with pairwise-overlapping regions (cores 0/2 and 1/3
+ * share pages), so the run exercises migrations, stop marks, and grant
+ * ordering -- the machinery that could diverge if sharding leaked.
+ */
+GenSet
+sharingGens(std::uint64_t instr, std::uint64_t seed)
+{
+    GenSet g;
+    for (unsigned c = 0; c < 4; ++c) {
+        g.owned.push_back(std::make_unique<SyntheticGenerator>(
+            profileByName("gcc"), instr, seed + c,
+            /*region_base=*/0x100000ULL * (c % 2)));
+        g.raw.push_back(g.owned.back().get());
+    }
+    return g;
+}
+
+std::string
+fingerprint(const SimulationResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    r.visitFields([&](const char *k, auto v) { os << k << '=' << v << '\n'; });
+    return os.str();
+}
+
+std::string
+fingerprint(const MultiCoreResult &r)
+{
+    std::ostringstream os;
+    os << "exec_ticks=" << r.execTicks
+       << " instructions=" << r.totalInstructions
+       << " migrations=" << r.migrations
+       << " remote_read_flushes=" << r.remoteReadFlushes
+       << " first_touches=" << r.firstTouches << '\n';
+    for (const SimulationResult &pc : r.perCore)
+        os << fingerprint(pc);
+    return os.str();
+}
+
+std::string
+statsDump(Simulation &sim)
+{
+    std::ostringstream os;
+    sim.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(ShardDeterminism, RunByteIdenticalAcrossShardCounts)
+{
+    // Reference: the serial schedule (shards = 1).
+    Simulation ref(shardSpec(1));
+    GenSet refGens = sharingGens(6'000, 42);
+    const MultiCoreResult refResult = ref.run(refGens.raw);
+    const std::string refFp = fingerprint(refResult);
+    const std::string refDump = statsDump(ref);
+    EXPECT_GT(refResult.migrations, 0u) << "workload must exercise sharing";
+
+    for (unsigned shards : {2u, 3u, 4u}) {
+        Simulation sim(shardSpec(shards));
+        GenSet gens = sharingGens(6'000, 42);
+        const MultiCoreResult r = sim.run(gens.raw);
+        EXPECT_EQ(fingerprint(r), refFp) << "shards=" << shards;
+        EXPECT_EQ(statsDump(sim), refDump) << "shards=" << shards;
+        EXPECT_TRUE(sim.multi().invariantNoReplication());
+    }
+}
+
+TEST(ShardDeterminism, CrashMidEpochIdenticalAcrossShardCounts)
+{
+    // Crash at a tick that is NOT on the epoch grid: the barrier grid is
+    // absolute, so runUntil() slicing (and therefore the crash point's
+    // position inside an epoch) must not depend on the shard count.
+    auto crashFp = [](unsigned shards) {
+        Simulation sim(shardSpec(shards));
+        GenSet gens = sharingGens(6'000, 7);
+        sim.start(gens.raw);
+        const Tick et = sim.multi().epochTicks();
+        sim.runUntil(2 * et + et / 3);
+        const CrashReport cr = sim.crashNow();
+        std::ostringstream os;
+        os.precision(17);
+        os << "drained=" << cr.work.entriesDrained
+           << " root_updates=" << cr.work.bmtRootUpdates
+           << " rebuilt=" << cr.work.bmtNodesRebuilt
+           << " flushed=" << cr.work.cacheLinesFlushed
+           << " window=" << cr.drainLatency
+           << " energy=" << cr.actualEnergyJ
+           << " recovered=" << cr.recovered << '\n';
+        sim.dumpStats(os);
+        return os.str();
+    };
+    const std::string ref = crashFp(1);
+    EXPECT_NE(ref.find("recovered=1"), std::string::npos);
+    EXPECT_EQ(crashFp(2), ref);
+    EXPECT_EQ(crashFp(4), ref);
+}
+
+TEST(ShardDeterminism, RunUntilSlicingDoesNotChangeBehavior)
+{
+    // Epochs end on multiples of epochTicks regardless of how the run is
+    // chopped into runUntil() calls: one big sharded run and many small
+    // odd-sized serial steps land on the same barriers, hence the same
+    // grant order and the same final state.
+    Simulation whole(shardSpec(4));
+    GenSet wholeGens = sharingGens(4'000, 99);
+    whole.run(wholeGens.raw);
+
+    Simulation stepped(shardSpec(1));
+    GenSet stepGens = sharingGens(4'000, 99);
+    stepped.start(stepGens.raw);
+    while (!stepped.finished())
+        stepped.runUntil(stepped.multi().now() + 777);
+
+    EXPECT_EQ(statsDump(stepped), statsDump(whole));
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(fingerprint(stepped.multi().slice(c).result()),
+                  fingerprint(whole.multi().slice(c).result()))
+            << "core " << c;
+}
+
+TEST(ShardDeterminism, ExperimentPointShardsFieldIsInert)
+{
+    // The sweep engine's multi-core points must serialize identically
+    // for every shard count: same aggregate result, same captured stats
+    // JSON. (hostSeconds is the one field outside the contract; the
+    // bench JSON gate blanks it.)
+    auto runPoint = [](unsigned shards) {
+        ExperimentPoint p;
+        p.label = "determinism/cores4";
+        p.scheme = Scheme::Cobcm;
+        p.profile = "gcc";
+        p.instructions = 5'000;
+        p.seed = 11;
+        p.cores = 4;
+        p.shards = shards;
+        p.captureStats = true;
+        return runExperimentPoint(p);
+    };
+    const ExperimentResult ref = runPoint(1);
+    ASSERT_FALSE(ref.statsJson.empty());
+    for (unsigned shards : {2u, 4u}) {
+        const ExperimentResult r = runPoint(shards);
+        EXPECT_EQ(fingerprint(r.sim), fingerprint(ref.sim))
+            << "shards=" << shards;
+        EXPECT_EQ(r.statsJson, ref.statsJson) << "shards=" << shards;
+    }
+}

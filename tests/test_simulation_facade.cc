@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Conformance tests for the Simulation facade and SimulationSpec CLI:
+ * the facade must be a zero-cost veneer (cores == 1 byte-identical to a
+ * direct SecPbSystem, cores > 1 to a direct MultiCoreSystem), and
+ * SimulationSpec::fromCli must consume exactly its own flags from argv,
+ * compact the survivors in place, and validate eagerly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <initializer_list>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "workload/scripted.hh"
+#include "workload/synthetic.hh"
+
+using namespace secpb;
+
+namespace
+{
+
+std::string
+fingerprint(const SimulationResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    r.visitFields([&](const char *k, auto v) { os << k << '=' << v << '\n'; });
+    return os.str();
+}
+
+std::string
+statsDumpOf(const auto &machine)
+{
+    std::ostringstream os;
+    machine.dumpStats(os);
+    return os.str();
+}
+
+/** Mutable argc/argv pair for exercising fromCli's in-place compaction. */
+struct Argv
+{
+    std::vector<std::string> store;
+    std::vector<char *> ptrs;
+    int argc;
+
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        for (const char *a : args)
+            store.emplace_back(a);
+        for (std::string &s : store)
+            ptrs.push_back(s.data());
+        ptrs.push_back(nullptr);
+        argc = static_cast<int>(store.size());
+    }
+
+    char **data() { return ptrs.data(); }
+};
+
+/** The deprecated env fallbacks must not leak into CLI tests. */
+void
+clearSpecEnv()
+{
+    for (const char *v :
+         {"SECPB_BENCH_INSTR", "SECPB_BENCH_SEED", "SECPB_BENCH_WORKLOAD",
+          "SECPB_BENCH_TRACE_IN", "SECPB_BENCH_TRACE_RECORD",
+          "SECPB_BENCH_BATTERY_TECH", "SECPB_BENCH_BATTERY_DERATE",
+          "SECPB_BENCH_POWER_SCHEDULE"})
+        unsetenv(v);
+}
+
+} // namespace
+
+TEST(SimulationFacade, SingleCoreMatchesDirectSystem)
+{
+    const BenchmarkProfile &prof = profileByName("gcc");
+    const SystemConfig cfg = SecPbSystem::configFor(Scheme::Cobcm, prof);
+
+    SecPbSystem direct(cfg);
+    SyntheticGenerator dgen(prof, 8'000, 42);
+    const SimulationResult dres = direct.run(dgen);
+
+    SimulationSpec spec;
+    spec.base = cfg;
+    Simulation sim(spec);
+    ASSERT_FALSE(sim.multiCore());
+    EXPECT_EQ(sim.numCores(), 1u);
+    SyntheticGenerator fgen(prof, 8'000, 42);
+    const SimulationResult fres = sim.run(fgen);
+
+    EXPECT_EQ(fingerprint(fres), fingerprint(dres));
+    EXPECT_EQ(statsDumpOf(sim), statsDumpOf(direct));
+}
+
+TEST(SimulationFacade, MultiCoreMatchesDirectMultiSystem)
+{
+    SimulationSpec spec;
+    spec.base.scheme = Scheme::Cobcm;
+    spec.base.secpb.numEntries = 8;
+    spec.base.pmDataBytes = 1ULL << 30;
+    spec.cores = 2;
+
+    auto makeGens = [] {
+        auto g0 = std::make_unique<ScriptedGenerator>();
+        auto g1 = std::make_unique<ScriptedGenerator>();
+        g0->store(0x1000, 0xAA).instr(200);
+        g1->instr(200).store(0x1000, 0xBB);
+        std::vector<std::unique_ptr<ScriptedGenerator>> owned;
+        owned.push_back(std::move(g0));
+        owned.push_back(std::move(g1));
+        return owned;
+    };
+
+    MultiCoreSystem direct(spec.multiCoreConfig());
+    auto dOwned = makeGens();
+    const MultiCoreResult dres = direct.run({dOwned[0].get(), dOwned[1].get()});
+
+    Simulation sim(spec);
+    ASSERT_TRUE(sim.multiCore());
+    EXPECT_EQ(sim.numCores(), 2u);
+    auto fOwned = makeGens();
+    const MultiCoreResult fres = sim.run({fOwned[0].get(), fOwned[1].get()});
+
+    EXPECT_EQ(fres.migrations, dres.migrations);
+    EXPECT_EQ(fres.execTicks, dres.execTicks);
+    ASSERT_EQ(fres.perCore.size(), dres.perCore.size());
+    for (std::size_t c = 0; c < fres.perCore.size(); ++c)
+        EXPECT_EQ(fingerprint(fres.perCore[c]), fingerprint(dres.perCore[c]));
+    EXPECT_EQ(statsDumpOf(sim), statsDumpOf(direct));
+}
+
+TEST(SimulationFacade, SingleCoreVectorRunWrapsMultiResult)
+{
+    // Drivers that always pass a generator vector (one per core) work
+    // unchanged on a single-core spec: the facade wraps the result.
+    SimulationSpec spec;
+    spec.base.scheme = Scheme::Cobcm;
+    Simulation sim(spec);
+    ScriptedGenerator gen;
+    for (int i = 0; i < 8; ++i)
+        gen.store(i * BlockSize, 0xD0 + i).instr(50);
+    const MultiCoreResult r = sim.run(std::vector<WorkloadGenerator *>{&gen});
+    ASSERT_EQ(r.perCore.size(), 1u);
+    EXPECT_EQ(r.perCore[0].persists, 8u);
+    EXPECT_EQ(r.totalInstructions, r.perCore[0].instructions);
+    EXPECT_EQ(r.execTicks, r.perCore[0].execTicks);
+}
+
+TEST(SimulationFacade, WrongMachineAccessorPanics)
+{
+    SimulationSpec single;
+    Simulation s(single);
+    EXPECT_DEATH(s.multi(), "single-core simulation");
+
+    SimulationSpec multi;
+    multi.cores = 2;
+    Simulation m(multi);
+    EXPECT_DEATH(m.system(), "2-core simulation");
+}
+
+TEST(SimulationFacade, GeneratorArityMismatchPanics)
+{
+    SimulationSpec spec;
+    Simulation sim(spec);
+    ScriptedGenerator a, b;
+    std::vector<WorkloadGenerator *> two{&a, &b};
+    EXPECT_DEATH(sim.run(two), "got 2 generators");
+}
+
+TEST(SimulationSpecCli, ConsumesOwnFlagsAndCompactsSurvivors)
+{
+    clearSpecEnv();
+    Argv av{"prog",   "--jobs",   "3",      "--instr", "5000",
+            "--seed", "9",        "--cores", "2",      "--shards",
+            "4",      "--json",   "out.json"};
+    const SimulationSpec spec =
+        SimulationSpec::fromCli(av.argc, av.data(), "test");
+
+    EXPECT_EQ(spec.instructions, 5'000u);
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_EQ(spec.cores, 2u);
+    EXPECT_EQ(spec.shards, 4u);
+
+    // Only the caller-owned flags survive, order preserved, array
+    // re-terminated.
+    ASSERT_EQ(av.argc, 5);
+    EXPECT_STREQ(av.data()[0], "prog");
+    EXPECT_STREQ(av.data()[1], "--jobs");
+    EXPECT_STREQ(av.data()[2], "3");
+    EXPECT_STREQ(av.data()[3], "--json");
+    EXPECT_STREQ(av.data()[4], "out.json");
+    EXPECT_EQ(av.data()[5], nullptr);
+}
+
+TEST(SimulationSpecCli, DefaultsWhenNothingGiven)
+{
+    clearSpecEnv();
+    Argv av{"prog"};
+    const SimulationSpec spec =
+        SimulationSpec::fromCli(av.argc, av.data(), "test");
+    EXPECT_EQ(spec.instructions, 300'000u);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.cores, 1u);
+    EXPECT_EQ(spec.shards, 1u);
+    EXPECT_EQ(spec.batteryTech, "ideal");
+    EXPECT_DOUBLE_EQ(spec.batteryDerate, 1.0);
+    EXPECT_TRUE(spec.workload.empty());
+    EXPECT_EQ(av.argc, 1);
+}
+
+TEST(SimulationSpecCli, TraceInIsReplayWorkloadSugar)
+{
+    clearSpecEnv();
+    Argv av{"prog", "--trace-in", "/tmp/ops.trace"};
+    const SimulationSpec spec =
+        SimulationSpec::fromCli(av.argc, av.data(), "test");
+    EXPECT_EQ(spec.workload, "replay:file=/tmp/ops.trace");
+}
+
+TEST(SimulationSpecCli, BadValuesDieEagerly)
+{
+    clearSpecEnv();
+    auto parse = [](std::initializer_list<const char *> args) {
+        Argv av(args);
+        SimulationSpec::fromCli(av.argc, av.data(), "test");
+    };
+    EXPECT_DEATH(parse({"prog", "--shards", "0"}), "--shards must be >= 1");
+    EXPECT_DEATH(parse({"prog", "--workload", "no-such-workload"}),
+                 "unknown workload");
+    EXPECT_DEATH(parse({"prog", "--trace-in", "x.trc", "--workload",
+                        "kv_wal"}),
+                 "mutually exclusive");
+}

@@ -2,7 +2,9 @@
  * @file
  * Unit tests for the experiment engine's work-stealing thread pool:
  * exception propagation through futures, completion of every submitted
- * task, the zero-task and oversubscribed cases, and the bounded queue.
+ * task, the zero-task and oversubscribed cases, the bounded queue, and
+ * nested parallelFor arbitration (sweep jobs vs shard workers on one
+ * worker budget).
  */
 
 #include <gtest/gtest.h>
@@ -120,4 +122,96 @@ TEST(ThreadPool, TasksRunOnPoolThreads)
         f.get();
     EXPECT_EQ(ids.count(caller), 0u);
     EXPECT_GE(ids.size(), 1u);
+}
+
+TEST(ThreadPool, TrySubmitRefusesAtBoundInsteadOfBlocking)
+{
+    ThreadPool pool(1, /*queue_bound=*/2);
+    std::atomic<bool> release{false};
+    // Occupy the lone worker, then fill the queue to the bound.
+    auto blocker = pool.submit([&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+    auto q1 = pool.submit([] {});
+    auto q2 = pool.submit([] {});
+    // Backlog is at the bound: trySubmit must decline, not wait.
+    EXPECT_FALSE(pool.trySubmit([] {}).has_value());
+    release = true;
+    blocker.get();
+    q1.get();
+    q2.get();
+    // With the backlog drained it accepts again.
+    auto late = pool.trySubmit([] {});
+    ASSERT_TRUE(late.has_value());
+    late->get();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; },
+                     /*max_concurrency=*/3);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // n == 0 is a no-op, not a hang.
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // The sweep/shard arbitration case: every worker is occupied by an
+    // outer pool task, and each of those tasks issues its own
+    // parallelFor against the same pool. Helper enlistment uses
+    // trySubmit, so the inner loops degrade to their calling workers
+    // instead of waiting on a queue only they could drain.
+    ThreadPool pool(2, /*queue_bound=*/2);
+    constexpr int kOuter = 6;
+    constexpr std::size_t kInner = 64;
+    std::atomic<int> inner{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < kOuter; ++i)
+        futs.push_back(pool.submit([&] {
+            pool.parallelFor(kInner, [&](std::size_t) { ++inner; });
+        }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(inner.load(), kOuter * static_cast<int>(kInner));
+}
+
+TEST(ThreadPool, NestedParallelForOnGlobalPool)
+{
+    // SweepRunner jobs and shard workers both draw from the global
+    // pool; two nesting levels deep must still complete and cover
+    // every index exactly once.
+    ThreadPool &g = ThreadPool::global();
+    std::vector<std::atomic<int>> hits(96);
+    g.parallelFor(4, [&](std::size_t outer) {
+        g.parallelFor(hits.size() / 4, [&](std::size_t i) {
+            ++hits[outer * (hits.size() / 4) + i];
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException)
+{
+    // An index failing inside a nested loop must surface at the outer
+    // call site, after the remaining indices finish, with the pool
+    // still usable.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [&](std::size_t i) {
+                             ++ran;
+                             if (i == 3)
+                                 throw std::runtime_error("index 3");
+                         }),
+        std::runtime_error);
+    EXPECT_EQ(ran.load(), 8);
+    pool.submit([] {}).get();
 }

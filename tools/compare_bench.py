@@ -10,7 +10,8 @@ of baseline vs. candidate with the relative change. Metric direction is
 inferred from the name suffix:
 
   * ``*_s`` / ``*_seconds`` / ``*_wall_s``  -- wall time, lower is better
-  * ``*_mops`` / ``*_mips`` / ``*_per_sec`` / ``*_ops``  -- throughput,
+  * ``*_mops`` / ``*_mips`` / ``*_per_sec`` / ``*_ops`` / ``*_speedup``
+    -- throughput,
     higher is better
 
 A metric that moved in the bad direction by more than ``--threshold``
@@ -25,7 +26,7 @@ import json
 import sys
 
 LOWER_BETTER = ("_s", "_seconds", "_wall_s")
-HIGHER_BETTER = ("_mops", "_mips", "_per_sec", "_ops")
+HIGHER_BETTER = ("_mops", "_mips", "_per_sec", "_ops", "_speedup")
 
 
 def load(path):
